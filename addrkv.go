@@ -1,0 +1,312 @@
+// Package addrkv is a library-level reproduction of "Hardware-Based
+// Address-Centric Acceleration of Key-Value Store" (HPCA 2021): the
+// STLT/STB/IPB hardware design, its OS support, the SLB software
+// baseline, four production-style indexing structures, and the YCSB
+// workloads — all running on a timing-accurate simulated memory system
+// (TLBs, three cache levels, radix page tables, DRAM) implemented in
+// pure Go.
+//
+// The top-level API builds a simulated key-value System in one of
+// several acceleration modes and runs real GET/SET traffic through it,
+// reporting cycle-accurate statistics:
+//
+//	sys, err := addrkv.New(addrkv.Options{
+//		Keys:  200_000,
+//		Index: addrkv.IndexChainHash,
+//		Mode:  addrkv.ModeSTLT,
+//	})
+//	...
+//	sys.Load(200_000, 64)
+//	rep := sys.RunWorkload(addrkv.Workload{
+//		Distribution: addrkv.DistZipf, ValueSize: 64,
+//		WarmOps: 400_000, MeasureOps: 64_000,
+//	})
+//	fmt.Println(rep.CyclesPerOp)
+//
+// To reproduce the paper's tables and figures, use cmd/stltbench or
+// the benchmarks in bench_test.go.
+package addrkv
+
+import (
+	"fmt"
+
+	"addrkv/internal/arch"
+	"addrkv/internal/core"
+	"addrkv/internal/hashfn"
+	"addrkv/internal/kv"
+	"addrkv/internal/ycsb"
+)
+
+// Mode selects the acceleration configuration of a System.
+type Mode = kv.Mode
+
+// Acceleration modes. ModeSTLTSW and ModeSTLTVA are the ablations of
+// the paper's Figure 19.
+const (
+	ModeBaseline = kv.ModeBaseline
+	ModeSTLT     = kv.ModeSTLT
+	ModeSLB      = kv.ModeSLB
+	ModeSTLTSW   = kv.ModeSTLTSW
+	ModeSTLTVA   = kv.ModeSTLTVA
+)
+
+// IndexKind selects the indexing structure of a System.
+type IndexKind = kv.IndexKind
+
+// Index kinds (Table II of the paper).
+const (
+	IndexChainHash = kv.KindChainHash // Redis-dict-style chained hash
+	IndexDenseHash = kv.KindDenseHash // dense_hash_map-style open addressing
+	IndexRBTree    = kv.KindRBTree    // std::map-style red-black tree
+	IndexBTree     = kv.KindBTree     // cpp-btree-style B-tree
+)
+
+// Distribution selects a workload request distribution.
+type Distribution = ycsb.Distribution
+
+// Distributions for RunWorkload.
+const (
+	DistZipf    = ycsb.Zipf
+	DistLatest  = ycsb.Latest
+	DistUniform = ycsb.Uniform
+)
+
+// Options configures a System. Zero values pick the paper's defaults.
+type Options struct {
+	// Keys is the expected number of distinct keys (sizes the index
+	// and the default STLT). Required.
+	Keys int
+	// Index picks the indexing structure (default IndexChainHash).
+	Index IndexKind
+	// Mode picks the acceleration (default ModeBaseline).
+	Mode Mode
+	// RedisLayer adds the modeled Redis command-processing costs.
+	RedisLayer bool
+	// STLTRows / STLTWays size the STLT (defaults: the scaled
+	// equivalent of the paper's 512 MB table, 4-way).
+	STLTRows int
+	STLTWays int
+	// SLBEntries sizes the SLB cache table (default: the paper's
+	// Figure 11 setup).
+	SLBEntries int
+	// FastHashName picks the STLT/SLB fast-path hash from Table IV:
+	// "sipHash", "murmurHash", "xxh64", "djb2", "xxh3" (default).
+	FastHashName string
+	// SlowHashName overrides the index's own hash function (defaults:
+	// sipHash with RedisLayer, murmurHash otherwise).
+	SlowHashName string
+	// EnableMonitor turns on the runtime performance monitor
+	// (Section III-F "Performance guarantee").
+	EnableMonitor bool
+	// AutoTune turns on the miss-ratio-driven STLT resizer
+	// (Section III-F performance tuning).
+	AutoTune bool
+	// DataPrefetcher: "", "stride", or "vldp" (Section IV-F).
+	DataPrefetcher string
+	// TLBPrefetch enables distance TLB prefetching (Section IV-F).
+	TLBPrefetch bool
+	// MachineParams overrides the simulated architecture (defaults to
+	// Table III via arch.DefaultMachineParams).
+	MachineParams *arch.MachineParams
+	// Seed makes runs deterministic (default 42).
+	Seed uint64
+}
+
+// System is a simulated key-value store instance.
+type System struct {
+	e *kv.Engine
+}
+
+// New builds a System.
+func New(o Options) (*System, error) {
+	cfg := kv.Config{
+		Keys:           o.Keys,
+		Index:          o.Index,
+		Mode:           o.Mode,
+		RedisLayer:     o.RedisLayer,
+		STLTRows:       o.STLTRows,
+		STLTWays:       o.STLTWays,
+		SLBEntries:     o.SLBEntries,
+		Monitor:        o.EnableMonitor,
+		AutoTune:       o.AutoTune,
+		DataPrefetcher: o.DataPrefetcher,
+		TLBPrefetch:    o.TLBPrefetch,
+		Seed:           o.Seed,
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	if o.MachineParams != nil {
+		cfg.Params = *o.MachineParams
+	}
+	if o.FastHashName != "" {
+		f, err := hashfn.ByName(o.FastHashName)
+		if err != nil {
+			return nil, err
+		}
+		cfg.FastHash = &f
+	}
+	if o.SlowHashName != "" {
+		f, err := hashfn.ByName(o.SlowHashName)
+		if err != nil {
+			return nil, err
+		}
+		cfg.SlowHash = &f
+	}
+	e, err := kv.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{e: e}, nil
+}
+
+// Load bulk-inserts n sequential YCSB keys with valueSize-byte values
+// (the fast, untimed population phase).
+func (s *System) Load(n, valueSize int) { s.e.Load(n, valueSize) }
+
+// Get retrieves a key with full timing, returning its value.
+func (s *System) Get(key []byte) ([]byte, bool) { return s.e.Get(key) }
+
+// Set inserts or updates a key with full timing.
+func (s *System) Set(key, value []byte) { s.e.Set(key, value) }
+
+// Delete removes a key with full timing.
+func (s *System) Delete(key []byte) bool { return s.e.Delete(key) }
+
+// KeyName returns the canonical YCSB key for a key id, as used by Load.
+func KeyName(id uint64) []byte { return ycsb.KeyName(id) }
+
+// Engine exposes the underlying engine for advanced use (experiment
+// harnesses, tests).
+func (s *System) Engine() *kv.Engine { return s.e }
+
+// Workload shapes a RunWorkload call.
+type Workload struct {
+	// Distribution is DistZipf, DistLatest or DistUniform.
+	Distribution ycsb.Distribution
+	// ValueSize is the value payload in bytes (default 64).
+	ValueSize int
+	// WarmOps run before counters reset; MeasureOps are measured.
+	WarmOps    int
+	MeasureOps int
+	// SetFraction, when positive, overrides the paper's rule
+	// (5% SETs for latest, all-GET otherwise).
+	SetFraction float64
+	// Seed makes the stream deterministic (default 42).
+	Seed uint64
+}
+
+// Report summarizes a measured workload window.
+type Report struct {
+	Ops         uint64
+	Cycles      uint64
+	CyclesPerOp float64
+	// TLBMissesPerOp counts full TLB misses per operation.
+	TLBMissesPerOp float64
+	// PageWalksPerOp counts completed page walks per operation.
+	PageWalksPerOp float64
+	// CacheMissesPerOp counts LLC misses (DRAM demand) per operation.
+	CacheMissesPerOp float64
+	// FastPathHitRate is the fraction of GETs served by the STLT/SLB.
+	FastPathHitRate float64
+	// TableMissRate is the STLT (or SLB) table miss ratio.
+	TableMissRate float64
+	// CategoryShare maps cost-category names ("hash", "traverse",
+	// "translate", "data", "stlt", "other") to their fraction of total
+	// cycles — the Figure 1 breakdown for this run.
+	CategoryShare map[string]float64
+	// Raw engine statistics for detailed analysis.
+	Stats kv.Stats
+}
+
+// RunWorkload drives a generated workload through the system: WarmOps
+// operations to warm caches/TLBs/tables, a counter reset, then
+// MeasureOps measured operations (the paper's 80%-warm-up
+// methodology).
+func (s *System) RunWorkload(w Workload) Report {
+	if w.ValueSize == 0 {
+		w.ValueSize = 64
+	}
+	if w.Distribution == "" {
+		w.Distribution = DistZipf
+	}
+	seed := w.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	cfg := ycsb.Config{
+		Keys:      s.e.Idx.Len(),
+		ValueSize: w.ValueSize,
+		Dist:      w.Distribution,
+		Seed:      seed,
+	}
+	if w.SetFraction > 0 {
+		cfg.SetFraction = w.SetFraction
+	} else {
+		cfg = cfg.WithPaperSetFraction()
+	}
+	g := ycsb.NewGenerator(cfg)
+	for i := 0; i < w.WarmOps; i++ {
+		s.e.RunOp(g.Next(), w.ValueSize)
+	}
+	s.e.MarkMeasurement()
+	for i := 0; i < w.MeasureOps; i++ {
+		s.e.RunOp(g.Next(), w.ValueSize)
+	}
+	return s.Report()
+}
+
+// Report snapshots statistics since the last measurement mark.
+func (s *System) Report() Report {
+	st := s.e.Stats()
+	r := Report{
+		Ops:    st.Ops,
+		Cycles: uint64(st.Machine.Cycles),
+		Stats:  st,
+	}
+	if st.Ops > 0 {
+		ops := float64(st.Ops)
+		r.CyclesPerOp = float64(st.Machine.Cycles) / ops
+		r.TLBMissesPerOp = float64(st.Machine.TLBMisses) / ops
+		r.PageWalksPerOp = float64(st.Machine.PageWalks) / ops
+		r.CacheMissesPerOp = float64(st.Machine.DRAMDemand) / ops
+	}
+	if st.Gets > 0 {
+		r.FastPathHitRate = float64(st.FastHits) / float64(st.Gets)
+	}
+	switch {
+	case st.STLT.Lookups > 0:
+		r.TableMissRate = st.STLT.MissRate()
+	case st.SLB.Lookups > 0:
+		r.TableMissRate = st.SLB.MissRate()
+	}
+	if st.Machine.Cycles > 0 {
+		r.CategoryShare = map[string]float64{}
+		total := float64(st.Machine.Cycles)
+		for c := 0; c < arch.NumCostCategories; c++ {
+			r.CategoryShare[arch.CostCategory(c).String()] =
+				float64(st.Machine.ByCat[c]) / total
+		}
+	}
+	return r
+}
+
+// HardwareCost returns the on-chip storage budget of the STLT design
+// (Table I of the paper) as (rows, totalBits).
+func HardwareCost() ([]core.HWComponentCost, int) {
+	return core.HWCost(), core.HWCostTotalBits()
+}
+
+// PaperEquivalentMB converts an STLT row count at a given key scale to
+// the table-size label the paper would use at its 10-million-key
+// scale.
+func PaperEquivalentMB(rows, keys int) float64 {
+	return kv.PaperEquivalentMB(rows, keys)
+}
+
+// String renders a Report compactly.
+func (r Report) String() string {
+	return fmt.Sprintf("ops=%d cycles/op=%.0f tlbMiss/op=%.2f walks/op=%.2f llcMiss/op=%.2f fastHit=%.1f%% tableMiss=%.2f%%",
+		r.Ops, r.CyclesPerOp, r.TLBMissesPerOp, r.PageWalksPerOp, r.CacheMissesPerOp,
+		100*r.FastPathHitRate, 100*r.TableMissRate)
+}

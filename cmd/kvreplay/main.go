@@ -1,0 +1,108 @@
+// Command kvreplay replays a ycsbgen text trace ("GET <key>" /
+// "SET <key> <valueSize>" lines) through a simulated System and prints
+// the modeled statistics — useful for running *recorded* production
+// traces against the STLT design, which is how one would evaluate it
+// for a real deployment.
+//
+//	ycsbgen -keys 200000 -ops 2000000 -dist zipf > trace.txt
+//	kvreplay -mode baseline -keys 200000 < trace.txt
+//	kvreplay -mode stlt     -keys 200000 -warm 600000 < trace.txt
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"addrkv"
+)
+
+func main() {
+	var (
+		mode  = flag.String("mode", "stlt", "baseline|stlt|slb|stlt-sw|stlt-va")
+		index = flag.String("index", "chainhash", "chainhash|densehash|rbtree|btree|skiplist")
+		keys  = flag.Int("keys", 100_000, "keys to preload (ids 0..keys-1)")
+		vsize = flag.Int("vsize", 64, "preload value size")
+		warm  = flag.Int("warm", 0, "trace ops to treat as warm-up (stats reset after)")
+		file  = flag.String("f", "", "trace file (default stdin)")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			log.Fatalf("kvreplay: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	sys, err := addrkv.New(addrkv.Options{
+		Keys:  *keys,
+		Index: addrkv.IndexKind(*index),
+		Mode:  addrkv.Mode(*mode),
+	})
+	if err != nil {
+		log.Fatalf("kvreplay: %v", err)
+	}
+	sys.Load(*keys, *vsize)
+	eng := sys.Engine()
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		ops      int
+		setsSeen int
+		missing  int
+	)
+	value := make([]byte, *vsize)
+	for sc.Scan() {
+		line := sc.Bytes()
+		sp := bytes.IndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		verb := string(line[:sp])
+		rest := line[sp+1:]
+		switch verb {
+		case "GET":
+			if !eng.GetTouch(rest) {
+				missing++
+			}
+		case "SET":
+			key := rest
+			if sp2 := bytes.IndexByte(rest, ' '); sp2 >= 0 {
+				key = rest[:sp2]
+				if n, err := strconv.Atoi(string(rest[sp2+1:])); err == nil && n != len(value) {
+					value = make([]byte, n)
+				}
+			}
+			eng.Set(key, value)
+			setsSeen++
+		default:
+			log.Fatalf("kvreplay: bad trace line %q", line)
+		}
+		ops++
+		if *warm > 0 && ops == *warm {
+			eng.MarkMeasurement()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("kvreplay: %v", err)
+	}
+
+	rep := sys.Report()
+	fmt.Printf("replayed %d ops (%d SETs, %d GET misses)\n", ops, setsSeen, missing)
+	fmt.Println(rep)
+	if len(rep.CategoryShare) > 0 {
+		fmt.Println("cycle breakdown:")
+		for _, cat := range []string{"hash", "traverse", "translate", "data", "stlt", "other"} {
+			fmt.Printf("  %-10s %5.1f%%\n", cat, 100*rep.CategoryShare[cat])
+		}
+	}
+}

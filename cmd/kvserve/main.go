@@ -1,0 +1,186 @@
+// Command kvserve runs a Redis-protocol key-value server backed by the
+// simulated addrkv engine — the zero-to-running demo of the paper's
+// setup (Figure 1 measures Redis over a Unix domain socket with
+// pipelined requests).
+//
+// Commands: PING, GET, SET, DEL, EXISTS, DBSIZE, INFO, FLUSHALL, QUIT.
+// INFO reports the *simulated* cycle statistics (cycles/op, TLB misses,
+// STLT hit rate), so a client can measure the modeled speedup while
+// talking real RESP over a real socket.
+//
+//	kvserve -mode stlt -keys 100000 -sock /tmp/addrkv.sock
+//	kvserve -mode baseline -addr 127.0.0.1:6380
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"sync"
+
+	"addrkv"
+	"addrkv/internal/resp"
+)
+
+type server struct {
+	mu  sync.Mutex // the simulated machine is single-core; serialize ops
+	sys *addrkv.System
+
+	opsSinceMark uint64
+}
+
+func main() {
+	var (
+		mode  = flag.String("mode", "stlt", "baseline|stlt|slb|stlt-sw|stlt-va")
+		index = flag.String("index", "chainhash", "chainhash|densehash|rbtree|btree")
+		keys  = flag.Int("keys", 100_000, "index/STLT sizing hint (and preload count with -preload)")
+		pre   = flag.Bool("preload", false, "preload -keys YCSB records before serving")
+		vsize = flag.Int("vsize", 64, "preload value size")
+		sock  = flag.String("sock", "", "Unix socket path (the paper's transport)")
+		addr  = flag.String("addr", "", "TCP address, e.g. 127.0.0.1:6380")
+	)
+	flag.Parse()
+
+	if (*sock == "") == (*addr == "") {
+		fmt.Fprintln(os.Stderr, "kvserve: exactly one of -sock or -addr is required")
+		os.Exit(2)
+	}
+
+	sys, err := addrkv.New(addrkv.Options{
+		Keys:       *keys,
+		Index:      addrkv.IndexKind(*index),
+		Mode:       addrkv.Mode(*mode),
+		RedisLayer: true,
+	})
+	if err != nil {
+		log.Fatalf("kvserve: %v", err)
+	}
+	if *pre {
+		log.Printf("preloading %d keys (%dB values)...", *keys, *vsize)
+		sys.Load(*keys, *vsize)
+	}
+	s := &server{sys: sys}
+
+	var ln net.Listener
+	if *sock != "" {
+		_ = os.Remove(*sock)
+		ln, err = net.Listen("unix", *sock)
+	} else {
+		ln, err = net.Listen("tcp", *addr)
+	}
+	if err != nil {
+		log.Fatalf("kvserve: %v", err)
+	}
+	log.Printf("kvserve: %s engine on %s serving %s", *mode, *index, ln.Addr())
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go s.serve(conn)
+	}
+}
+
+func (s *server) serve(conn net.Conn) {
+	defer conn.Close()
+	r := resp.NewReader(conn)
+	w := resp.NewWriter(conn)
+	for {
+		args, err := r.ReadCommand()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				log.Printf("client error: %v", err)
+			}
+			return
+		}
+		quit := s.dispatch(w, args)
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+func (s *server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
+	cmd := strings.ToUpper(string(args[0]))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch cmd {
+	case "PING":
+		w.WriteSimple("PONG")
+	case "QUIT":
+		w.WriteSimple("OK")
+		return true
+	case "GET":
+		if len(args) != 2 {
+			w.WriteError("ERR wrong number of arguments for 'get'")
+			return
+		}
+		s.opsSinceMark++
+		if v, ok := s.sys.Get(args[1]); ok {
+			w.WriteBulk(v)
+		} else {
+			w.WriteBulk(nil)
+		}
+	case "SET":
+		if len(args) != 3 {
+			w.WriteError("ERR wrong number of arguments for 'set'")
+			return
+		}
+		s.opsSinceMark++
+		s.sys.Set(args[1], args[2])
+		w.WriteSimple("OK")
+	case "DEL":
+		if len(args) < 2 {
+			w.WriteError("ERR wrong number of arguments for 'del'")
+			return
+		}
+		var n int64
+		for _, k := range args[1:] {
+			if s.sys.Delete(k) {
+				n++
+			}
+		}
+		w.WriteInt(n)
+	case "EXISTS":
+		if len(args) != 2 {
+			w.WriteError("ERR wrong number of arguments for 'exists'")
+			return
+		}
+		if _, ok := s.sys.Get(args[1]); ok {
+			w.WriteInt(1)
+		} else {
+			w.WriteInt(0)
+		}
+	case "DBSIZE":
+		w.WriteInt(int64(s.sys.Engine().Idx.Len()))
+	case "INFO":
+		rep := s.sys.Report()
+		var b strings.Builder
+		fmt.Fprintf(&b, "# addrkv simulated statistics (since RESETSTATS)\r\n")
+		fmt.Fprintf(&b, "ops:%d\r\n", rep.Ops)
+		fmt.Fprintf(&b, "cycles:%d\r\n", rep.Cycles)
+		fmt.Fprintf(&b, "cycles_per_op:%.1f\r\n", rep.CyclesPerOp)
+		fmt.Fprintf(&b, "tlb_misses_per_op:%.3f\r\n", rep.TLBMissesPerOp)
+		fmt.Fprintf(&b, "page_walks_per_op:%.3f\r\n", rep.PageWalksPerOp)
+		fmt.Fprintf(&b, "llc_misses_per_op:%.3f\r\n", rep.CacheMissesPerOp)
+		fmt.Fprintf(&b, "fast_path_hit_rate:%.4f\r\n", rep.FastPathHitRate)
+		fmt.Fprintf(&b, "table_miss_rate:%.4f\r\n", rep.TableMissRate)
+		w.WriteBulk([]byte(b.String()))
+	case "RESETSTATS":
+		s.sys.Engine().MarkMeasurement()
+		s.opsSinceMark = 0
+		w.WriteSimple("OK")
+	case "FLUSHALL":
+		w.WriteError("ERR FLUSHALL not supported; restart the server")
+	default:
+		w.WriteError(fmt.Sprintf("ERR unknown command '%s'", cmd))
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"addrkv"
+	"addrkv/internal/resp"
+)
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	sys, err := addrkv.New(addrkv.Options{
+		Keys:       2000,
+		Index:      addrkv.IndexChainHash,
+		Mode:       addrkv.ModeSTLT,
+		RedisLayer: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{sys: sys}
+}
+
+// call dispatches a command and returns the decoded reply.
+func call(t *testing.T, s *server, args ...string) any {
+	t.Helper()
+	var buf bytes.Buffer
+	w := resp.NewWriter(&buf)
+	ba := make([][]byte, len(args))
+	for i, a := range args {
+		ba[i] = []byte(a)
+	}
+	s.dispatch(w, ba)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := resp.NewReader(&buf).ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestServerBasicCommands(t *testing.T) {
+	s := newTestServer(t)
+
+	if got := call(t, s, "PING"); got != "PONG" {
+		t.Fatalf("PING = %v", got)
+	}
+	if got := call(t, s, "SET", "alpha", "one"); got != "OK" {
+		t.Fatalf("SET = %v", got)
+	}
+	if got := call(t, s, "GET", "alpha"); string(got.([]byte)) != "one" {
+		t.Fatalf("GET = %v", got)
+	}
+	if got := call(t, s, "EXISTS", "alpha"); got.(int64) != 1 {
+		t.Fatalf("EXISTS = %v", got)
+	}
+	if got := call(t, s, "GET", "missing"); got != nil {
+		t.Fatalf("GET missing = %v", got)
+	}
+	if got := call(t, s, "DBSIZE"); got.(int64) != 1 {
+		t.Fatalf("DBSIZE = %v", got)
+	}
+	if got := call(t, s, "DEL", "alpha", "missing"); got.(int64) != 1 {
+		t.Fatalf("DEL = %v", got)
+	}
+	if got := call(t, s, "GET", "alpha"); got != nil {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestServerInfoAndReset(t *testing.T) {
+	s := newTestServer(t)
+	call(t, s, "SET", "k", "v")
+	call(t, s, "GET", "k")
+	info := string(call(t, s, "INFO").([]byte))
+	if !strings.Contains(info, "cycles_per_op") {
+		t.Fatalf("INFO missing stats:\n%s", info)
+	}
+	if got := call(t, s, "RESETSTATS"); got != "OK" {
+		t.Fatalf("RESETSTATS = %v", got)
+	}
+	info = string(call(t, s, "INFO").([]byte))
+	if !strings.Contains(info, "ops:0") {
+		t.Fatalf("stats not reset:\n%s", info)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	s := newTestServer(t)
+	if _, ok := call(t, s, "GET").(error); !ok {
+		t.Fatal("arity error not reported")
+	}
+	if _, ok := call(t, s, "SET", "k").(error); !ok {
+		t.Fatal("arity error not reported")
+	}
+	if _, ok := call(t, s, "WHATEVER").(error); !ok {
+		t.Fatal("unknown command not reported")
+	}
+	if _, ok := call(t, s, "FLUSHALL").(error); !ok {
+		t.Fatal("FLUSHALL should report unsupported")
+	}
+}
+
+func TestServerQuit(t *testing.T) {
+	s := newTestServer(t)
+	var buf bytes.Buffer
+	w := resp.NewWriter(&buf)
+	if quit := s.dispatch(w, [][]byte{[]byte("QUIT")}); !quit {
+		t.Fatal("QUIT did not request close")
+	}
+	if quit := s.dispatch(w, [][]byte{[]byte("PING")}); quit {
+		t.Fatal("PING requested close")
+	}
+}

@@ -1,0 +1,83 @@
+// Command ycsbgen emits a YCSB-style operation trace as text, one
+// operation per line ("GET <key>" / "SET <key> <valueSize>"), suitable
+// for replay against any key-value store or for inspecting the
+// distributions used throughout the evaluation.
+//
+//	ycsbgen -keys 1000000 -ops 10000000 -dist zipf > trace.txt
+//	ycsbgen -dist latest -ops 1000 -stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"addrkv/internal/ycsb"
+)
+
+func main() {
+	var (
+		keys  = flag.Int("keys", 100_000, "distinct keys")
+		ops   = flag.Int("ops", 1_000_000, "operations to emit")
+		dist  = flag.String("dist", "zipf", "zipf|latest|uniform")
+		vsize = flag.Int("vsize", 64, "value size recorded for SETs")
+		seed  = flag.Uint64("seed", 42, "generator seed")
+		stats = flag.Bool("stats", false, "print distribution statistics instead of the trace")
+	)
+	flag.Parse()
+
+	d, err := ycsb.ParseDistribution(*dist)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ycsbgen:", err)
+		os.Exit(2)
+	}
+	cfg := ycsb.Config{Keys: *keys, ValueSize: *vsize, Dist: d, Seed: *seed}.WithPaperSetFraction()
+	g := ycsb.NewGenerator(cfg)
+
+	if *stats {
+		printStats(g, *ops)
+		return
+	}
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	for i := 0; i < *ops; i++ {
+		op := g.Next()
+		if op.Type == ycsb.Set {
+			fmt.Fprintf(w, "SET %s %d\n", ycsb.KeyName(op.KeyID), *vsize)
+		} else {
+			fmt.Fprintf(w, "GET %s\n", ycsb.KeyName(op.KeyID))
+		}
+	}
+}
+
+func printStats(g *ycsb.Generator, ops int) {
+	counts := map[uint64]int{}
+	sets := 0
+	for i := 0; i < ops; i++ {
+		op := g.Next()
+		if op.Type == ycsb.Set {
+			sets++
+		}
+		counts[op.KeyID]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+
+	fmt.Printf("ops: %d\ndistinct keys touched: %d\nSET fraction: %.4f\n",
+		ops, len(counts), float64(sets)/float64(ops))
+	cum := 0
+	marks := map[int]bool{1: true, 10: true, 100: true, 1000: true, 10000: true}
+	for rank, c := range freqs {
+		cum += c
+		if marks[rank+1] {
+			fmt.Printf("top %6d keys: %5.2f%% of traffic\n",
+				rank+1, 100*float64(cum)/float64(ops))
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module addrkv
+
+go 1.22

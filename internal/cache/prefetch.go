@@ -1,0 +1,22 @@
+package cache
+
+// Prefetcher observes the demand-access stream at the last-level cache
+// and proposes lines to prefetch. The two data prefetchers evaluated in
+// Section IV-F of the paper ("Simple" stride streams and VLDP) both
+// train on physical line addresses.
+type Prefetcher interface {
+	// Name identifies the prefetcher in reports.
+	Name() string
+	// Observe is called for every demand access with the physical
+	// line address and whether it missed the observed cache. It
+	// returns the lines to prefetch (may be empty).
+	Observe(line uint64, miss bool) []uint64
+	// Reset clears training state.
+	Reset()
+}
+
+// pageOf returns the physical page number of a line address.
+func pageOf(line uint64) uint64 { return line >> 6 } // 4 KB page = 64 lines
+
+// lineInPage returns the line index within its page.
+func lineInPage(line uint64) int { return int(line & 63) }

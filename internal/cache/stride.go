@@ -1,0 +1,79 @@
+package cache
+
+// StridePrefetcher is the "Simple" stride-based stream prefetcher from
+// SniperSim that the paper evaluates in Figure 19 (right). It tracks a
+// small table of recent streams keyed by physical page; when two
+// consecutive accesses to a page repeat the same line stride, it
+// prefetches the next Degree lines along the stream.
+//
+// On the pointer-chasing access patterns of indexing structures the
+// detected "streams" are accidental, so most prefetches are useless
+// traffic — which is exactly the behaviour the paper reports (17.7%
+// average slowdown).
+type StridePrefetcher struct {
+	// Degree is how many lines ahead to prefetch once a stream is
+	// confirmed.
+	Degree int
+	// AggressiveNextLine also issues a next-line prefetch on every
+	// miss, stream or not (the SniperSim "Simple" prefetcher issues
+	// next-line on miss).
+	AggressiveNextLine bool
+
+	streams map[uint64]*strideEntry
+}
+
+type strideEntry struct {
+	lastLine  uint64
+	stride    int
+	confirmed bool
+}
+
+// NewStridePrefetcher returns a stride prefetcher with the default
+// degree of 2 plus next-line-on-miss, approximating SniperSim's
+// "Simple" prefetcher.
+func NewStridePrefetcher() *StridePrefetcher {
+	return &StridePrefetcher{Degree: 2, AggressiveNextLine: true, streams: map[uint64]*strideEntry{}}
+}
+
+// Name implements Prefetcher.
+func (p *StridePrefetcher) Name() string { return "stride" }
+
+// Reset implements Prefetcher.
+func (p *StridePrefetcher) Reset() { p.streams = map[uint64]*strideEntry{} }
+
+// Observe implements Prefetcher.
+func (p *StridePrefetcher) Observe(line uint64, miss bool) []uint64 {
+	page := pageOf(line)
+	e := p.streams[page]
+	if e == nil {
+		if len(p.streams) > 4096 {
+			p.streams = map[uint64]*strideEntry{} // crude capacity bound
+		}
+		p.streams[page] = &strideEntry{lastLine: line}
+		if miss && p.AggressiveNextLine {
+			return []uint64{line + 1}
+		}
+		return nil
+	}
+	stride := int(int64(line) - int64(e.lastLine))
+	var out []uint64
+	switch {
+	case stride == 0:
+		// Same line; nothing to learn.
+	case stride == e.stride:
+		e.confirmed = true
+		next := line
+		for i := 0; i < p.Degree; i++ {
+			next = uint64(int64(next) + int64(stride))
+			out = append(out, next)
+		}
+	default:
+		e.stride = stride
+		e.confirmed = false
+	}
+	e.lastLine = line
+	if len(out) == 0 && miss && p.AggressiveNextLine {
+		out = append(out, line+1)
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package cache
+
+// VLDPPrefetcher implements a simplified Variable Length Delta
+// Prefetcher (Shevgoor et al., MICRO 2015), the "complex address
+// pattern" prefetcher the paper evaluates in Figure 19 (right).
+//
+// Structure, following the paper's design at reduced scale:
+//   - A Delta History Buffer (DHB) tracks, per recently-touched
+//     physical page, the last line offset and the last few deltas.
+//   - Three Delta Prediction Tables (DPTs) map delta histories of
+//     length 1, 2, and 3 to a predicted next delta; longer histories
+//     take precedence.
+//   - An Offset Prediction Table (OPT) predicts the first access of a
+//     fresh page from its first line offset.
+//
+// On each access the predictor walks the predicted delta chain up to
+// Degree steps and prefetches those lines. Linked-data accesses give
+// near-random deltas, so VLDP reduces some LLC misses (it occasionally
+// re-touches hot deltas) while generating a large volume of extra DRAM
+// traffic — the paper measured a 7.37% LLC miss-rate reduction fully
+// negated by 1.54x extra memory accesses.
+type VLDPPrefetcher struct {
+	// Degree is the maximum prefetch depth per trigger access.
+	Degree int
+
+	dhb  map[uint64]*dhbEntry
+	dpt1 map[int]dptEntry
+	dpt2 map[[2]int]dptEntry
+	dpt3 map[[3]int]dptEntry
+	opt  [64]dptEntry // first-offset -> predicted first delta
+}
+
+type dhbEntry struct {
+	lastOffset int
+	deltas     [3]int // most recent first
+	nDeltas    int
+	firstSeen  bool
+}
+
+type dptEntry struct {
+	delta int
+	conf  int8 // 2-bit confidence
+	valid bool
+}
+
+const (
+	dptMaxEntries = 1 << 12
+	confMax       = 3
+)
+
+// NewVLDPPrefetcher returns a VLDP with degree 4 (the paper's default
+// aggressiveness band).
+func NewVLDPPrefetcher() *VLDPPrefetcher {
+	return &VLDPPrefetcher{
+		Degree: 4,
+		dhb:    map[uint64]*dhbEntry{},
+		dpt1:   map[int]dptEntry{},
+		dpt2:   map[[2]int]dptEntry{},
+		dpt3:   map[[3]int]dptEntry{},
+	}
+}
+
+// Name implements Prefetcher.
+func (p *VLDPPrefetcher) Name() string { return "vldp" }
+
+// Reset implements Prefetcher.
+func (p *VLDPPrefetcher) Reset() {
+	p.dhb = map[uint64]*dhbEntry{}
+	p.dpt1 = map[int]dptEntry{}
+	p.dpt2 = map[[2]int]dptEntry{}
+	p.dpt3 = map[[3]int]dptEntry{}
+	p.opt = [64]dptEntry{}
+}
+
+func train1(t map[int]dptEntry, key, delta int) {
+	e := t[key]
+	if e.valid && e.delta == delta {
+		if e.conf < confMax {
+			e.conf++
+		}
+	} else if e.conf > 0 {
+		e.conf--
+	} else {
+		e = dptEntry{delta: delta, conf: 1, valid: true}
+	}
+	if len(t) > dptMaxEntries {
+		clear(t)
+	}
+	t[key] = e
+}
+
+func train2(t map[[2]int]dptEntry, key [2]int, delta int) {
+	e := t[key]
+	if e.valid && e.delta == delta {
+		if e.conf < confMax {
+			e.conf++
+		}
+	} else if e.conf > 0 {
+		e.conf--
+	} else {
+		e = dptEntry{delta: delta, conf: 1, valid: true}
+	}
+	if len(t) > dptMaxEntries {
+		clear(t)
+	}
+	t[key] = e
+}
+
+func train3(t map[[3]int]dptEntry, key [3]int, delta int) {
+	e := t[key]
+	if e.valid && e.delta == delta {
+		if e.conf < confMax {
+			e.conf++
+		}
+	} else if e.conf > 0 {
+		e.conf--
+	} else {
+		e = dptEntry{delta: delta, conf: 1, valid: true}
+	}
+	if len(t) > dptMaxEntries {
+		clear(t)
+	}
+	t[key] = e
+}
+
+// predict returns the highest-order DPT prediction for the delta
+// history in e, or ok=false.
+func (p *VLDPPrefetcher) predict(deltas [3]int, n int) (int, bool) {
+	if n >= 3 {
+		if e := p.dpt3[deltas]; e.valid && e.conf >= 1 {
+			return e.delta, true
+		}
+	}
+	if n >= 2 {
+		if e := p.dpt2[[2]int{deltas[0], deltas[1]}]; e.valid && e.conf >= 1 {
+			return e.delta, true
+		}
+	}
+	if n >= 1 {
+		if e := p.dpt1[deltas[0]]; e.valid && e.conf >= 1 {
+			return e.delta, true
+		}
+	}
+	return 0, false
+}
+
+// Observe implements Prefetcher.
+func (p *VLDPPrefetcher) Observe(line uint64, miss bool) []uint64 {
+	page := pageOf(line)
+	off := lineInPage(line)
+	e := p.dhb[page]
+	if e == nil {
+		if len(p.dhb) > 1024 {
+			clear(p.dhb)
+		}
+		e = &dhbEntry{lastOffset: off, firstSeen: true}
+		p.dhb[page] = e
+		// First touch of a page: use the OPT.
+		if o := p.opt[off]; o.valid && o.conf >= 1 {
+			t := off + o.delta
+			if t >= 0 && t < 64 {
+				return []uint64{page<<6 | uint64(t)}
+			}
+		}
+		return nil
+	}
+
+	delta := off - e.lastOffset
+	if delta == 0 {
+		return nil
+	}
+	// Train: the history that *preceded* this access predicts delta.
+	if e.nDeltas >= 1 {
+		train1(p.dpt1, e.deltas[0], delta)
+	}
+	if e.nDeltas >= 2 {
+		train2(p.dpt2, [2]int{e.deltas[0], e.deltas[1]}, delta)
+	}
+	if e.nDeltas >= 3 {
+		train3(p.dpt3, e.deltas, delta)
+	}
+	if e.firstSeen && e.nDeltas == 0 {
+		o := &p.opt[e.lastOffset]
+		if o.valid && o.delta == delta {
+			if o.conf < confMax {
+				o.conf++
+			}
+		} else if o.conf > 0 {
+			o.conf--
+		} else {
+			*o = dptEntry{delta: delta, conf: 1, valid: true}
+		}
+	}
+
+	// Shift delta into the history.
+	e.deltas[2], e.deltas[1], e.deltas[0] = e.deltas[1], e.deltas[0], delta
+	if e.nDeltas < 3 {
+		e.nDeltas++
+	}
+	e.lastOffset = off
+
+	// Predict a delta chain from the updated history.
+	var out []uint64
+	hist := e.deltas
+	n := e.nDeltas
+	cur := off
+	for i := 0; i < p.Degree; i++ {
+		d, ok := p.predict(hist, n)
+		if !ok {
+			break
+		}
+		cur += d
+		if cur < 0 || cur >= 64 {
+			break // VLDP does not cross page boundaries
+		}
+		out = append(out, page<<6|uint64(cur))
+		hist[2], hist[1], hist[0] = hist[1], hist[0], d
+		if n < 3 {
+			n++
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// Hardware cost accounting for Table I of the paper. The numbers are
+// computed from the component geometries rather than hard-coded, so
+// the table stays honest if a geometry constant changes.
+
+// HWComponentCost is one row of Table I.
+type HWComponentCost struct {
+	Component string
+	Bits      int
+	Detail    string
+}
+
+// HWCost returns the on-chip storage budget of the design, matching
+// Table I: CR_S, the invalid page buffer, the STB, and the insertion
+// buffer, totalling 6,694 bits (837 bytes).
+func HWCost() []HWComponentCost {
+	const (
+		vaBits     = 48
+		pageShift  = 12
+		vpnBits    = vaBits - pageShift // 36-bit virtual page number
+		pteBits    = 64
+		paBits     = 44
+		ipbEntries = 32
+		ipbCounter = 6
+		stbEntries = 32
+		insEntries = 8
+	)
+	return []HWComponentCost{
+		{
+			Component: "CR_S",
+			Bits:      64,
+			Detail:    "STLT address and size",
+		},
+		{
+			Component: "Invalid page buffer",
+			Bits:      ipbEntries*vpnBits + ipbCounter,
+			Detail:    fmt.Sprintf("%d entries, a %d bits counter", ipbEntries, ipbCounter),
+		},
+		{
+			Component: "STB",
+			Bits:      stbEntries * (64 + 64),
+			Detail:    fmt.Sprintf("%d entries", stbEntries),
+		},
+		{
+			Component: "Insertion buffer",
+			Bits:      insEntries * (64 + 64 + paBits),
+			Detail:    fmt.Sprintf("%d entries", insEntries),
+		},
+	}
+}
+
+// HWCostTotalBits sums the Table I rows (the paper reports 6,694 bits
+// = 837 bytes).
+func HWCostTotalBits() int {
+	total := 0
+	for _, c := range HWCost() {
+		total += c.Bits
+	}
+	return total
+}

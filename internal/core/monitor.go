@@ -1,0 +1,112 @@
+package core
+
+import "addrkv/internal/arch"
+
+// Monitor implements the runtime performance guarantee of Section
+// III-F ("Performance guarantee") and the flooding defence of Section
+// III-H: it periodically compares the per-operation cost with the STLT
+// enabled versus disabled and switches the fast path off when it stops
+// paying (e.g. under a hash-flooding attack every request would miss
+// the STLT), re-probing occasionally so it can switch back on.
+//
+// The monitor alternates measurement windows:
+//
+//	[on window][off window] -> decide -> [long run in winner mode] -> repeat
+type Monitor struct {
+	t *STLT
+
+	// WindowOps is the length of each probe window in operations.
+	WindowOps uint64
+	// WarmupOps lead the ON probe window without being counted, so a
+	// table that went cold while disabled can refill before being
+	// judged — otherwise one OFF decision would starve the STLT of
+	// inserts and latch it off forever.
+	WarmupOps uint64
+	// RunOps is the length of the committed phase before re-probing.
+	RunOps uint64
+	// Hysteresis is the minimum relative advantage (e.g. 0.02 = 2%)
+	// the ON configuration must show to stay enabled.
+	Hysteresis float64
+
+	phase      monitorPhase
+	opsInPhase uint64
+	cyclesOn   arch.Cycles
+	cyclesOff  arch.Cycles
+	opStart    arch.Cycles
+
+	// Decisions counts completed probe pairs; Disables counts
+	// decisions that turned the STLT off.
+	Decisions uint64
+	Disables  uint64
+}
+
+type monitorPhase uint8
+
+const (
+	phaseProbeOnWarm monitorPhase = iota
+	phaseProbeOn
+	phaseProbeOff
+	phaseRun
+)
+
+// NewMonitor attaches a monitor to t with sensible defaults.
+func NewMonitor(t *STLT) *Monitor {
+	return &Monitor{t: t, WindowOps: 512, WarmupOps: 1024, RunOps: 8192, Hysteresis: 0.0}
+}
+
+// BeginOp marks the start of one key-value operation.
+func (mo *Monitor) BeginOp() { mo.opStart = mo.t.m.Cycles() }
+
+// EndOp marks the end of the operation and advances the monitor state
+// machine. It must be paired with BeginOp.
+func (mo *Monitor) EndOp() {
+	spent := mo.t.m.Cycles() - mo.opStart
+	switch mo.phase {
+	case phaseProbeOnWarm:
+		mo.opsInPhase++
+		if mo.opsInPhase >= mo.WarmupOps {
+			mo.phase = phaseProbeOn
+			mo.opsInPhase = 0
+		}
+	case phaseProbeOn:
+		mo.cyclesOn += spent
+		mo.opsInPhase++
+		if mo.opsInPhase >= mo.WindowOps {
+			mo.phase = phaseProbeOff
+			mo.opsInPhase = 0
+			mo.t.Enabled = false
+		}
+	case phaseProbeOff:
+		mo.cyclesOff += spent
+		mo.opsInPhase++
+		if mo.opsInPhase >= mo.WindowOps {
+			mo.decide()
+		}
+	case phaseRun:
+		mo.opsInPhase++
+		if mo.opsInPhase >= mo.RunOps {
+			// Start a new probe cycle (warm the table first).
+			mo.phase = phaseProbeOnWarm
+			mo.opsInPhase = 0
+			mo.cyclesOn, mo.cyclesOff = 0, 0
+			mo.t.Enabled = true
+		}
+	}
+}
+
+func (mo *Monitor) decide() {
+	mo.Decisions++
+	// Enable iff the ON window was cheaper by at least Hysteresis.
+	on := float64(mo.cyclesOn)
+	off := float64(mo.cyclesOff)
+	enable := on <= off*(1-mo.Hysteresis)
+	if !enable {
+		mo.Disables++
+	}
+	mo.t.Enabled = enable
+	mo.phase = phaseRun
+	mo.opsInPhase = 0
+}
+
+// Enabled reports the current fast-path state.
+func (mo *Monitor) Enabled() bool { return mo.t.Enabled }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"addrkv/internal/arch"
+)
+
+// driveMonitor simulates a stream of operations where the fast path
+// either pays off (hit saves cycles) or is pure overhead (flooding:
+// every lookup misses).
+func driveMonitor(t *testing.T, helpful bool, ops int) (*Monitor, *STLT) {
+	t.Helper()
+	o, m := newOSM(t)
+	st := allocSTLT(t, o, 256, 4)
+	mo := NewMonitor(st)
+	mo.WindowOps = 64
+	mo.WarmupOps = 64
+	mo.RunOps = 512
+
+	va := m.AS.Alloc(64)
+	st.InsertSTLT(1, va)
+
+	for i := 0; i < ops; i++ {
+		mo.BeginOp()
+		var hit arch.Addr
+		if helpful {
+			hit = st.LoadVA(1) // hits when enabled
+		} else {
+			hit = st.LoadVA(uint64(2 + i)) // flooding: never hits
+		}
+		if hit != 0 {
+			// Fast path: cheap.
+			m.Compute(50, arch.CatData)
+		} else {
+			// Slow path: expensive; when the STLT is enabled we also
+			// paid the probe above.
+			m.Compute(400, arch.CatTraverse)
+		}
+		mo.EndOp()
+	}
+	return mo, st
+}
+
+func TestMonitorKeepsHelpfulSTLTOn(t *testing.T) {
+	mo, st := driveMonitor(t, true, 4000)
+	if mo.Decisions == 0 {
+		t.Fatal("monitor never decided")
+	}
+	if !st.Enabled {
+		t.Fatal("monitor disabled a profitable STLT")
+	}
+	if mo.Disables != 0 {
+		t.Fatalf("Disables = %d on a profitable workload", mo.Disables)
+	}
+}
+
+func TestMonitorDisablesUnderFlooding(t *testing.T) {
+	mo, st := driveMonitor(t, false, 2000)
+	if mo.Decisions == 0 {
+		t.Fatal("monitor never decided")
+	}
+	if st.Enabled {
+		t.Fatal("monitor left the STLT on under hash flooding")
+	}
+	if mo.Disables == 0 {
+		t.Fatal("no disable decisions recorded")
+	}
+}
+
+func TestMonitorReprobes(t *testing.T) {
+	// After a disable decision the monitor must re-enable the table
+	// for the next probe window (adaptivity).
+	o, m := newOSM(t)
+	st := allocSTLT(t, o, 256, 4)
+	mo := NewMonitor(st)
+	mo.WindowOps = 8
+	mo.WarmupOps = 8
+	mo.RunOps = 16
+
+	va := m.AS.Alloc(64)
+	st.InsertSTLT(1, va)
+
+	sawOffThenOn := false
+	wasOff := false
+	for i := 0; i < 2000; i++ {
+		mo.BeginOp()
+		if st.LoadVA(uint64(100+i)) == 0 { // always miss
+			m.Compute(100, arch.CatTraverse)
+		}
+		mo.EndOp()
+		if !st.Enabled {
+			wasOff = true
+		} else if wasOff {
+			sawOffThenOn = true
+		}
+	}
+	if !sawOffThenOn {
+		t.Fatal("monitor never re-probed after disabling")
+	}
+}

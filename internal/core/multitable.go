@@ -1,0 +1,28 @@
+package core
+
+// Multi-table support (Section III-F, Figure 10): an application has
+// at most one STLT, so several indexing structures share it. To
+// prevent key aliasing between structures, the program splices a small
+// per-structure ID into the low bits of the sub-integer before using
+// the integer with loadVA/insertSTLT, making the integer globally
+// unique across structures.
+
+// TableIDBits is the default width reserved for structure IDs when
+// sharing an STLT (up to 4 structures). Applications with more
+// structures can pass a wider width to SpliceTableID.
+const TableIDBits = 2
+
+// SpliceTableID replaces the low idBits bits of integer's sub-integer
+// with id, implementing the integer manipulation of Figure 10.
+// It panics if id does not fit in idBits or idBits exceeds the
+// sub-integer width.
+func SpliceTableID(integer uint64, id, idBits int) uint64 {
+	if idBits <= 0 || idBits > SubIntegerBits {
+		panic("core: table ID width out of range")
+	}
+	if id < 0 || id >= 1<<idBits {
+		panic("core: table ID does not fit in the given width")
+	}
+	mask := uint64(1<<idBits - 1)
+	return integer&^mask | uint64(id)
+}

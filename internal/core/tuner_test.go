@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"addrkv/internal/arch"
+)
+
+func TestTunerGrowsUnderConflictMisses(t *testing.T) {
+	o, m := newOSM(t)
+	st := allocSTLT(t, o, 4096, 4)
+	tu := NewTuner(o)
+	tu.EvalOps = 2048
+	tu.MinRows = 1024
+
+	// Far more hot keys than rows: conflict misses dominate.
+	vas := make([]arch.Addr, 40000)
+	for i := range vas {
+		vas[i] = m.AS.Alloc(64)
+	}
+	before := st.Rows()
+	for round := 0; round < 4; round++ {
+		for i, va := range vas {
+			integer := uint64(i) * 0x9E3779B97F4A7C15
+			if st.LoadVA(integer) == 0 {
+				st.InsertSTLT(integer, va)
+			}
+			tu.Tick()
+		}
+	}
+	if tu.Grows == 0 {
+		t.Fatal("tuner never grew a thrashing table")
+	}
+	if st.Rows() <= before {
+		t.Fatalf("rows %d not grown from %d", st.Rows(), before)
+	}
+}
+
+func TestTunerShrinksOverProvisionedTable(t *testing.T) {
+	o, m := newOSM(t)
+	st := allocSTLT(t, o, 1<<16, 4)
+	tu := NewTuner(o)
+	tu.EvalOps = 2048
+	tu.MinRows = 1024
+
+	// A handful of hot keys in a huge table: miss ratio ~0 after the
+	// first touches.
+	vas := make([]arch.Addr, 64)
+	for i := range vas {
+		vas[i] = m.AS.Alloc(64)
+		st.InsertSTLT(uint64(i)*0x9E3779B97F4A7C15, vas[i])
+	}
+	before := st.Rows()
+	for round := 0; round < 200; round++ {
+		for i := range vas {
+			st.LoadVA(uint64(i) * 0x9E3779B97F4A7C15)
+			tu.Tick()
+		}
+		// Re-insert after any resize (resize clears the table).
+		for i := range vas {
+			if st.LoadVA(uint64(i)*0x9E3779B97F4A7C15) == 0 {
+				st.InsertSTLT(uint64(i)*0x9E3779B97F4A7C15, vas[i])
+			}
+		}
+	}
+	if tu.Shrinks == 0 {
+		t.Fatal("tuner never shrank an over-provisioned table")
+	}
+	if st.Rows() >= before {
+		t.Fatalf("rows %d not shrunk from %d", st.Rows(), before)
+	}
+	if st.Rows() < tu.MinRows {
+		t.Fatalf("rows %d below MinRows %d", st.Rows(), tu.MinRows)
+	}
+}
+
+func TestTunerRespectsBounds(t *testing.T) {
+	o, _ := newOSM(t)
+	st := allocSTLT(t, o, 4096, 4)
+	tu := NewTuner(o)
+	if tu.MaxRows != 4096*64 {
+		t.Fatalf("MaxRows default = %d", tu.MaxRows)
+	}
+	if st.Rows() != 4096 {
+		t.Fatal("setup")
+	}
+	// Disabled STLT: tuner must stay inert.
+	st.Enabled = false
+	tu.lastLookups = 0
+	st.Stats.Lookups = 1 << 20
+	if tu.Tick() {
+		t.Fatal("tuner acted on a disabled STLT")
+	}
+}

@@ -1,0 +1,77 @@
+package cpu
+
+// IPB is the invalid page buffer (Section III-D1): a 32-entry,
+// fully-associative, FIFO content-addressable buffer of recently
+// invalidated virtual page numbers. It provides *lazy* coherence
+// between the page table and the STLT: loadVA checks its result
+// against the IPB and returns 0 (miss) for pages whose translation was
+// invalidated, so the STLT itself never has to be searched on the page
+// invalidation path.
+type IPB struct {
+	vpns  []uint64
+	valid []bool
+	head  int
+	count int
+
+	// Inserts and OverflowClears count kernel interactions with the
+	// buffer (instructions 1 and 2 of Section III-D1).
+	Inserts        uint64
+	OverflowClears uint64
+}
+
+// NewIPB builds an IPB with n entries (the paper uses 32).
+func NewIPB(n int) *IPB {
+	return &IPB{vpns: make([]uint64, n), valid: make([]bool, n)}
+}
+
+// Full reports whether the buffer has no free slot (instruction 3:
+// "check whether the IPB is full or not").
+func (b *IPB) Full() bool { return b.count == len(b.vpns) }
+
+// Insert records an invalidated virtual page number (instruction 1).
+// It panics if the buffer is full; the kernel must check Full first
+// and clear/scrub instead.
+func (b *IPB) Insert(vpn uint64) {
+	if b.Full() {
+		panic("cpu: IPB insert while full; kernel must clear first")
+	}
+	// FIFO placement into the next slot.
+	for b.valid[b.head] {
+		b.head = (b.head + 1) % len(b.vpns)
+	}
+	b.vpns[b.head] = vpn
+	b.valid[b.head] = true
+	b.head = (b.head + 1) % len(b.vpns)
+	b.count++
+	b.Inserts++
+}
+
+// Contains reports whether vpn is in the buffer (the CAM match
+// performed by loadVA).
+func (b *IPB) Contains(vpn uint64) bool {
+	for i := range b.vpns {
+		if b.valid[i] && b.vpns[i] == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// Clear empties the buffer (instruction 2).
+func (b *IPB) Clear() {
+	for i := range b.valid {
+		b.valid[i] = false
+	}
+	b.head = 0
+	b.count = 0
+	b.OverflowClears++
+}
+
+// Len returns the capacity.
+func (b *IPB) Len() int { return len(b.vpns) }
+
+// Count returns the number of valid entries.
+func (b *IPB) Count() int { return b.count }
+
+// ResetStats clears counters.
+func (b *IPB) ResetStats() { b.Inserts, b.OverflowClears = 0, 0 }

@@ -1,0 +1,276 @@
+package cpu
+
+import (
+	"testing"
+
+	"addrkv/internal/arch"
+	"addrkv/internal/tlb"
+	"addrkv/internal/vm"
+)
+
+func newM() *Machine { return New(arch.DefaultMachineParams()) }
+
+func TestReadWriteFunctionalAgreement(t *testing.T) {
+	m := newM()
+	va := m.AS.Alloc(64)
+	m.Write(va, []byte("payload"), arch.KindRecord, arch.CatData)
+	buf := make([]byte, 7)
+	m.Read(va, buf, arch.KindRecord, arch.CatData)
+	if string(buf) != "payload" {
+		t.Fatalf("read back %q", buf)
+	}
+}
+
+func TestTranslateChargesWalkThenTLBHit(t *testing.T) {
+	m := newM()
+	va := m.AS.Alloc(8)
+
+	before := m.Cycles()
+	m.ReadU64(va, arch.KindOther, arch.CatOther)
+	coldCost := m.Cycles() - before
+	st := m.Stats()
+	if st.PageWalks != 1 {
+		t.Fatalf("cold access walks = %d, want 1", st.PageWalks)
+	}
+	if st.TLBMisses != 1 {
+		t.Fatalf("TLB misses = %d", st.TLBMisses)
+	}
+
+	before = m.Cycles()
+	m.ReadU64(va, arch.KindOther, arch.CatOther)
+	warmCost := m.Cycles() - before
+	if m.Stats().PageWalks != 1 {
+		t.Fatal("warm access walked again")
+	}
+	if warmCost >= coldCost {
+		t.Fatalf("warm (%d) not cheaper than cold (%d)", warmCost, coldCost)
+	}
+	// Warm: TLB hit (1) + L1 hit (4).
+	if warmCost != m.Params.L1TLBLatency+m.Params.L1Latency {
+		t.Fatalf("warm cost = %d", warmCost)
+	}
+}
+
+func TestTranslationChargedToTranslateCategory(t *testing.T) {
+	m := newM()
+	va := m.AS.Alloc(8)
+	m.ReadU64(va, arch.KindRecord, arch.CatData)
+	st := m.Stats()
+	if st.ByCat[arch.CatTranslate] == 0 {
+		t.Fatal("no cycles attributed to translation")
+	}
+	if st.ByCat[arch.CatData] == 0 {
+		t.Fatal("no cycles attributed to data")
+	}
+}
+
+func TestSTBBackupSkipsWalk(t *testing.T) {
+	m := newM()
+	va := m.AS.Alloc(8)
+	pte, _ := m.AS.PT.Lookup(va)
+
+	// Prime the STB (as loadVA would), then force a TLB miss by
+	// flushing the TLBs.
+	m.STB.Insert(va.Page(), pte)
+	m.TLBs.Flush()
+
+	m.ReadU64(va, arch.KindOther, arch.CatOther)
+	st := m.Stats()
+	if st.PageWalks != 0 {
+		t.Fatalf("walks = %d despite STB entry", st.PageWalks)
+	}
+	if st.STBHits != 1 {
+		t.Fatalf("STB hits = %d", st.STBHits)
+	}
+	// The STB hit must refill the TLB.
+	if !m.TLBs.L1.Probe(va.Page()) {
+		t.Fatal("TLB not refilled from STB")
+	}
+}
+
+func TestFastModeChargesNothing(t *testing.T) {
+	m := newM()
+	va := m.AS.Alloc(8)
+	m.Fast = true
+	m.WriteU64(va, 7, arch.KindOther, arch.CatOther)
+	m.ReadU64(va, arch.KindOther, arch.CatOther)
+	m.Compute(100, arch.CatOther)
+	if m.Cycles() != 0 {
+		t.Fatalf("fast mode accumulated %d cycles", m.Cycles())
+	}
+	if m.AS.ReadU64(va) != 7 {
+		t.Fatal("fast mode lost functional write")
+	}
+}
+
+func TestPageSpanningAccess(t *testing.T) {
+	m := newM()
+	// Allocate two pages and access across the boundary.
+	va := m.AS.Alloc(2 * arch.PageSize)
+	buf := make([]byte, 100)
+	m.Read(va+arch.PageSize-50, buf, arch.KindOther, arch.CatOther)
+	if m.Stats().TLBLookups < 2 {
+		t.Fatal("page-spanning access translated only once")
+	}
+}
+
+func TestResetStatsPreservesWarmth(t *testing.T) {
+	m := newM()
+	va := m.AS.Alloc(8)
+	m.ReadU64(va, arch.KindOther, arch.CatOther)
+	m.ResetStats()
+	if m.Cycles() != 0 || m.Stats().PageWalks != 0 {
+		t.Fatal("stats survived reset")
+	}
+	before := m.Cycles()
+	m.ReadU64(va, arch.KindOther, arch.CatOther)
+	if cost := m.Cycles() - before; cost != m.Params.L1TLBLatency+m.Params.L1Latency {
+		t.Fatalf("warmth lost: cost=%d", cost)
+	}
+}
+
+func TestUnmappedAccessPanics(t *testing.T) {
+	m := newM()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unmapped access")
+		}
+	}()
+	m.ReadU64(0xdead0000, arch.KindOther, arch.CatOther)
+}
+
+func TestSTB(t *testing.T) {
+	s := NewSTB(4)
+	for i := uint64(0); i < 4; i++ {
+		s.Insert(i, vm.MakePTE(i+1, true))
+	}
+	for i := uint64(0); i < 4; i++ {
+		if pte, ok := s.Lookup(i); !ok || pte.Frame() != i+1 {
+			t.Fatalf("lookup %d failed", i)
+		}
+	}
+	// FIFO overwrite.
+	s.Insert(9, vm.MakePTE(10, true))
+	if _, ok := s.Lookup(0); ok {
+		t.Fatal("oldest entry survived FIFO overwrite")
+	}
+	s.InvalidatePage(9)
+	if _, ok := s.Lookup(9); ok {
+		t.Fatal("entry survived invalidation")
+	}
+	s.Insert(1, vm.MakePTE(1, true))
+	s.Clear()
+	if _, ok := s.Lookup(1); ok {
+		t.Fatal("entry survived Clear")
+	}
+}
+
+func TestIPB(t *testing.T) {
+	b := NewIPB(3)
+	if b.Full() {
+		t.Fatal("empty IPB claims full")
+	}
+	b.Insert(1)
+	b.Insert(2)
+	b.Insert(3)
+	if !b.Full() || b.Count() != 3 {
+		t.Fatalf("full=%v count=%d", b.Full(), b.Count())
+	}
+	if !b.Contains(2) || b.Contains(9) {
+		t.Fatal("CAM match wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("insert into full IPB did not panic")
+			}
+		}()
+		b.Insert(4)
+	}()
+	b.Clear()
+	if b.Full() || b.Contains(1) || b.Count() != 0 {
+		t.Fatal("Clear incomplete")
+	}
+	if b.OverflowClears != 1 {
+		t.Fatalf("OverflowClears = %d", b.OverflowClears)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	m := newM()
+	va := m.AS.Alloc(8)
+	m.ReadU64(va, arch.KindOther, arch.CatOther)
+	base := m.Stats()
+	m.ReadU64(va, arch.KindOther, arch.CatOther)
+	d := m.Stats().Sub(base)
+	if d.Loads != 1 {
+		t.Fatalf("delta loads = %d", d.Loads)
+	}
+	if d.Cycles == 0 {
+		t.Fatal("delta cycles zero")
+	}
+}
+
+func TestTouchChargesWithoutData(t *testing.T) {
+	m := newM()
+	va := m.AS.Alloc(256)
+	before := m.Stats().Loads
+	m.Touch(va, 256, false, arch.KindRecord, arch.CatData)
+	if m.Stats().Loads != before+1 {
+		t.Fatal("Touch not counted as a load")
+	}
+	// 4 data lines; the page walk's PTE reads are attributed to
+	// KindPageTable separately.
+	if got := m.Caches.Stats(arch.KindRecord).Accesses; got != 4 {
+		t.Fatalf("256B touch accessed %d record lines, want 4", got)
+	}
+}
+
+func TestTLBPrefetcherInstallsPrediction(t *testing.T) {
+	m := newM()
+	m.TLBPrefetcher = tlb.NewDistancePrefetcher()
+	// Map a long run of pages and touch them at a constant page
+	// stride so the distance predictor can train, flushing TLBs in
+	// between so every touch is a full miss.
+	base := m.AS.Alloc(64 * arch.PageSize)
+	for i := 0; i < 16; i++ {
+		m.ReadU64(base+arch.Addr(i*2*arch.PageSize), arch.KindOther, arch.CatOther)
+		m.TLBs.Flush()
+	}
+	if m.TLBPrefetcher.Issued == 0 {
+		t.Fatal("distance prefetcher never issued on a strided miss stream")
+	}
+	if m.Stats().TLBPrefetchIssued == 0 {
+		t.Fatal("stats do not expose TLB prefetch issues")
+	}
+}
+
+func TestWriteSpanningPages(t *testing.T) {
+	m := newM()
+	va := m.AS.Alloc(2 * arch.PageSize)
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	m.Write(va+arch.PageSize-100, data, arch.KindOther, arch.CatOther)
+	got := make([]byte, 300)
+	m.AS.ReadAt(va+arch.PageSize-100, got)
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatal("page-spanning write corrupted data")
+		}
+	}
+	if m.Stats().Stores != 1 {
+		t.Fatalf("stores = %d", m.Stats().Stores)
+	}
+}
+
+func TestU64AtPageBoundary(t *testing.T) {
+	m := newM()
+	va := m.AS.Alloc(2 * arch.PageSize)
+	edge := va + arch.PageSize - 4 // straddles the page boundary
+	m.WriteU64(edge, 0x1122334455667788, arch.KindOther, arch.CatOther)
+	if got := m.ReadU64(edge, arch.KindOther, arch.CatOther); got != 0x1122334455667788 {
+		t.Fatalf("boundary U64 = %#x", got)
+	}
+}

@@ -1,0 +1,69 @@
+package cpu
+
+import "addrkv/internal/vm"
+
+// STB is the system translation buffer (Section III-D1): a small
+// on-chip fully-associative buffer of VA->PTE pairs filled by loadVA.
+// On a TLB miss the MMU consults the STB before starting a page walk;
+// a hit refills the TLB and skips the walk. Replacement is FIFO and
+// there are no evictions other than FIFO overwrite — the buffer is
+// sized like the load buffer (32 entries) so an entry inserted by
+// loadVA survives until the dependent record access consumes it.
+type STB struct {
+	vpns  []uint64
+	ptes  []vm.PTE
+	valid []bool
+	head  int
+
+	Hits    uint64
+	Lookups uint64
+}
+
+// NewSTB builds an STB with n entries.
+func NewSTB(n int) *STB {
+	return &STB{vpns: make([]uint64, n), ptes: make([]vm.PTE, n), valid: make([]bool, n)}
+}
+
+// Insert records a VA->PTE translation (FIFO replacement).
+func (s *STB) Insert(vpn uint64, pte vm.PTE) {
+	s.vpns[s.head] = vpn
+	s.ptes[s.head] = pte
+	s.valid[s.head] = true
+	s.head = (s.head + 1) % len(s.vpns)
+}
+
+// Lookup searches for vpn (fully associative).
+func (s *STB) Lookup(vpn uint64) (vm.PTE, bool) {
+	s.Lookups++
+	for i := range s.vpns {
+		if s.valid[i] && s.vpns[i] == vpn {
+			s.Hits++
+			return s.ptes[i], true
+		}
+	}
+	return 0, false
+}
+
+// InvalidatePage drops any entry for vpn (coherence on page
+// invalidation).
+func (s *STB) InvalidatePage(vpn uint64) {
+	for i := range s.vpns {
+		if s.valid[i] && s.vpns[i] == vpn {
+			s.valid[i] = false
+		}
+	}
+}
+
+// Clear empties the buffer (context switch).
+func (s *STB) Clear() {
+	for i := range s.valid {
+		s.valid[i] = false
+	}
+	s.head = 0
+}
+
+// Len returns the capacity of the buffer.
+func (s *STB) Len() int { return len(s.vpns) }
+
+// ResetStats clears hit/lookup counters.
+func (s *STB) ResetStats() { s.Hits, s.Lookups = 0, 0 }

@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps harness tests fast; shape targets are not asserted
+// at this scale (see EXPERIMENTS.md for calibrated runs), only that
+// every experiment runs end-to-end and produces well-formed tables.
+func tinyScale() Scale {
+	return Scale{Keys: 12_000, WarmFactor: 1.5, MeasureOps: 4_000, Quick: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig18", "fig19l", "fig19r", "tab1", "tab5",
+		"ext-hwhash", "ext-hugepage", "ext-skiplist", "ext-latency",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+	for _, e := range All() {
+		if e.Title == "" || e.Shape == "" || e.Run == nil {
+			t.Errorf("experiment %s incompletely described", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig11"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "a", "bb")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("xyz", 12345.0)
+	out := tb.Render()
+	for _, want := range []string{"demo", "a", "bb", "2.500", "xyz", "12345"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "xyz,12345") {
+		t.Errorf("csv row wrong: %q", csv)
+	}
+}
+
+func TestStltRowsForScaling(t *testing.T) {
+	// At the paper's own scale the label must round-trip (up to the
+	// power-of-two set rounding).
+	rows := stltRowsFor(512, 10_000_000, 4)
+	gotMB := float64(rows) * 16 / (1 << 20)
+	if gotMB < 512 || gotMB > 1024 {
+		t.Fatalf("512MB label -> %f MB", gotMB)
+	}
+	// Monotone in label.
+	prev := 0
+	for _, mb := range paperSizeLabelsMB {
+		r := stltRowsFor(mb, 300_000, 4)
+		if r < prev {
+			t.Fatalf("rows not monotone at %dMB", mb)
+		}
+		prev = r
+	}
+}
+
+func TestTab1RunsExact(t *testing.T) {
+	e, _ := ByID("tab1")
+	tables := e.Run(tinyScale())
+	if len(tables) == 0 {
+		t.Fatal("no tables")
+	}
+	if !strings.Contains(tables[0].Render(), "6694") {
+		t.Fatal("hardware total missing")
+	}
+}
+
+func TestFig1Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	ResetCache()
+	e, _ := ByID("fig1")
+	tables := e.Run(tinyScale())
+	out := tables[0].Render()
+	if !strings.Contains(out, "key hashing") {
+		t.Fatalf("breakdown malformed:\n%s", out)
+	}
+}
+
+func TestFig18Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	ResetCache()
+	e, _ := ByID("fig18")
+	tables := e.Run(tinyScale())
+	out := tables[0].Render()
+	for _, h := range []string{"sipHash", "murmurHash", "xxh64", "djb2", "xxh3"} {
+		if !strings.Contains(out, h) {
+			t.Fatalf("hash %s missing:\n%s", h, out)
+		}
+	}
+}
+
+func TestFig19LeftRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	ResetCache()
+	e, _ := ByID("fig19l")
+	tables := e.Run(tinyScale())
+	if len(tables[0].Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestRunCacheMemoizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	ResetCache()
+	sc := tinyScale()
+	sp := spec{}
+	r1 := run(sc, sp)
+	r2 := run(sc, sp)
+	if r1.CPO != r2.CPO {
+		t.Fatal("memoized run differs")
+	}
+}

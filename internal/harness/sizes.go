@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"fmt"
+
+	"addrkv/internal/core"
+	"addrkv/internal/slb"
+)
+
+// The paper sweeps STLT space from 16 MB to 1 GB at its 10M-key scale
+// (Figures 14-16). At a reduced key count we scale the table
+// proportionally and keep the paper's MB labels.
+var paperSizeLabelsMB = []int{16, 32, 64, 128, 256, 512, 1024}
+
+func sizeLabels(sc Scale) []int {
+	if sc.Quick {
+		return []int{16, 64, 256, 1024}
+	}
+	return paperSizeLabelsMB
+}
+
+// stltRowsFor returns the STLT row count at our key scale equivalent
+// to the paper's mbLabel at 10M keys, rounded up so the set count is a
+// power of two.
+func stltRowsFor(mbLabel, keys, ways int) int {
+	rowsAt10M := float64(mbLabel) * (1 << 20) / core.RowSize
+	targetSets := rowsAt10M * float64(keys) / 1e7 / float64(ways)
+	sets := 1
+	for float64(sets) < targetSets {
+		sets <<= 1
+	}
+	return sets * ways
+}
+
+// slbEntriesForSpace returns the SLB entry count whose *total* space
+// (cache + log tables) equals the same scaled byte budget — the paper
+// compares the two at equal space overhead in Figure 14, noting SLB
+// needs ~2.5x the space per entry.
+func slbEntriesForSpace(mbLabel, keys int) int {
+	bytes := float64(mbLabel) * (1 << 20) * float64(keys) / 1e7
+	n := int(bytes / slb.BytesPerEntry)
+	if n < slb.Ways*2 {
+		n = slb.Ways * 2
+	}
+	return n
+}
+
+func mbLabelString(mb int) string {
+	if mb >= 1024 {
+		return fmt.Sprintf("%dGB", mb/1024)
+	}
+	return fmt.Sprintf("%dMB", mb)
+}

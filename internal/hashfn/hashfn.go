@@ -1,0 +1,79 @@
+// Package hashfn provides the five hash functions evaluated in the
+// paper (Table IV) — SipHash-2-4, MurmurHash64A, xxh64, an xxh3-style
+// variant, and djb2 — implemented from scratch, together with a
+// cycle-cost model for each.
+//
+// Functional behaviour (the actual 64-bit hash values) drives the
+// conflict behaviour of the KV hash tables and the STLT, so the
+// distribution quality differences the paper discusses (Figure 18:
+// sipHash has the lowest STLT miss rate, murmurHash the highest) emerge
+// from the real functions. Timing is charged from the cost model,
+// which follows the paper's methodology of measuring a software
+// implementation and using that latency ("We derive the associated
+// latency by implementing the function in software").
+package hashfn
+
+import (
+	"fmt"
+
+	"addrkv/internal/arch"
+)
+
+// Func couples a hash implementation with its cost model.
+type Func struct {
+	// Name is the identifier used in the paper's Table IV.
+	Name string
+	// Hash computes a 64-bit hash of key with the given seed.
+	Hash func(key []byte, seed uint64) uint64
+	// Cost returns the compute latency of hashing an n-byte key.
+	Cost func(n int) arch.Cycles
+}
+
+// linearCost builds a setup+per-byte cycle model.
+func linearCost(setup, perByteNum, perByteDen int) func(int) arch.Cycles {
+	return func(n int) arch.Cycles {
+		return arch.Cycles(setup + n*perByteNum/perByteDen)
+	}
+}
+
+// The cost constants are calibrated from userspace measurements of the
+// reference C implementations on short (24-byte) keys, expressed at
+// 2.66 GHz. They preserve the ordering the paper relies on: sipHash is
+// several times more expensive than the non-cryptographic functions,
+// djb2 pays a byte-at-a-time loop, and xxh3 is the cheapest.
+var (
+	// SipHash is SipHash-2-4, the default hash of Redis, Python and
+	// Rust (flood-attack resistant).
+	SipHash = Func{Name: "sipHash", Hash: sipHash24, Cost: linearCost(48, 2, 1)}
+
+	// Murmur64A is MurmurHash64A, the default hash of the four
+	// kernel benchmarks in the paper.
+	Murmur64A = Func{Name: "murmurHash", Hash: murmur64a, Cost: linearCost(12, 1, 2)}
+
+	// XXH64 is the 64-bit xxHash.
+	XXH64 = Func{Name: "xxh64", Hash: xxh64, Cost: linearCost(10, 2, 5)}
+
+	// XXH3 is an xxh3-style short-input variant of xxh64 (the
+	// paper's default STLT fast-path hash). This implementation is a
+	// documented simplification of upstream XXH3: it keeps the
+	// one-shot wide multiply-fold structure that makes XXH3 fast on
+	// short keys but is not bit-compatible with the reference.
+	XXH3 = Func{Name: "xxh3", Hash: xxh3, Cost: linearCost(8, 1, 4)}
+
+	// DJB2 is Bernstein's string hash (hash*33 + c), widened to 64
+	// bits.
+	DJB2 = Func{Name: "djb2", Hash: djb2, Cost: linearCost(2, 1, 1)}
+)
+
+// All lists every provided function, in the paper's Table IV order.
+func All() []Func { return []Func{SipHash, Murmur64A, XXH64, DJB2, XXH3} }
+
+// ByName looks a function up by its Table IV name.
+func ByName(name string) (Func, error) {
+	for _, f := range All() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Func{}, fmt.Errorf("hashfn: unknown hash function %q", name)
+}

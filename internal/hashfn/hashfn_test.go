@@ -1,0 +1,176 @@
+package hashfn
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestXXH64KnownVectors(t *testing.T) {
+	// Canonical XXH64 test vectors (seed 0).
+	cases := map[string]uint64{
+		"":    0xEF46DB3751D8E999,
+		"a":   0xD24EC4F1A98C6E5B,
+		"abc": 0x44BC2CF5AD770999,
+	}
+	for in, want := range cases {
+		if got := xxh64([]byte(in), 0); got != want {
+			t.Errorf("xxh64(%q) = %#x, want %#x", in, got, want)
+		}
+	}
+}
+
+func TestXXH64LongInput(t *testing.T) {
+	// Exercise the 32-byte-stripe path and confirm determinism.
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	h1 := xxh64(data, 1)
+	h2 := xxh64(data, 1)
+	h3 := xxh64(data, 2)
+	if h1 != h2 {
+		t.Fatal("xxh64 not deterministic")
+	}
+	if h1 == h3 {
+		t.Fatal("xxh64 ignores seed")
+	}
+}
+
+func TestAllFunctionsBasicProperties(t *testing.T) {
+	for _, f := range All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			// Deterministic.
+			k := []byte("user00000000000000000042")
+			if f.Hash(k, 7) != f.Hash(k, 7) {
+				t.Fatal("not deterministic")
+			}
+			// Seed-sensitive (djb2 only adds the seed, but output
+			// must still differ).
+			if f.Hash(k, 1) == f.Hash(k, 2) {
+				t.Fatal("seed has no effect")
+			}
+			// Length-sensitive.
+			if f.Hash(k, 7) == f.Hash(k[:23], 7) {
+				t.Fatal("prefix collision on trivial truncation")
+			}
+			// Cost model: positive and monotonically non-decreasing.
+			last := f.Cost(0)
+			for n := 1; n <= 128; n *= 2 {
+				c := f.Cost(n)
+				if c < last {
+					t.Fatalf("cost not monotonic at %d", n)
+				}
+				last = c
+			}
+		})
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// The orderings the paper relies on (24-byte keys).
+	sip := SipHash.Cost(24)
+	mur := Murmur64A.Cost(24)
+	x3 := XXH3.Cost(24)
+	if !(sip > 2*mur) {
+		t.Errorf("sipHash (%d) should clearly exceed murmur (%d)", sip, mur)
+	}
+	if !(x3 <= mur) {
+		t.Errorf("xxh3 (%d) should be the cheapest mixer (murmur %d)", x3, mur)
+	}
+}
+
+// TestAvalanche checks that flipping one input bit flips roughly half
+// of the output bits for the mixing hashes (not djb2, which is a weak
+// multiplicative hash by design — that weakness is part of Figure 18's
+// story).
+func TestAvalanche(t *testing.T) {
+	for _, f := range []Func{SipHash, Murmur64A, XXH64, XXH3} {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			base := []byte("user00000000000000001234")
+			var totalFlips, samples int
+			for bit := 0; bit < len(base)*8; bit += 7 {
+				mod := append([]byte(nil), base...)
+				mod[bit/8] ^= 1 << (bit % 8)
+				d := f.Hash(base, 9) ^ f.Hash(mod, 9)
+				totalFlips += bits.OnesCount64(d)
+				samples++
+			}
+			mean := float64(totalFlips) / float64(samples)
+			if mean < 24 || mean > 40 {
+				t.Errorf("avalanche mean %.1f bits, want ~32", mean)
+			}
+		})
+	}
+}
+
+// TestDistributionBuckets verifies no catastrophic bucket skew for the
+// structured YCSB-style key population.
+func TestDistributionBuckets(t *testing.T) {
+	const nKeys = 1 << 14
+	const buckets = 1 << 8
+	for _, f := range All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			counts := make([]int, buckets)
+			for i := 0; i < nKeys; i++ {
+				k := []byte(fmt.Sprintf("user%020d", i*2654435761))
+				counts[f.Hash(k, 3)&(buckets-1)]++
+			}
+			mean := nKeys / buckets
+			// chi-square-ish bound: allow generous slack; djb2 is the
+			// worst but even it should not collapse onto few buckets.
+			maxAllowed := mean * 4
+			for b, c := range counts {
+				if c > maxAllowed {
+					t.Fatalf("bucket %d holds %d keys (mean %d)", b, c, mean)
+				}
+			}
+		})
+	}
+}
+
+func TestSipHashBlockBoundaries(t *testing.T) {
+	// Lengths around the 8-byte block boundary must all differ.
+	seen := map[uint64]int{}
+	for n := 0; n <= 32; n++ {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i + 1)
+		}
+		h := sipHash24(data, 11)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("lengths %d and %d collide", prev, n)
+		}
+		seen[h] = n
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, f := range All() {
+		got, err := ByName(f.Name)
+		if err != nil || got.Name != f.Name {
+			t.Errorf("ByName(%q) failed: %v", f.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown name")
+	}
+}
+
+func TestHashQuickDeterminism(t *testing.T) {
+	f := func(data []byte, seed uint64) bool {
+		for _, fn := range All() {
+			if fn.Hash(data, seed) != fn.Hash(data, seed) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package hashfn
+
+// murmur64a is Austin Appleby's MurmurHash64A, the 64-bit Murmur2
+// variant used as the default hash by the paper's four kernel
+// benchmarks (and, historically, by pre-SipHash Redis).
+func murmur64a(data []byte, seed uint64) uint64 {
+	const m = 0xc6a4a7935bd1e995
+	const r = 47
+
+	h := seed ^ uint64(len(data))*m
+
+	n := len(data)
+	end := n - n%8
+	for i := 0; i < end; i += 8 {
+		k := le64(data[i:])
+		k *= m
+		k ^= k >> r
+		k *= m
+		h ^= k
+		h *= m
+	}
+
+	tail := data[end:]
+	switch len(tail) & 7 {
+	case 7:
+		h ^= uint64(tail[6]) << 48
+		fallthrough
+	case 6:
+		h ^= uint64(tail[5]) << 40
+		fallthrough
+	case 5:
+		h ^= uint64(tail[4]) << 32
+		fallthrough
+	case 4:
+		h ^= uint64(tail[3]) << 24
+		fallthrough
+	case 3:
+		h ^= uint64(tail[2]) << 16
+		fallthrough
+	case 2:
+		h ^= uint64(tail[1]) << 8
+		fallthrough
+	case 1:
+		h ^= uint64(tail[0])
+		h *= m
+	}
+
+	h ^= h >> r
+	h *= m
+	h ^= h >> r
+	return h
+}
+
+// djb2 is Bernstein's classic string hash, hash = hash*33 + c, widened
+// to 64 bits. It is cheap (one multiply-add per byte) but its
+// distribution on structured keys is visibly worse than the mixers
+// above, which is the trade-off Figure 18 explores.
+func djb2(data []byte, seed uint64) uint64 {
+	h := uint64(5381) + seed
+	for _, c := range data {
+		h = h*33 + uint64(c)
+	}
+	return h
+}

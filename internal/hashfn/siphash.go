@@ -1,0 +1,74 @@
+package hashfn
+
+import "math/bits"
+
+// sipHash24 is SipHash-2-4 (Aumasson & Bernstein, INDOCRYPT 2012): two
+// compression rounds per 8-byte word, four finalization rounds. The
+// 128-bit key is derived from the 64-bit seed (k0 = seed,
+// k1 = seed ^ golden ratio), which preserves the security-relevant
+// property the paper cares about — an attacker who does not know the
+// seed cannot construct colliding keys.
+func sipHash24(data []byte, seed uint64) uint64 {
+	k0 := seed
+	k1 := seed ^ 0x9e3779b97f4a7c15
+
+	v0 := k0 ^ 0x736f6d6570736575
+	v1 := k1 ^ 0x646f72616e646f6d
+	v2 := k0 ^ 0x6c7967656e657261
+	v3 := k1 ^ 0x7465646279746573
+
+	round := func() {
+		v0 += v1
+		v1 = bits.RotateLeft64(v1, 13)
+		v1 ^= v0
+		v0 = bits.RotateLeft64(v0, 32)
+		v2 += v3
+		v3 = bits.RotateLeft64(v3, 16)
+		v3 ^= v2
+		v0 += v3
+		v3 = bits.RotateLeft64(v3, 21)
+		v3 ^= v0
+		v2 += v1
+		v1 = bits.RotateLeft64(v1, 17)
+		v1 ^= v2
+		v2 = bits.RotateLeft64(v2, 32)
+	}
+
+	n := len(data)
+	end := n - n%8
+	for i := 0; i < end; i += 8 {
+		m := le64(data[i:])
+		v3 ^= m
+		round()
+		round()
+		v0 ^= m
+	}
+
+	// Last block: remaining bytes plus the length in the top byte.
+	var m uint64 = uint64(n) << 56
+	for i := end; i < n; i++ {
+		m |= uint64(data[i]) << (8 * uint(i-end))
+	}
+	v3 ^= m
+	round()
+	round()
+	v0 ^= m
+
+	v2 ^= 0xff
+	round()
+	round()
+	round()
+	round()
+	return v0 ^ v1 ^ v2 ^ v3
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func le32(b []byte) uint64 {
+	_ = b[3]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24
+}

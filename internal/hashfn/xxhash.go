@@ -1,0 +1,118 @@
+package hashfn
+
+import "math/bits"
+
+// xxHash primes (Yann Collet).
+const (
+	prime64_1 = 0x9E3779B185EBCA87
+	prime64_2 = 0xC2B2AE3D27D4EB4F
+	prime64_3 = 0x165667B19E3779F9
+	prime64_4 = 0x85EBCA77C2B2AE63
+	prime64_5 = 0x27D4EB2F165667C5
+)
+
+// xxh64 is the reference XXH64 algorithm.
+func xxh64(data []byte, seed uint64) uint64 {
+	n := len(data)
+	var h uint64
+
+	if n >= 32 {
+		v1 := seed + prime64_1 + prime64_2
+		v2 := seed + prime64_2
+		v3 := seed
+		v4 := seed - prime64_1
+		i := 0
+		for ; i+32 <= n; i += 32 {
+			v1 = xxh64Round(v1, le64(data[i:]))
+			v2 = xxh64Round(v2, le64(data[i+8:]))
+			v3 = xxh64Round(v3, le64(data[i+16:]))
+			v4 = xxh64Round(v4, le64(data[i+24:]))
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = xxh64MergeRound(h, v1)
+		h = xxh64MergeRound(h, v2)
+		h = xxh64MergeRound(h, v3)
+		h = xxh64MergeRound(h, v4)
+		data = data[i:]
+	} else {
+		h = seed + prime64_5
+	}
+
+	h += uint64(n)
+
+	for len(data) >= 8 {
+		h ^= xxh64Round(0, le64(data))
+		h = bits.RotateLeft64(h, 27)*prime64_1 + prime64_4
+		data = data[8:]
+	}
+	if len(data) >= 4 {
+		h ^= le32(data) * prime64_1
+		h = bits.RotateLeft64(h, 23)*prime64_2 + prime64_3
+		data = data[4:]
+	}
+	for _, c := range data {
+		h ^= uint64(c) * prime64_5
+		h = bits.RotateLeft64(h, 11) * prime64_1
+	}
+
+	h ^= h >> 33
+	h *= prime64_2
+	h ^= h >> 29
+	h *= prime64_3
+	h ^= h >> 32
+	return h
+}
+
+func xxh64Round(acc, input uint64) uint64 {
+	acc += input * prime64_2
+	acc = bits.RotateLeft64(acc, 31)
+	return acc * prime64_1
+}
+
+func xxh64MergeRound(acc, val uint64) uint64 {
+	acc ^= xxh64Round(0, val)
+	return acc*prime64_1 + prime64_4
+}
+
+// xxh3 is an XXH3-style short-input hash: a folded 128-bit multiply
+// over 16-byte stripes with a final avalanche. It keeps the structure
+// that makes upstream XXH3 the fastest choice on short keys (wide
+// multiplies, no per-byte loop) but is not bit-compatible with the
+// reference implementation; the paper only relies on xxh3 being fast
+// and well distributed, both of which hold here.
+func xxh3(data []byte, seed uint64) uint64 {
+	n := len(data)
+	h := seed ^ (uint64(n) * prime64_1)
+
+	for len(data) >= 16 {
+		lo := le64(data) ^ (h + prime64_2)
+		hi := le64(data[8:]) ^ (h * prime64_3)
+		h = mulFold64(lo, hi)
+		data = data[16:]
+	}
+	if len(data) >= 8 {
+		h = mulFold64(le64(data)^h, h+prime64_4)
+		data = data[8:]
+	}
+	if len(data) > 0 {
+		var m uint64
+		for i, c := range data {
+			m |= uint64(c) << (8 * uint(i))
+		}
+		h = mulFold64(m^h, h+prime64_5)
+	}
+
+	// XXH3 avalanche.
+	h ^= h >> 37
+	h *= 0x165667919E3779F9
+	h ^= h >> 32
+	return h
+}
+
+// mulFold64 returns the XOR of the high and low halves of the 128-bit
+// product of a and b — the core XXH3 mixing primitive.
+func mulFold64(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi ^ lo
+}

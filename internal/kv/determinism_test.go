@@ -1,0 +1,63 @@
+package kv
+
+import (
+	"testing"
+
+	"addrkv/internal/ycsb"
+)
+
+// TestRunsAreDeterministic: two engines with identical configuration
+// and workload must produce bit-identical cycle counts and statistics.
+// Reproducibility of every number in EXPERIMENTS.md depends on this.
+func TestRunsAreDeterministic(t *testing.T) {
+	runOnce := func() Stats {
+		e, err := New(Config{Keys: 8000, Index: KindBTree, Mode: ModeSTLT, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Load(8000, 64)
+		g := ycsb.NewGenerator(ycsb.Config{Keys: 8000, ValueSize: 64, Dist: ycsb.Latest, Seed: 77, SetFraction: 0.05})
+		for i := 0; i < 30000; i++ {
+			e.RunOp(g.Next(), 64)
+		}
+		e.MarkMeasurement()
+		for i := 0; i < 8000; i++ {
+			e.RunOp(g.Next(), 64)
+		}
+		return e.Stats()
+	}
+	a := runOnce()
+	b := runOnce()
+	if a.Machine.Cycles != b.Machine.Cycles {
+		t.Fatalf("cycle counts differ: %d vs %d", a.Machine.Cycles, b.Machine.Cycles)
+	}
+	if a.Machine.TLBMisses != b.Machine.TLBMisses || a.Machine.PageWalks != b.Machine.PageWalks {
+		t.Fatal("TLB statistics differ")
+	}
+	if a.STLT != b.STLT {
+		t.Fatalf("STLT stats differ: %+v vs %+v", a.STLT, b.STLT)
+	}
+	if a.FastHits != b.FastHits || a.Moves != b.Moves {
+		t.Fatal("engine counters differ")
+	}
+}
+
+// TestSeedChangesOutcome: different seeds must actually change hash
+// placement (guards against a seed being silently ignored).
+func TestSeedChangesOutcome(t *testing.T) {
+	cpo := func(seed uint64) float64 {
+		e, err := New(Config{Keys: 5000, Index: KindChainHash, Mode: ModeSTLT, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Load(5000, 64)
+		g := ycsb.NewGenerator(ycsb.Config{Keys: 5000, ValueSize: 64, Dist: ycsb.Zipf, Seed: 1})
+		for i := 0; i < 10000; i++ {
+			e.RunOp(g.Next(), 64)
+		}
+		return e.Stats().CyclesPerOp()
+	}
+	if cpo(1) == cpo(2) {
+		t.Fatal("seed has no effect on simulation")
+	}
+}

@@ -1,0 +1,472 @@
+// Package kv assembles the simulated machine, an indexing structure,
+// and optionally an STLT fast path or an SLB software cache into a
+// runnable key-value engine — the "benchmark" the paper measures. It
+// also models the Redis command layer (parse/dispatch/reply) so that
+// Redis-level results show the dilution the paper reports: raw
+// indexing structures speed up by 2-13x while Redis, which spends much
+// time on non-indexing work, gains about 1.4x.
+package kv
+
+import (
+	"fmt"
+
+	"addrkv/internal/arch"
+	"addrkv/internal/cache"
+	"addrkv/internal/core"
+	"addrkv/internal/cpu"
+	"addrkv/internal/hashfn"
+	"addrkv/internal/index"
+	"addrkv/internal/slb"
+	"addrkv/internal/tlb"
+	"addrkv/internal/ycsb"
+)
+
+// Mode selects the acceleration configuration.
+type Mode string
+
+// Engine modes. ModeSTLTSW and ModeSTLTVA are the Figure 19 ablations.
+const (
+	ModeBaseline Mode = "baseline"
+	ModeSTLT     Mode = "stlt"
+	ModeSLB      Mode = "slb"
+	ModeSTLTSW   Mode = "stlt-sw"
+	ModeSTLTVA   Mode = "stlt-va"
+)
+
+// IndexKind selects the indexing structure (Table II).
+type IndexKind string
+
+// The four kernel-benchmark structures. KindChainHash doubles as the
+// Redis dict.
+const (
+	KindChainHash IndexKind = "chainhash"
+	KindDenseHash IndexKind = "densehash"
+	KindRBTree    IndexKind = "rbtree"
+	KindBTree     IndexKind = "btree"
+	// KindSkipList is an extension beyond Table II: the Redis zset
+	// skiplist, exercising the paper's "any structure with
+	// get(key)->record semantics" claim on a fourth ordered index.
+	KindSkipList IndexKind = "skiplist"
+)
+
+// IndexKinds lists the paper's four kernel-benchmark structures
+// (Table II).
+func IndexKinds() []IndexKind {
+	return []IndexKind{KindChainHash, KindDenseHash, KindRBTree, KindBTree}
+}
+
+// AllIndexKinds additionally includes the extension structures.
+func AllIndexKinds() []IndexKind {
+	return append(IndexKinds(), KindSkipList)
+}
+
+// Config shapes an engine.
+type Config struct {
+	// Params is the simulated machine (DefaultMachineParams if zero).
+	Params arch.MachineParams
+	// Keys is the expected key count (presizes the index).
+	Keys int
+	// Index selects the structure.
+	Index IndexKind
+	// Mode selects baseline/STLT/SLB/ablations.
+	Mode Mode
+	// SlowHash is the index's own hash function. Defaults to SipHash
+	// when RedisLayer is set (Redis's default) and MurmurHash64A
+	// otherwise (the kernel benchmarks' default).
+	SlowHash *hashfn.Func
+	// FastHash is the STLT/SLB fast-path hash (default xxh3).
+	FastHash *hashfn.Func
+	// FastHashHW models the hardware hash unit the paper considered
+	// ("A hardware hash gains performance at the expense of
+	// flexibility", Section III-B): the fast-path hash costs a fixed
+	// HWHashLatency instead of its software cost model.
+	FastHashHW bool
+	// STLTRows / STLTWays size the STLT. Zero rows picks the default
+	// scaled equivalent of the paper's 512 MB table (3.2 rows/key,
+	// rounded to a power-of-two set count); zero ways picks 4.
+	STLTRows int
+	STLTWays int
+	// SLBEntries sizes the SLB cache table. Zero picks the paper's
+	// Figure 11 setup (10 GB vs 512 MB ≈ 8x the STLT's entries).
+	SLBEntries int
+	// RedisLayer adds the Redis command-processing cost model.
+	RedisLayer bool
+	// Monitor enables the runtime on/off performance monitor.
+	Monitor bool
+	// AutoTune enables the miss-ratio-driven STLT resizer (Section
+	// III-F: "monitor STLT miss ratio and tune the performance
+	// factors").
+	AutoTune bool
+	// DataPrefetcher: "", "stride" or "vldp" (Figure 19 right).
+	DataPrefetcher string
+	// TLBPrefetch enables distance TLB prefetching (Section IV-F).
+	TLBPrefetch bool
+	// Seed seeds hash functions and the STLT's counter PRNG.
+	Seed uint64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Params.L1Size == 0 {
+		c.Params = arch.DefaultMachineParams()
+	}
+	if c.Keys <= 0 {
+		return c, fmt.Errorf("kv: Config.Keys must be positive")
+	}
+	if c.Index == "" {
+		c.Index = KindChainHash
+	}
+	if c.Mode == "" {
+		c.Mode = ModeBaseline
+	}
+	if c.SlowHash == nil {
+		if c.RedisLayer {
+			f := hashfn.SipHash
+			c.SlowHash = &f
+		} else {
+			f := hashfn.Murmur64A
+			c.SlowHash = &f
+		}
+	}
+	if c.FastHash == nil {
+		f := hashfn.XXH3
+		c.FastHash = &f
+	}
+	if c.STLTWays == 0 {
+		c.STLTWays = 4
+	}
+	if c.STLTRows == 0 {
+		c.STLTRows = DefaultSTLTRows(c.Keys, c.STLTWays)
+	}
+	if c.SLBEntries == 0 {
+		c.SLBEntries = 8 * c.STLTRows
+	}
+	return c, nil
+}
+
+// DefaultSTLTRows returns the scaled equivalent of the paper's default
+// 512 MB STLT (3.2 rows per key), rounded so the set count is a power
+// of two.
+func DefaultSTLTRows(keys, ways int) int {
+	target := float64(keys) * 3.2 / float64(ways)
+	sets := 1
+	for float64(sets) < target {
+		sets <<= 1
+	}
+	return sets * ways
+}
+
+// PaperEquivalentMB converts an STLT row count at our key scale into
+// the paper's table-size label at 10M keys:
+// bytes(rows) * 10M / keys.
+func PaperEquivalentMB(rows, keys int) float64 {
+	return float64(rows) * core.RowSize * 1e7 / float64(keys) / (1 << 20)
+}
+
+// Stats aggregates an engine run.
+type Stats struct {
+	Ops      uint64
+	Gets     uint64
+	Sets     uint64
+	Misses   uint64 // GETs for absent keys
+	FastHits uint64 // ops satisfied by the STLT/SLB fast path
+	Moves    uint64 // record relocations observed
+	Machine  cpu.Stats
+	STLT     core.Stats
+	SLB      slb.Stats
+}
+
+// CyclesPerOp returns average cycles per operation.
+func (s Stats) CyclesPerOp() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.Machine.Cycles) / float64(s.Ops)
+}
+
+// Engine is a runnable simulated key-value store.
+type Engine struct {
+	Cfg Config
+	M   *cpu.Machine
+	OS  *core.OS
+	Idx index.Index
+
+	STLT    *core.STLT
+	SLB     *slb.SLB
+	Monitor *core.Monitor
+	Tuner   *core.Tuner
+
+	redis *redisLayer
+
+	ops, gets, sets, misses, fastHits, moves uint64
+	keyBuf                                   [ycsb.KeyLen]byte
+}
+
+// New builds an engine.
+func New(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m := cpu.New(cfg.Params)
+	o := core.NewOS(m)
+	e := &Engine{Cfg: cfg, M: m, OS: o}
+
+	ictx := &index.Context{M: m, Hash: *cfg.SlowHash, Seed: cfg.Seed ^ 0x5107}
+	switch cfg.Index {
+	case KindChainHash:
+		e.Idx = index.NewChainHash(ictx, cfg.Keys)
+	case KindDenseHash:
+		e.Idx = index.NewDenseHash(ictx, cfg.Keys)
+	case KindRBTree:
+		e.Idx = index.NewRBTree(ictx)
+	case KindBTree:
+		e.Idx = index.NewBTree(ictx)
+	case KindSkipList:
+		e.Idx = index.NewSkipList(ictx)
+	default:
+		return nil, fmt.Errorf("kv: unknown index kind %q", cfg.Index)
+	}
+
+	switch cfg.Mode {
+	case ModeBaseline:
+	case ModeSTLT, ModeSTLTSW, ModeSTLTVA:
+		t, err := o.STLTAlloc(cfg.STLTRows, cfg.STLTWays)
+		if err != nil {
+			return nil, err
+		}
+		switch cfg.Mode {
+		case ModeSTLTSW:
+			t.Variant = core.VariantSoftware
+		case ModeSTLTVA:
+			t.Variant = core.VariantVAOnly
+		}
+		e.STLT = t
+		if cfg.Monitor {
+			e.Monitor = core.NewMonitor(t)
+		}
+		if cfg.AutoTune {
+			e.Tuner = core.NewTuner(o)
+		}
+	case ModeSLB:
+		e.SLB = slb.New(m, *cfg.FastHash, cfg.Seed^0xFA57, cfg.SLBEntries)
+	default:
+		return nil, fmt.Errorf("kv: unknown mode %q", cfg.Mode)
+	}
+
+	switch cfg.DataPrefetcher {
+	case "", "none":
+	case "stride":
+		m.Caches.Prefetcher = cache.NewStridePrefetcher()
+	case "vldp":
+		m.Caches.Prefetcher = cache.NewVLDPPrefetcher()
+	default:
+		return nil, fmt.Errorf("kv: unknown data prefetcher %q", cfg.DataPrefetcher)
+	}
+	if cfg.TLBPrefetch {
+		m.TLBPrefetcher = tlb.NewDistancePrefetcher()
+	}
+
+	if cfg.RedisLayer {
+		e.redis = newRedisLayer(m)
+	}
+	return e, nil
+}
+
+// HWHashLatency is the modeled latency of a hardware hash unit
+// (pipelined; a couple of cycles to produce the integer).
+const HWHashLatency arch.Cycles = 2
+
+// fastHash computes the fast-path integer, charging its cost.
+func (e *Engine) fastHash(key []byte) uint64 {
+	if e.Cfg.FastHashHW {
+		e.M.Compute(HWHashLatency, arch.CatHash)
+	} else {
+		e.M.Compute(e.Cfg.FastHash.Cost(len(key)), arch.CatHash)
+	}
+	return e.Cfg.FastHash.Hash(key, e.Cfg.Seed^0xFA57)
+}
+
+// Load bulk-inserts n keys with valueSize-byte values in Fast
+// (functional-only) mode — the data-loading phase before warm-up.
+func (e *Engine) Load(n int, valueSize int) {
+	wasFast := e.M.Fast
+	e.M.Fast = true
+	for id := uint64(0); id < uint64(n); id++ {
+		key := ycsb.KeyNameInto(e.keyBuf[:], id)
+		e.Idx.Put(key, ycsb.Value(id, 0, valueSize))
+	}
+	e.M.Fast = wasFast
+}
+
+// Get performs a timed GET, returning the value.
+func (e *Engine) Get(key []byte) ([]byte, bool) {
+	va, ok := e.get(key)
+	if !ok {
+		return nil, false
+	}
+	return index.ReadValue(e.M, va), true
+}
+
+// GetTouch performs a timed GET charging the value read without
+// materializing it (the harness's hot loop).
+func (e *Engine) GetTouch(key []byte) bool {
+	va, ok := e.get(key)
+	if !ok {
+		return false
+	}
+	index.TouchValue(e.M, va)
+	return true
+}
+
+// get runs the mode-specific addressing path and returns the record VA.
+func (e *Engine) get(key []byte) (arch.Addr, bool) {
+	if e.Monitor != nil {
+		e.Monitor.BeginOp()
+		defer e.Monitor.EndOp()
+	}
+	if e.Tuner != nil {
+		e.Tuner.Tick()
+	}
+	e.ops++
+	e.gets++
+	if e.redis != nil {
+		e.redis.command(key, len("GET"))
+	}
+
+	var va arch.Addr
+	found := false
+	switch {
+	case e.STLT != nil:
+		integer := e.fastHash(key)
+		if hit := e.STLT.LoadVA(integer); hit != 0 {
+			if index.KeyMatches(e.M, hit, key, arch.CatData) {
+				va, found = hit, true
+				e.fastHits++
+			} else {
+				e.STLT.ReportFalseHit()
+			}
+		}
+		if !found {
+			va, found = e.Idx.Get(key)
+			if found {
+				e.STLT.InsertSTLT(integer, va)
+			}
+		}
+	case e.SLB != nil:
+		if hit, ok := e.SLB.Lookup(key); ok {
+			if index.KeyMatches(e.M, hit, key, arch.CatData) {
+				va, found = hit, true
+				e.fastHits++
+			} else {
+				e.SLB.ReportFalseHit(key)
+			}
+		}
+		if !found {
+			va, found = e.Idx.Get(key)
+			if found {
+				e.SLB.OnMiss(key, va)
+			}
+		}
+	default:
+		va, found = e.Idx.Get(key)
+	}
+
+	if !found {
+		e.misses++
+		if e.redis != nil {
+			e.redis.reply(0)
+		}
+		return 0, false
+	}
+	if e.redis != nil {
+		e.redis.replyValue(e.M, va)
+	}
+	return va, true
+}
+
+// Set performs a timed SET.
+func (e *Engine) Set(key, value []byte) {
+	if e.Monitor != nil {
+		e.Monitor.BeginOp()
+		defer e.Monitor.EndOp()
+	}
+	e.ops++
+	e.sets++
+	if e.redis != nil {
+		e.redis.command(key, len("SET")+len(value))
+	}
+	res := e.Idx.Put(key, value)
+	if res.Moved {
+		e.moves++
+		// Record-move protocol (Section III-F): refresh the STLT row
+		// once the move finishes; drop stale SLB entries.
+		if e.STLT != nil {
+			e.STLT.InsertSTLT(e.fastHash(key), res.RecordVA)
+		}
+		if e.SLB != nil {
+			e.SLB.Invalidate(key)
+		}
+	}
+	if e.redis != nil {
+		e.redis.reply(5) // "+OK\r\n"
+	}
+}
+
+// Delete removes a key, keeping the fast paths coherent.
+func (e *Engine) Delete(key []byte) bool {
+	e.ops++
+	ok := e.Idx.Delete(key)
+	if ok && e.SLB != nil {
+		e.SLB.Invalidate(key)
+	}
+	// The STLT needs no eager invalidation: the stale row fails key
+	// validation (the record bytes are gone or reused) and is
+	// replaced on the next insert. Page-level reuse is covered by
+	// the IPB path.
+	return ok
+}
+
+// RunOp executes one generated workload operation.
+func (e *Engine) RunOp(op ycsb.Op, valueSize int) {
+	key := ycsb.KeyNameInto(e.keyBuf[:], op.KeyID)
+	switch op.Type {
+	case ycsb.Get:
+		e.GetTouch(key)
+	case ycsb.Set:
+		e.Set(key, ycsb.Value(op.KeyID, 1, valueSize))
+	}
+}
+
+// MarkMeasurement resets all counters: everything before this call was
+// warm-up.
+func (e *Engine) MarkMeasurement() {
+	e.M.ResetStats()
+	e.ops, e.gets, e.sets, e.misses, e.fastHits, e.moves = 0, 0, 0, 0, 0, 0
+	if e.STLT != nil {
+		e.STLT.Stats = core.Stats{}
+	}
+	if e.SLB != nil {
+		e.SLB.Stats = slb.Stats{}
+	}
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Ops:      e.ops,
+		Gets:     e.gets,
+		Sets:     e.sets,
+		Misses:   e.misses,
+		FastHits: e.fastHits,
+		Moves:    e.moves,
+		Machine:  e.M.Stats(),
+	}
+	if e.STLT != nil {
+		s.STLT = e.STLT.Stats
+	}
+	if e.SLB != nil {
+		s.SLB = e.SLB.Stats
+	}
+	return s
+}

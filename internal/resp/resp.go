@@ -1,0 +1,247 @@
+// Package resp implements the subset of the Redis serialization
+// protocol (RESP2) needed by cmd/kvserve and cmd/kvcli: command arrays
+// of bulk strings inbound; simple strings, errors, integers, bulk and
+// null bulk strings outbound. The paper's Figure 1 measures Redis over
+// a Unix domain socket with pipelining; kvserve reproduces that setup
+// with the simulated engine behind it.
+package resp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// MaxBulkLen bounds a single bulk string (defensive).
+const MaxBulkLen = 64 << 20
+
+// MaxArrayLen bounds a command's argument count.
+const MaxArrayLen = 1 << 20
+
+// Reader decodes RESP values from a stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReader(r)} }
+
+// ReadCommand reads one client command: either a RESP array of bulk
+// strings or an inline command line. It returns the argument list.
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	c, err := r.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if c != '*' {
+		// Inline command: space-separated words on one line.
+		if err := r.br.UnreadByte(); err != nil {
+			return nil, err
+		}
+		line, err := r.readLine()
+		if err != nil {
+			return nil, err
+		}
+		var args [][]byte
+		for _, w := range splitWords(line) {
+			args = append(args, w)
+		}
+		if len(args) == 0 {
+			return nil, fmt.Errorf("resp: empty inline command")
+		}
+		return args, nil
+	}
+	n, err := r.readInt()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > MaxArrayLen {
+		return nil, fmt.Errorf("resp: bad array length %d", n)
+	}
+	args := make([][]byte, 0, n)
+	for i := int64(0); i < n; i++ {
+		b, err := r.readBulk()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, b)
+	}
+	return args, nil
+}
+
+// ReadReply reads one server reply and returns it decoded: string for
+// simple strings, error for errors, int64 for integers, []byte for
+// bulk (nil for null bulk), []any for arrays.
+func (r *Reader) ReadReply() (any, error) {
+	c, err := r.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch c {
+	case '+':
+		line, err := r.readLine()
+		return string(line), err
+	case '-':
+		line, err := r.readLine()
+		if err != nil {
+			return nil, err
+		}
+		return fmt.Errorf("%s", line), nil
+	case ':':
+		return r.readInt()
+	case '$':
+		b, err := r.readBulkBody()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil // null bulk: untyped nil, not []byte(nil)
+		}
+		return b, nil
+	case '*':
+		n, err := r.readInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, nil
+		}
+		out := make([]any, 0, n)
+		for i := int64(0); i < n; i++ {
+			v, err := r.ReadReply()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("resp: unexpected type byte %q", c)
+}
+
+func (r *Reader) readBulk() ([]byte, error) {
+	c, err := r.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if c != '$' {
+		return nil, fmt.Errorf("resp: expected bulk string, got %q", c)
+	}
+	return r.readBulkBody()
+}
+
+func (r *Reader) readBulkBody() ([]byte, error) {
+	n, err := r.readInt()
+	if err != nil {
+		return nil, err
+	}
+	if n == -1 {
+		return nil, nil // null bulk
+	}
+	if n < 0 || n > MaxBulkLen {
+		return nil, fmt.Errorf("resp: bad bulk length %d", n)
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, err
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, fmt.Errorf("resp: bulk not CRLF terminated")
+	}
+	return buf[:n], nil
+}
+
+func (r *Reader) readInt() (int64, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(string(line), 10, 64)
+}
+
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("resp: line not CRLF terminated")
+	}
+	return line[:len(line)-2], nil
+}
+
+func splitWords(line []byte) [][]byte {
+	var out [][]byte
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' {
+			j++
+		}
+		if j > i {
+			out = append(out, line[i:j])
+		}
+		i = j
+	}
+	return out
+}
+
+// Writer encodes RESP values.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriter(w)} }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// WriteCommand encodes a client command as an array of bulk strings.
+func (w *Writer) WriteCommand(args ...[]byte) error {
+	fmt.Fprintf(w.bw, "*%d\r\n", len(args))
+	for _, a := range args {
+		if err := w.WriteBulk(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSimple writes "+s\r\n".
+func (w *Writer) WriteSimple(s string) error {
+	_, err := fmt.Fprintf(w.bw, "+%s\r\n", s)
+	return err
+}
+
+// WriteError writes "-msg\r\n".
+func (w *Writer) WriteError(msg string) error {
+	_, err := fmt.Fprintf(w.bw, "-%s\r\n", msg)
+	return err
+}
+
+// WriteInt writes ":n\r\n".
+func (w *Writer) WriteInt(n int64) error {
+	_, err := fmt.Fprintf(w.bw, ":%d\r\n", n)
+	return err
+}
+
+// WriteBulk writes a bulk string ($-1 for nil).
+func (w *Writer) WriteBulk(b []byte) error {
+	if b == nil {
+		_, err := w.bw.WriteString("$-1\r\n")
+		return err
+	}
+	if _, err := fmt.Fprintf(w.bw, "$%d\r\n", len(b)); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		return err
+	}
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}

@@ -1,0 +1,144 @@
+package resp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommandRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteCommand([]byte("SET"), []byte("k1"), []byte("v with spaces")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 3 || string(args[0]) != "SET" || string(args[2]) != "v with spaces" {
+		t.Fatalf("args = %q", args)
+	}
+}
+
+func TestInlineCommand(t *testing.T) {
+	r := NewReader(strings.NewReader("PING\r\nGET  key1 \r\n"))
+	args, err := r.ReadCommand()
+	if err != nil || len(args) != 1 || string(args[0]) != "PING" {
+		t.Fatalf("inline 1: %q, %v", args, err)
+	}
+	args, err = r.ReadCommand()
+	if err != nil || len(args) != 2 || string(args[1]) != "key1" {
+		t.Fatalf("inline 2: %q, %v", args, err)
+	}
+}
+
+func TestReplyKinds(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteSimple("OK")
+	w.WriteError("ERR nope")
+	w.WriteInt(-42)
+	w.WriteBulk([]byte("data"))
+	w.WriteBulk(nil)
+	w.Flush()
+
+	r := NewReader(&buf)
+	if v, _ := r.ReadReply(); v != "OK" {
+		t.Fatalf("simple = %v", v)
+	}
+	if v, _ := r.ReadReply(); v.(error).Error() != "ERR nope" {
+		t.Fatalf("error = %v", v)
+	}
+	if v, _ := r.ReadReply(); v.(int64) != -42 {
+		t.Fatalf("int = %v", v)
+	}
+	if v, _ := r.ReadReply(); string(v.([]byte)) != "data" {
+		t.Fatalf("bulk = %v", v)
+	}
+	if v, _ := r.ReadReply(); v != nil {
+		t.Fatalf("null bulk = %v", v)
+	}
+}
+
+func TestArrayReply(t *testing.T) {
+	r := NewReader(strings.NewReader("*2\r\n$1\r\na\r\n:5\r\n"))
+	v, err := r.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := v.([]any)
+	if len(arr) != 2 || string(arr[0].([]byte)) != "a" || arr[1].(int64) != 5 {
+		t.Fatalf("array = %v", arr)
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := []string{
+		"*1\r\n:5\r\n",         // array element not bulk in a command
+		"$5\r\nab\r\n",         // short bulk
+		"*-2\r\n",              // negative array
+		"$999999999999999\r\n", // oversized bulk
+		"!weird\r\n",
+	}
+	for _, in := range cases {
+		r := NewReader(strings.NewReader(in))
+		if _, err := r.ReadCommand(); err == nil {
+			// Some of these are reply-level errors; try that too.
+			r2 := NewReader(strings.NewReader(in))
+			if _, err2 := r2.ReadReply(); err2 == nil {
+				t.Errorf("input %q accepted by both paths", in)
+			}
+		}
+	}
+}
+
+func TestEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.ReadCommand(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestPipelinedCommands(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		w.WriteCommand([]byte("GET"), []byte(fmt.Sprintf("key%d", i)))
+	}
+	w.Flush()
+	r := NewReader(&buf)
+	for i := 0; i < 100; i++ {
+		args, err := r.ReadCommand()
+		if err != nil {
+			t.Fatalf("cmd %d: %v", i, err)
+		}
+		if string(args[1]) != fmt.Sprintf("key%d", i) {
+			t.Fatalf("cmd %d out of order: %q", i, args[1])
+		}
+	}
+}
+
+func TestBulkRoundTripProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if payload == nil {
+			payload = []byte{}
+		}
+		w.WriteCommand([]byte("SET"), []byte("k"), payload)
+		w.Flush()
+		args, err := NewReader(&buf).ReadCommand()
+		return err == nil && bytes.Equal(args[2], payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package slb implements the Search Lookaside Buffer (Wu, Ni & Jiang,
+// SoCC 2017), the paper's software-caching comparison point: a purely
+// software cache of record *virtual addresses* in front of an indexing
+// structure. Unlike the STLT it has no architectural support — every
+// probe is an ordinary load, and the record access that follows a hit
+// still pays the normal TLB-miss/page-walk cost, which is exactly the
+// gap the paper's evaluation isolates.
+//
+// Layout follows the SLB design: the cache table is an array of
+// cache-line-sized (64 B) buckets, each holding 7 tagged pointers
+// {16-bit tag | 48-bit VA} plus one metadata word with 7 one-byte
+// access-frequency counters — so a whole set probe costs a single line
+// access. A separate log table, 4x the entry count, holds 8-byte
+// {tag, count} slots that track the frequency of *missing* keys for
+// admission. Per entry that is 64/7 + 4*8 ≈ 41 bytes, ~2.5x the
+// STLT's 16-byte rows, matching the paper's space accounting in
+// Figure 14.
+package slb
+
+import (
+	"encoding/binary"
+
+	"addrkv/internal/arch"
+	"addrkv/internal/cpu"
+	"addrkv/internal/hashfn"
+)
+
+const (
+	// Ways is the cache table associativity (7-way per the SLB paper).
+	Ways = 7
+	// BucketSize is one cache-table set: 7 tagged pointers + metadata.
+	BucketSize = 64
+	// LogEntrySize is one log-table slot {tag uint32, count uint32}.
+	LogEntrySize = 8
+	// LogFactor is the log-table size relative to cache entries.
+	LogFactor = 4
+
+	// scanCost is the software compute cost of probing a bucket: a
+	// branchy 7-iteration compare loop with a likely mispredict.
+	scanCost arch.Cycles = 16
+	// logCost is the compute cost of the log-table read-modify-write.
+	logCost arch.Cycles = 4
+
+	tagBits = 16
+	vaMask  = 1<<48 - 1
+)
+
+// BytesPerEntry is the amortized space cost per cache entry including
+// the log table share (~41 B, 2.5x an STLT row).
+const BytesPerEntry = BucketSize/Ways + LogFactor*LogEntrySize
+
+// Stats counts SLB events.
+type Stats struct {
+	Lookups   uint64
+	Hits      uint64
+	FalseHits uint64 // tag matched but key validation failed
+	Inserts   uint64
+	Rejected  uint64 // admission declined (victim hotter)
+}
+
+// MissRate returns the miss ratio over the stats window.
+func (st Stats) MissRate() float64 {
+	if st.Lookups == 0 {
+		return 0
+	}
+	return 1 - float64(st.Hits)/float64(st.Lookups)
+}
+
+// SLB is the software cache. Both tables live in the simulated user
+// heap and are probed with timed, virtually-addressed loads.
+type SLB struct {
+	m    *cpu.Machine
+	hash hashfn.Func
+	seed uint64
+
+	table   arch.Addr // cache table (sets * 64 B)
+	logTab  arch.Addr // log table
+	sets    int       // power of two
+	entries int
+	logLen  int // log slots, power of two
+
+	Stats Stats
+}
+
+// New builds an SLB with approximately the given number of cache-table
+// entries (rounded to a power-of-two bucket count), sharing the fast
+// hash function used by the STLT fast path for fair comparison.
+func New(m *cpu.Machine, h hashfn.Func, seed uint64, entries int) *SLB {
+	sets := 1
+	for sets*2*Ways <= entries {
+		sets *= 2
+	}
+	logLen := 1
+	for logLen < sets*Ways*LogFactor {
+		logLen *= 2
+	}
+	s := &SLB{m: m, hash: h, seed: seed, sets: sets, entries: sets * Ways, logLen: logLen}
+	s.table = m.AS.Alloc(sets * BucketSize)
+	s.logTab = m.AS.Alloc(logLen * LogEntrySize)
+	return s
+}
+
+// Entries returns the actual cache-table entry count.
+func (s *SLB) Entries() int { return s.entries }
+
+// SizeBytes returns the combined footprint of both tables.
+func (s *SLB) SizeBytes() int { return s.sets*BucketSize + s.logLen*LogEntrySize }
+
+func (s *SLB) bucketVA(h uint64) arch.Addr {
+	return s.table + arch.Addr(int(h>>tagBits)&(s.sets-1)*BucketSize)
+}
+
+func (s *SLB) logVA(h uint64) arch.Addr {
+	idx := int(h>>20) & (s.logLen - 1)
+	return s.logTab + arch.Addr(idx*LogEntrySize)
+}
+
+// tagOf derives the 16-bit entry tag from the hash; tag 0 means empty,
+// so hashes that map to 0 are nudged.
+func tagOf(h uint64) uint64 {
+	t := h & (1<<tagBits - 1)
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
+func packEntry(tag uint64, va arch.Addr) uint64 { return tag<<48 | uint64(va)&vaMask }
+func entryTag(e uint64) uint64                  { return e >> 48 }
+func entryVA(e uint64) arch.Addr                { return arch.Addr(e & vaMask) }
+
+// Lookup probes the cache table for the key's record VA: one bucket
+// line read, tag compares, and a frequency-byte bump on hit. The
+// caller must validate the returned VA against the key and call
+// ReportFalseHit if validation fails.
+func (s *SLB) Lookup(key []byte) (arch.Addr, bool) {
+	s.Stats.Lookups++
+	m := s.m
+	m.Compute(s.hash.Cost(len(key)), arch.CatHash)
+	h := s.hash.Hash(key, s.seed)
+
+	m.Compute(scanCost, arch.CatTraverse)
+	bva := s.bucketVA(h)
+	var buf [BucketSize]byte
+	m.Read(bva, buf[:], arch.KindSLB, arch.CatTraverse)
+
+	tag := tagOf(h)
+	for w := 0; w < Ways; w++ {
+		e := binary.LittleEndian.Uint64(buf[w*8:])
+		if e != 0 && entryTag(e) == tag {
+			// Saturating frequency bump in the metadata byte (a
+			// store to the line the scan just loaded).
+			if f := buf[56+w]; f < 255 {
+				m.Write(bva+arch.Addr(56+w), []byte{f + 1}, arch.KindSLB, arch.CatTraverse)
+			}
+			s.Stats.Hits++
+			return entryVA(e), true
+		}
+	}
+	return 0, false
+}
+
+// ReportFalseHit records a validation failure after Lookup returned a
+// VA (stale or aliased entry); the entry is dropped.
+func (s *SLB) ReportFalseHit(key []byte) {
+	s.Stats.FalseHits++
+	s.Stats.Hits--
+	s.dropEntry(key)
+}
+
+// Invalidate drops the entry for key (record moved or deleted).
+func (s *SLB) Invalidate(key []byte) { s.dropEntry(key) }
+
+func (s *SLB) dropEntry(key []byte) {
+	h := s.hash.Hash(key, s.seed)
+	bva := s.bucketVA(h)
+	tag := tagOf(h)
+	for w := 0; w < Ways; w++ {
+		eva := bva + arch.Addr(w*8)
+		if e := s.m.AS.ReadU64(eva); e != 0 && entryTag(e) == tag {
+			s.m.WriteU64(eva, 0, arch.KindSLB, arch.CatTraverse)
+			s.m.Write(bva+arch.Addr(56+w), []byte{0}, arch.KindSLB, arch.CatTraverse)
+		}
+	}
+}
+
+// OnMiss records the slow-path resolution of key to va: it bumps the
+// key's log-table counter and admits the entry if it is now at least
+// as hot as the coldest entry of its bucket (frequency-based
+// admission, SLB's advantage over naive software caching).
+func (s *SLB) OnMiss(key []byte, va arch.Addr) {
+	m := s.m
+	h := s.hash.Hash(key, s.seed) // recomputed functionally; cost charged in Lookup
+
+	// Log-table RMW.
+	m.Compute(logCost, arch.CatTraverse)
+	lva := s.logVA(h)
+	var lb [LogEntrySize]byte
+	m.Read(lva, lb[:], arch.KindSLB, arch.CatTraverse)
+	ltag := uint32(h >> 32)
+	var freq uint32
+	if binary.LittleEndian.Uint32(lb[0:]) == ltag {
+		freq = binary.LittleEndian.Uint32(lb[4:]) + 1
+	} else {
+		freq = 1 // conflict in the log table resets the count
+	}
+	binary.LittleEndian.PutUint32(lb[0:], ltag)
+	binary.LittleEndian.PutUint32(lb[4:], freq)
+	m.Write(lva, lb[:], arch.KindSLB, arch.CatTraverse)
+
+	// Admission against the coldest way (bucket is L1-resident after
+	// Lookup's probe).
+	bva := s.bucketVA(h)
+	var buf [BucketSize]byte
+	m.Read(bva, buf[:], arch.KindSLB, arch.CatTraverse)
+	victim, victimFreq := -1, uint32(256)
+	for w := 0; w < Ways; w++ {
+		if binary.LittleEndian.Uint64(buf[w*8:]) == 0 {
+			victim, victimFreq = w, 0
+			break
+		}
+		if f := uint32(buf[56+w]); f < victimFreq {
+			victim, victimFreq = w, f
+		}
+	}
+	cand := freq
+	if cand > 255 {
+		cand = 255
+	}
+	// Admit only when strictly hotter than the victim: a cold stream
+	// must not churn entries of equal (or greater) observed frequency.
+	if cand <= victimFreq {
+		s.Stats.Rejected++
+		return
+	}
+	var eb [8]byte
+	binary.LittleEndian.PutUint64(eb[:], packEntry(tagOf(h), va))
+	m.Write(bva+arch.Addr(victim*8), eb[:], arch.KindSLB, arch.CatTraverse)
+	m.Write(bva+arch.Addr(56+victim), []byte{byte(cand)}, arch.KindSLB, arch.CatTraverse)
+	s.Stats.Inserts++
+}

@@ -1,0 +1,148 @@
+package slb
+
+import (
+	"fmt"
+	"testing"
+
+	"addrkv/internal/arch"
+	"addrkv/internal/cpu"
+	"addrkv/internal/hashfn"
+)
+
+func newSLB(entries int) (*SLB, *cpu.Machine) {
+	m := cpu.New(arch.DefaultMachineParams())
+	return New(m, hashfn.XXH3, 7, entries), m
+}
+
+func k(i int) []byte { return []byte(fmt.Sprintf("slbkey-%06d-abcdefghi", i)) }
+
+func TestLookupMissThenAdmit(t *testing.T) {
+	s, m := newSLB(1024)
+	va := m.AS.Alloc(64)
+
+	if _, ok := s.Lookup(k(1)); ok {
+		t.Fatal("hit in empty SLB")
+	}
+	s.OnMiss(k(1), va)
+	got, ok := s.Lookup(k(1))
+	if !ok || got != va {
+		t.Fatalf("Lookup after admit = %v,%v", got, ok)
+	}
+	if s.Stats.Inserts != 1 {
+		t.Fatalf("Inserts = %d", s.Stats.Inserts)
+	}
+}
+
+func TestFrequencyAdmissionProtectsHotEntries(t *testing.T) {
+	s, m := newSLB(64) // small: 1-2 sets
+	hot := make([]arch.Addr, Ways)
+	// Fill one bucket's worth with hot keys and heat them.
+	for i := range hot {
+		hot[i] = m.AS.Alloc(64)
+		s.OnMiss(k(i), hot[i])
+	}
+	for n := 0; n < 30; n++ {
+		for i := range hot {
+			s.Lookup(k(i))
+		}
+	}
+	// A cold stream of distinct keys must mostly be rejected rather
+	// than evicting the hot set.
+	for i := 100; i < 300; i++ {
+		s.OnMiss(k(i), m.AS.Alloc(64))
+	}
+	if s.Stats.Rejected == 0 {
+		t.Fatal("admission never rejected cold keys")
+	}
+	hits := 0
+	for i := range hot {
+		if va, ok := s.Lookup(k(i)); ok && va == hot[i] {
+			hits++
+		}
+	}
+	if hits < Ways/2 {
+		t.Fatalf("only %d/%d hot entries survived the cold flood", hits, Ways)
+	}
+}
+
+func TestInvalidateAndFalseHit(t *testing.T) {
+	s, m := newSLB(1024)
+	va := m.AS.Alloc(64)
+	s.OnMiss(k(9), va)
+	if _, ok := s.Lookup(k(9)); !ok {
+		t.Fatal("setup miss")
+	}
+	s.Invalidate(k(9))
+	if _, ok := s.Lookup(k(9)); ok {
+		t.Fatal("entry survived Invalidate")
+	}
+
+	// ReportFalseHit drops the entry and corrects the stats.
+	s.OnMiss(k(9), va)
+	s.Lookup(k(9))
+	hits := s.Stats.Hits
+	s.ReportFalseHit(k(9))
+	if s.Stats.FalseHits != 1 || s.Stats.Hits != hits-1 {
+		t.Fatalf("false-hit accounting: %+v", s.Stats)
+	}
+	if _, ok := s.Lookup(k(9)); ok {
+		t.Fatal("entry survived ReportFalseHit")
+	}
+}
+
+func TestEntriesAndSpace(t *testing.T) {
+	s, _ := newSLB(10000)
+	if s.Entries()%Ways != 0 {
+		t.Fatalf("entries %d not a multiple of ways", s.Entries())
+	}
+	if s.Entries() > 10000 {
+		t.Fatalf("entries %d exceed request", s.Entries())
+	}
+	perEntry := float64(s.SizeBytes()) / float64(s.Entries())
+	// ~2.5x an STLT row (16B), as in Figure 14's space accounting.
+	if perEntry < 30 || perEntry > 55 {
+		t.Fatalf("space per entry = %.1f bytes", perEntry)
+	}
+}
+
+func TestLookupChargesCycles(t *testing.T) {
+	s, m := newSLB(1024)
+	before := m.Cycles()
+	s.Lookup(k(3))
+	if m.Cycles() == before {
+		t.Fatal("software lookup charged nothing")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	s, m := newSLB(1024)
+	va := m.AS.Alloc(64)
+	s.OnMiss(k(1), va)
+	s.Lookup(k(1)) // hit
+	s.Lookup(k(2)) // miss
+	s.Lookup(k(3)) // miss
+	// 3 lookups (the OnMiss path followed an initial Lookup? no — we
+	// called Lookup 3 times total here plus none in OnMiss).
+	got := s.Stats.MissRate()
+	want := 1 - 1.0/3.0
+	if got < want-0.01 || got > want+0.01 {
+		t.Fatalf("MissRate = %v, want %v", got, want)
+	}
+}
+
+func TestTagAliasReturnsSomeVA(t *testing.T) {
+	// 16-bit tags can alias; the contract is "caller validates".
+	// Construct the scenario directly: two keys in the same bucket
+	// with equal tags are rare, so instead verify that a wrong-VA
+	// result is recoverable via ReportFalseHit without corrupting
+	// other entries.
+	s, m := newSLB(256)
+	vaA := m.AS.Alloc(64)
+	vaB := m.AS.Alloc(64)
+	s.OnMiss(k(1), vaA)
+	s.OnMiss(k(2), vaB)
+	s.ReportFalseHit(k(1))
+	if va, ok := s.Lookup(k(2)); !ok || va != vaB {
+		t.Fatal("unrelated entry damaged by ReportFalseHit")
+	}
+}

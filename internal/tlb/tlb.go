@@ -1,0 +1,196 @@
+// Package tlb implements the simulated two-level TLB of Table III
+// (L1: 64-entry 4-way, 1 cycle; L2: 1536-entry 4-way, 7 cycles) and the
+// distance-based TLB prefetcher evaluated in Section IV-F.
+package tlb
+
+import (
+	"fmt"
+
+	"addrkv/internal/arch"
+	"addrkv/internal/vm"
+)
+
+type way struct {
+	vpn        uint64
+	pte        vm.PTE
+	valid      bool
+	lru        uint64
+	prefetched bool
+}
+
+// TLB is one set-associative translation lookaside buffer level,
+// mapping virtual page numbers to PTEs.
+type TLB struct {
+	name string
+	sets int
+	ways int
+	tick uint64
+	data []way
+
+	Hits         uint64
+	Misses       uint64
+	PrefetchHits uint64
+}
+
+// New builds a TLB with the given total entry count and associativity.
+// Unlike the data caches, TLB set counts need not be powers of two
+// (the Table III L2 TLB is 1536-entry 4-way = 384 sets); indexing is
+// by modulo.
+func New(name string, entries, ways int) *TLB {
+	sets := entries / ways
+	if sets <= 0 {
+		panic(fmt.Sprintf("tlb %s: non-positive set count %d", name, sets))
+	}
+	return &TLB{name: name, sets: sets, ways: ways, data: make([]way, sets*ways)}
+}
+
+func (t *TLB) set(vpn uint64) []way {
+	s := int(vpn % uint64(t.sets))
+	return t.data[s*t.ways : (s+1)*t.ways]
+}
+
+// Lookup probes for vpn, updating LRU and hit/miss statistics.
+func (t *TLB) Lookup(vpn uint64) (vm.PTE, bool) {
+	t.tick++
+	set := t.set(vpn)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.vpn == vpn {
+			w.lru = t.tick
+			if w.prefetched {
+				w.prefetched = false
+				t.PrefetchHits++
+			}
+			t.Hits++
+			return w.pte, true
+		}
+	}
+	t.Misses++
+	return 0, false
+}
+
+// Probe checks for vpn without touching statistics or LRU state.
+func (t *TLB) Probe(vpn uint64) bool {
+	for i := range t.set(vpn) {
+		w := &t.set(vpn)[i]
+		if w.valid && w.vpn == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills vpn -> pte, evicting LRU if needed.
+func (t *TLB) Insert(vpn uint64, pte vm.PTE) { t.insert(vpn, pte, false) }
+
+// InsertPrefetched fills an entry installed by a prefetcher.
+func (t *TLB) InsertPrefetched(vpn uint64, pte vm.PTE) { t.insert(vpn, pte, true) }
+
+func (t *TLB) insert(vpn uint64, pte vm.PTE, prefetched bool) {
+	t.tick++
+	set := t.set(vpn)
+	victim := 0
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.vpn == vpn {
+			w.pte = pte
+			w.lru = t.tick
+			return
+		}
+		if !w.valid {
+			victim = i
+			goto place
+		}
+		if w.lru < set[victim].lru {
+			victim = i
+		}
+	}
+place:
+	set[victim] = way{vpn: vpn, pte: pte, valid: true, lru: t.tick, prefetched: prefetched}
+}
+
+// InvalidatePage drops the entry for vpn if present (invlpg).
+func (t *TLB) InvalidatePage(vpn uint64) bool {
+	for i := range t.set(vpn) {
+		w := &t.set(vpn)[i]
+		if w.valid && w.vpn == vpn {
+			w.valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// Flush drops all entries (full TLB flush, e.g. context switch).
+func (t *TLB) Flush() {
+	for i := range t.data {
+		t.data[i] = way{}
+	}
+}
+
+// ResetStats clears counters, preserving contents.
+func (t *TLB) ResetStats() { t.Hits, t.Misses, t.PrefetchHits = 0, 0, 0 }
+
+// Hierarchy is the two-level TLB. A lookup that hits L2 refills L1.
+type Hierarchy struct {
+	L1   *TLB
+	L2   *TLB
+	lat1 arch.Cycles
+	lat2 arch.Cycles
+
+	// Lookups counts translations requested; FullMisses counts those
+	// that missed both levels (and went to STB/page walker).
+	Lookups    uint64
+	FullMisses uint64
+}
+
+// NewHierarchy builds the two-level TLB from machine parameters.
+func NewHierarchy(p arch.MachineParams) *Hierarchy {
+	return &Hierarchy{
+		L1:   New("DTLB", p.L1TLBEntries, p.L1TLBWays),
+		L2:   New("STLB", p.L2TLBEntries, p.L2TLBWays),
+		lat1: p.L1TLBLatency,
+		lat2: p.L2TLBLatency,
+	}
+}
+
+// Lookup translates vpn. It returns the PTE, the lookup latency, and
+// whether any level hit. On a full miss the caller must resolve the
+// translation (STB, then page walk) and call Fill.
+func (h *Hierarchy) Lookup(vpn uint64) (vm.PTE, arch.Cycles, bool) {
+	h.Lookups++
+	if pte, ok := h.L1.Lookup(vpn); ok {
+		return pte, h.lat1, true
+	}
+	if pte, ok := h.L2.Lookup(vpn); ok {
+		h.L1.Insert(vpn, pte)
+		return pte, h.lat1 + h.lat2, true
+	}
+	h.FullMisses++
+	return 0, h.lat1 + h.lat2, false
+}
+
+// Fill installs a resolved translation into both levels.
+func (h *Hierarchy) Fill(vpn uint64, pte vm.PTE) {
+	h.L2.Insert(vpn, pte)
+	h.L1.Insert(vpn, pte)
+}
+
+// InvalidatePage drops vpn from both levels.
+func (h *Hierarchy) InvalidatePage(vpn uint64) {
+	h.L1.InvalidatePage(vpn)
+	h.L2.InvalidatePage(vpn)
+}
+
+// Flush clears both levels.
+func (h *Hierarchy) Flush() {
+	h.L1.Flush()
+	h.L2.Flush()
+}
+
+// ResetStats clears all counters, preserving contents.
+func (h *Hierarchy) ResetStats() {
+	h.L1.ResetStats()
+	h.L2.ResetStats()
+	h.Lookups, h.FullMisses = 0, 0
+}

@@ -1,0 +1,187 @@
+package vm
+
+import (
+	"fmt"
+
+	"addrkv/internal/arch"
+)
+
+// PTE is a simulated page-table entry. The layout follows x86-64:
+// bit 0 = present, bit 1 = writable, bits 12..51 = physical frame
+// number shifted into place.
+type PTE uint64
+
+const (
+	// PTEPresent marks a valid translation.
+	PTEPresent PTE = 1 << 0
+	// PTEWritable marks a writable page.
+	PTEWritable PTE = 1 << 1
+
+	pteFrameMask PTE = 0x000F_FFFF_FFFF_F000
+)
+
+// Present reports whether the entry holds a valid translation.
+func (p PTE) Present() bool { return p&PTEPresent != 0 }
+
+// Writable reports whether the mapped page is writable.
+func (p PTE) Writable() bool { return p&PTEWritable != 0 }
+
+// Frame returns the physical frame number the entry points to.
+func (p PTE) Frame() uint64 { return uint64(p&pteFrameMask) >> arch.PageShift }
+
+// PhysBase returns the physical address of the start of the mapped page.
+func (p PTE) PhysBase() arch.Addr { return arch.Addr(p & pteFrameMask) }
+
+// MakePTE builds a present PTE for frame fn.
+func MakePTE(fn uint64, writable bool) PTE {
+	p := PTE(fn<<arch.PageShift)&pteFrameMask | PTEPresent
+	if writable {
+		p |= PTEWritable
+	}
+	return p
+}
+
+const (
+	// PTLevels is the number of radix levels (x86-64: PML4, PDPT,
+	// PD, PT).
+	PTLevels = 4
+	// ptIndexBits is the number of VA bits consumed per level.
+	ptIndexBits = 9
+	ptEntries   = 1 << ptIndexBits // 512 entries per table page
+)
+
+// WalkStep records one page-table access performed during a walk: the
+// physical address of the PTE that was read and its radix level
+// (PTLevels = root ... 1 = leaf). The CPU model replays these through
+// the cache hierarchy to charge walk latency ("the data cache caches
+// data as well as page table entries, as modern architectures do").
+type WalkStep struct {
+	PTEAddr arch.Addr
+	Level   int
+}
+
+// PageTable is a 4-level radix page table whose table pages live in
+// simulated physical memory, exactly like a real OS page table.
+type PageTable struct {
+	pm   *PhysMem
+	root uint64 // frame number of the root table (CR3)
+
+	mapped uint64 // number of present leaf entries
+}
+
+// NewPageTable allocates an empty page table in pm.
+func NewPageTable(pm *PhysMem) *PageTable {
+	return &PageTable{pm: pm, root: pm.AllocFrame()}
+}
+
+// RootFrame returns the frame number of the root table (the CR3 value).
+func (pt *PageTable) RootFrame() uint64 { return pt.root }
+
+// MappedPages returns the number of present leaf translations.
+func (pt *PageTable) MappedPages() uint64 { return pt.mapped }
+
+// indexAt extracts the radix index for the given level (PTLevels..1).
+func indexAt(va arch.Addr, level int) uint64 {
+	shift := arch.PageShift + ptIndexBits*(level-1)
+	return (uint64(va) >> shift) & (ptEntries - 1)
+}
+
+// pteAddr returns the physical address of the PTE for va at the given
+// level within table frame tf.
+func pteAddr(tf uint64, va arch.Addr, level int) arch.Addr {
+	return arch.Addr(tf<<arch.PageShift + indexAt(va, level)*8)
+}
+
+// Map installs a translation va -> frame fn. Intermediate table pages
+// are allocated on demand. Mapping an already-mapped page replaces the
+// leaf entry (used when a page is migrated).
+func (pt *PageTable) Map(va arch.Addr, fn uint64, writable bool) {
+	if va.Offset() != 0 {
+		panic(fmt.Sprintf("vm: Map of non-page-aligned address %v", va))
+	}
+	tf := pt.root
+	for level := PTLevels; level > 1; level-- {
+		a := pteAddr(tf, va, level)
+		e := PTE(pt.pm.ReadU64(a))
+		if !e.Present() {
+			nf := pt.pm.AllocFrame()
+			e = MakePTE(nf, true)
+			pt.pm.WriteU64(a, uint64(e))
+		}
+		tf = e.Frame()
+	}
+	a := pteAddr(tf, va, 1)
+	old := PTE(pt.pm.ReadU64(a))
+	if !old.Present() {
+		pt.mapped++
+	}
+	pt.pm.WriteU64(a, uint64(MakePTE(fn, writable)))
+}
+
+// Unmap removes the translation for va's page and returns the frame it
+// pointed to. It panics if the page was not mapped. Intermediate table
+// pages are retained (like Linux, which frees them lazily if at all).
+func (pt *PageTable) Unmap(va arch.Addr) uint64 {
+	tf := pt.root
+	for level := PTLevels; level > 1; level-- {
+		e := PTE(pt.pm.ReadU64(pteAddr(tf, va, level)))
+		if !e.Present() {
+			panic(fmt.Sprintf("vm: Unmap of unmapped address %v", va))
+		}
+		tf = e.Frame()
+	}
+	a := pteAddr(tf, va, 1)
+	e := PTE(pt.pm.ReadU64(a))
+	if !e.Present() {
+		panic(fmt.Sprintf("vm: Unmap of unmapped address %v", va))
+	}
+	pt.pm.WriteU64(a, 0)
+	pt.mapped--
+	return e.Frame()
+}
+
+// Walk performs a functional radix walk for va. It returns the leaf
+// PTE (zero if any level is absent) and appends the PTE accesses made
+// to steps, which it returns. A failed walk still reports the accesses
+// made up to the absent level, as a hardware walker would.
+func (pt *PageTable) Walk(va arch.Addr, steps []WalkStep) (PTE, []WalkStep) {
+	tf := pt.root
+	for level := PTLevels; level >= 1; level-- {
+		a := pteAddr(tf, va, level)
+		steps = append(steps, WalkStep{PTEAddr: a, Level: level})
+		e := PTE(pt.pm.ReadU64(a))
+		if !e.Present() {
+			return 0, steps
+		}
+		if level == 1 {
+			return e, steps
+		}
+		tf = e.Frame()
+	}
+	return 0, steps
+}
+
+// Lookup is a walk without access recording, for functional use.
+func (pt *PageTable) Lookup(va arch.Addr) (PTE, bool) {
+	tf := pt.root
+	for level := PTLevels; level >= 1; level-- {
+		e := PTE(pt.pm.ReadU64(pteAddr(tf, va, level)))
+		if !e.Present() {
+			return 0, false
+		}
+		if level == 1 {
+			return e, true
+		}
+		tf = e.Frame()
+	}
+	return 0, false
+}
+
+// Translate resolves va to a physical address, or ok=false if unmapped.
+func (pt *PageTable) Translate(va arch.Addr) (arch.Addr, bool) {
+	e, ok := pt.Lookup(va)
+	if !ok {
+		return 0, false
+	}
+	return e.PhysBase() + arch.Addr(va.Offset()), true
+}

@@ -1,0 +1,140 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"addrkv/internal/arch"
+)
+
+func TestPTEEncoding(t *testing.T) {
+	p := MakePTE(0x12345, true)
+	if !p.Present() || !p.Writable() {
+		t.Fatal("flags lost")
+	}
+	if p.Frame() != 0x12345 {
+		t.Fatalf("Frame = %#x", p.Frame())
+	}
+	if p.PhysBase() != arch.Addr(0x12345<<arch.PageShift) {
+		t.Fatalf("PhysBase = %v", p.PhysBase())
+	}
+	ro := MakePTE(7, false)
+	if ro.Writable() {
+		t.Fatal("read-only PTE claims writable")
+	}
+}
+
+func TestPTEEncodingProperty(t *testing.T) {
+	f := func(fn uint64, w bool) bool {
+		fn &= (1 << 40) - 1 // frame numbers fit 52-12 bits
+		p := MakePTE(fn, w)
+		return p.Present() && p.Frame() == fn && p.Writable() == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapWalkUnmap(t *testing.T) {
+	pm := NewPhysMem()
+	pt := NewPageTable(pm)
+	va := arch.Addr(0x7f12_3456_7000)
+	fn := pm.AllocFrame()
+	pt.Map(va, fn, true)
+
+	pte, steps := pt.Walk(va, nil)
+	if !pte.Present() || pte.Frame() != fn {
+		t.Fatalf("walk: pte=%#x", pte)
+	}
+	if len(steps) != PTLevels {
+		t.Fatalf("walk touched %d levels, want %d", len(steps), PTLevels)
+	}
+	// Steps go from root (level 4) to leaf (level 1).
+	for i, st := range steps {
+		if st.Level != PTLevels-i {
+			t.Fatalf("step %d level %d", i, st.Level)
+		}
+	}
+
+	pa, ok := pt.Translate(va + 0x123)
+	if !ok || pa != arch.Addr(fn<<arch.PageShift)+0x123 {
+		t.Fatalf("Translate = %v, %v", pa, ok)
+	}
+
+	if got := pt.Unmap(va); got != fn {
+		t.Fatalf("Unmap returned %d, want %d", got, fn)
+	}
+	if _, ok := pt.Translate(va); ok {
+		t.Fatal("translate after unmap succeeded")
+	}
+	if pt.MappedPages() != 0 {
+		t.Fatalf("MappedPages = %d", pt.MappedPages())
+	}
+}
+
+func TestWalkAbsentStopsEarly(t *testing.T) {
+	pm := NewPhysMem()
+	pt := NewPageTable(pm)
+	pte, steps := pt.Walk(0xdead000, nil)
+	if pte.Present() {
+		t.Fatal("walk of unmapped VA returned present PTE")
+	}
+	if len(steps) != 1 {
+		t.Fatalf("empty table walk touched %d PTEs, want 1 (root miss)", len(steps))
+	}
+}
+
+func TestMapReplacesLeaf(t *testing.T) {
+	pm := NewPhysMem()
+	pt := NewPageTable(pm)
+	va := arch.Addr(0x4000_0000)
+	f1, f2 := pm.AllocFrame(), pm.AllocFrame()
+	pt.Map(va, f1, true)
+	pt.Map(va, f2, true) // migration
+	if pa, _ := pt.Translate(va); pa.Page() != f2 {
+		t.Fatalf("after remap frame = %d, want %d", pa.Page(), f2)
+	}
+	if pt.MappedPages() != 1 {
+		t.Fatalf("MappedPages = %d, want 1", pt.MappedPages())
+	}
+}
+
+// TestPageTableRandomRoundTrip drives the radix table with many random
+// mappings and verifies translation agreement with a reference map.
+func TestPageTableRandomRoundTrip(t *testing.T) {
+	pm := NewPhysMem()
+	pt := NewPageTable(pm)
+	rng := rand.New(rand.NewSource(1))
+	ref := map[arch.Addr]uint64{}
+
+	for i := 0; i < 3000; i++ {
+		va := arch.Addr(rng.Uint64()&((1<<arch.VABits)-1)) &^ arch.Addr(arch.PageMask)
+		fn := pm.AllocFrame()
+		pt.Map(va, fn, true)
+		ref[va] = fn
+	}
+	for va, fn := range ref {
+		pte, ok := pt.Lookup(va)
+		if !ok || pte.Frame() != fn {
+			t.Fatalf("lookup %v: got frame %d want %d (ok=%v)", va, pte.Frame(), fn, ok)
+		}
+	}
+	// Unmap half; verify the rest survive.
+	i := 0
+	for va := range ref {
+		if i%2 == 0 {
+			pt.Unmap(va)
+			delete(ref, va)
+		}
+		i++
+	}
+	for va, fn := range ref {
+		if pte, ok := pt.Lookup(va); !ok || pte.Frame() != fn {
+			t.Fatalf("post-unmap lookup %v failed", va)
+		}
+	}
+	if pt.MappedPages() != uint64(len(ref)) {
+		t.Fatalf("MappedPages = %d, want %d", pt.MappedPages(), len(ref))
+	}
+}

@@ -1,0 +1,95 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"addrkv/internal/arch"
+)
+
+func TestPhysAllocFree(t *testing.T) {
+	pm := NewPhysMem()
+	f1 := pm.AllocFrame()
+	f2 := pm.AllocFrame()
+	if f1 == 0 || f2 == 0 || f1 == f2 {
+		t.Fatalf("bad frame numbers %d %d", f1, f2)
+	}
+	if pm.AllocatedFrames() != 2 {
+		t.Fatalf("AllocatedFrames = %d", pm.AllocatedFrames())
+	}
+	pm.FreeFrame(f1)
+	if pm.FrameAllocated(f1) {
+		t.Fatal("freed frame still allocated")
+	}
+	f3 := pm.AllocFrame()
+	if f3 != f1 {
+		t.Errorf("free list not reused: got %d want %d", f3, f1)
+	}
+	if pm.PeakFrames() != 2 {
+		t.Errorf("PeakFrames = %d, want 2", pm.PeakFrames())
+	}
+}
+
+func TestPhysFreeInvalidPanics(t *testing.T) {
+	pm := NewPhysMem()
+	for _, fn := range []uint64{0, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FreeFrame(%d) did not panic", fn)
+				}
+			}()
+			pm.FreeFrame(fn)
+		}()
+	}
+}
+
+func TestPhysReadWriteSpanningFrames(t *testing.T) {
+	pm := NewPhysMem()
+	first := pm.AllocContiguous(3)
+	base := arch.Addr(first << arch.PageShift)
+
+	data := make([]byte, 2*arch.PageSize+100)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	pm.WriteAt(base+50, data)
+	got := make([]byte, len(data))
+	pm.ReadAt(base+50, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-frame read/write mismatch")
+	}
+}
+
+func TestPhysU64RoundTrip(t *testing.T) {
+	pm := NewPhysMem()
+	fn := pm.AllocFrame()
+	pa := arch.Addr(fn << arch.PageShift)
+	const v uint64 = 0xDEADBEEF_CAFEF00D
+	pm.WriteU64(pa+8, v)
+	if got := pm.ReadU64(pa + 8); got != v {
+		t.Fatalf("ReadU64 = %#x, want %#x", got, v)
+	}
+}
+
+func TestPhysUnallocatedAccessPanics(t *testing.T) {
+	pm := NewPhysMem()
+	defer func() {
+		if recover() == nil {
+			t.Error("access to unallocated frame did not panic")
+		}
+	}()
+	var b [8]byte
+	pm.ReadAt(arch.Addr(50<<arch.PageShift), b[:])
+}
+
+func TestContiguousFramesAreAdjacent(t *testing.T) {
+	pm := NewPhysMem()
+	pm.AllocFrame() // disturb
+	first := pm.AllocContiguous(5)
+	for i := 0; i < 5; i++ {
+		if !pm.FrameAllocated(first + uint64(i)) {
+			t.Fatalf("frame %d of contiguous range unallocated", i)
+		}
+	}
+}
