@@ -34,6 +34,7 @@ import (
 	"addrkv/internal/core"
 	"addrkv/internal/hashfn"
 	"addrkv/internal/kv"
+	"addrkv/internal/shard"
 	"addrkv/internal/ycsb"
 )
 
@@ -73,9 +74,15 @@ const (
 
 // Options configures a System. Zero values pick the paper's defaults.
 type Options struct {
-	// Keys is the expected number of distinct keys (sizes the index
-	// and the default STLT). Required.
+	// Keys is the expected number of distinct keys across the whole
+	// system (sizes the indexes and the default STLTs). Required.
 	Keys int
+	// Shards is the number of independent simulated machines the key
+	// space is hashed across (default 1, the paper's single-core
+	// setup). Each shard gets its own caches, TLBs, STB/IPB, and an
+	// STLT sized at Keys/Shards; different shards can be driven from
+	// concurrent goroutines.
+	Shards int
 	// Index picks the indexing structure (default IndexChainHash).
 	Index IndexKind
 	// Mode picks the acceleration (default ModeBaseline).
@@ -112,9 +119,11 @@ type Options struct {
 	Seed uint64
 }
 
-// System is a simulated key-value store instance.
+// System is a simulated key-value store instance: a shard.Cluster of
+// one or more simulated machines. All data-path methods are safe for
+// concurrent use; operations on different shards proceed in parallel.
 type System struct {
-	e *kv.Engine
+	c *shard.Cluster
 }
 
 // New builds a System.
@@ -153,32 +162,57 @@ func New(o Options) (*System, error) {
 		}
 		cfg.SlowHash = &f
 	}
-	e, err := kv.New(cfg)
+	c, err := shard.New(shard.Config{Shards: o.Shards, Engine: cfg})
 	if err != nil {
 		return nil, err
 	}
-	return &System{e: e}, nil
+	return &System{c: c}, nil
 }
 
 // Load bulk-inserts n sequential YCSB keys with valueSize-byte values
-// (the fast, untimed population phase).
-func (s *System) Load(n, valueSize int) { s.e.Load(n, valueSize) }
+// (the fast, untimed population phase), each routed to its home shard.
+func (s *System) Load(n, valueSize int) { s.c.Load(n, valueSize) }
 
 // Get retrieves a key with full timing, returning its value.
-func (s *System) Get(key []byte) ([]byte, bool) { return s.e.Get(key) }
+func (s *System) Get(key []byte) ([]byte, bool) { return s.c.Get(key) }
+
+// GetTouch performs a timed GET charging the value read without
+// materializing it (the hot loop of replayers and benchmarks).
+func (s *System) GetTouch(key []byte) bool { return s.c.GetTouch(key) }
 
 // Set inserts or updates a key with full timing.
-func (s *System) Set(key, value []byte) { s.e.Set(key, value) }
+func (s *System) Set(key, value []byte) { s.c.Set(key, value) }
 
 // Delete removes a key with full timing.
-func (s *System) Delete(key []byte) bool { return s.e.Delete(key) }
+func (s *System) Delete(key []byte) bool { return s.c.Delete(key) }
+
+// Exists performs a timed existence-only check: the addressing path
+// without the value read or value reply.
+func (s *System) Exists(key []byte) bool { return s.c.Exists(key) }
+
+// Len returns the number of stored keys across all shards.
+func (s *System) Len() int { return s.c.Len() }
+
+// MarkMeasurement resets all counters on every shard: everything
+// before this call was warm-up.
+func (s *System) MarkMeasurement() { s.c.MarkMeasurement() }
+
+// Reset returns the system to its just-built state (FLUSHALL): empty
+// indexes, cold caches and fast paths, zeroed statistics.
+func (s *System) Reset() error { return s.c.Reset() }
 
 // KeyName returns the canonical YCSB key for a key id, as used by Load.
 func KeyName(id uint64) []byte { return ycsb.KeyName(id) }
 
-// Engine exposes the underlying engine for advanced use (experiment
-// harnesses, tests).
-func (s *System) Engine() *kv.Engine { return s.e }
+// Engine exposes shard 0's engine for advanced use (experiment
+// harnesses, tests). It bypasses the shard locks: single-goroutine
+// use only, and with Shards > 1 it sees only part of the key space —
+// prefer the System methods or Cluster.
+func (s *System) Engine() *kv.Engine { return s.c.Engine(0) }
+
+// Cluster exposes the underlying shard cluster (routing inspection,
+// per-shard stats).
+func (s *System) Cluster() *shard.Cluster { return s.c }
 
 // Workload shapes a RunWorkload call.
 type Workload struct {
@@ -215,8 +249,28 @@ type Report struct {
 	// "translate", "data", "stlt", "other") to their fraction of total
 	// cycles — the Figure 1 breakdown for this run.
 	CategoryShare map[string]float64
-	// Raw engine statistics for detailed analysis.
+	// Raw engine statistics for detailed analysis. With Shards > 1
+	// this is the counter-wise aggregate over shards; Cycles is then
+	// the summed per-core service time, not elapsed time.
 	Stats kv.Stats
+	// Shards is the number of simulated machines behind this report.
+	Shards int
+	// MaxShardCycles is the busiest shard's cycle count — the modeled
+	// wall-clock bound of the window (the slowest core finishes last).
+	// Equal to Cycles when Shards == 1.
+	MaxShardCycles uint64
+	// PerShard holds each shard's own statistics.
+	PerShard []kv.Stats
+}
+
+// ModeledThroughput returns operations per modeled wall-clock cycle
+// (Ops / MaxShardCycles); ratios of this across shard counts give the
+// modeled scaling curve.
+func (r Report) ModeledThroughput() float64 {
+	if r.MaxShardCycles == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.MaxShardCycles)
 }
 
 // RunWorkload drives a generated workload through the system: WarmOps
@@ -235,7 +289,7 @@ func (s *System) RunWorkload(w Workload) Report {
 		seed = 42
 	}
 	cfg := ycsb.Config{
-		Keys:      s.e.Idx.Len(),
+		Keys:      s.c.Len(),
 		ValueSize: w.ValueSize,
 		Dist:      w.Distribution,
 		Seed:      seed,
@@ -247,22 +301,27 @@ func (s *System) RunWorkload(w Workload) Report {
 	}
 	g := ycsb.NewGenerator(cfg)
 	for i := 0; i < w.WarmOps; i++ {
-		s.e.RunOp(g.Next(), w.ValueSize)
+		s.c.RunOp(g.Next(), w.ValueSize)
 	}
-	s.e.MarkMeasurement()
+	s.c.MarkMeasurement()
 	for i := 0; i < w.MeasureOps; i++ {
-		s.e.RunOp(g.Next(), w.ValueSize)
+		s.c.RunOp(g.Next(), w.ValueSize)
 	}
 	return s.Report()
 }
 
-// Report snapshots statistics since the last measurement mark.
+// Report snapshots statistics since the last measurement mark,
+// merged across shards.
 func (s *System) Report() Report {
-	st := s.e.Stats()
+	cs := s.c.Stats()
+	st := cs.Agg
 	r := Report{
-		Ops:    st.Ops,
-		Cycles: uint64(st.Machine.Cycles),
-		Stats:  st,
+		Ops:            st.Ops,
+		Cycles:         uint64(st.Machine.Cycles),
+		Stats:          st,
+		Shards:         s.c.NumShards(),
+		MaxShardCycles: cs.MaxShardCycles,
+		PerShard:       cs.PerShard,
 	}
 	if st.Ops > 0 {
 		ops := float64(st.Ops)

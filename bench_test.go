@@ -14,8 +14,10 @@ package addrkv
 // interesting outputs are the logged tables and the custom metrics.
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"addrkv/internal/harness"
@@ -148,6 +150,54 @@ func BenchmarkFig19Prefetch(b *testing.B) {
 	avg := len(t0.Rows) - 1
 	b.ReportMetric(cell(t0, avg, 1), "%stride-slowdown")
 	b.ReportMetric(cell(t0, avg, 2), "%vldp-slowdown")
+}
+
+func BenchmarkExtShards(b *testing.B) {
+	tables := runExperiment(b, "ext-shards")
+	t0 := tables[0]
+	last := len(t0.Rows) - 1
+	b.ReportMetric(cell(t0, last, 3), "x-modeled")
+	b.ReportMetric(cell(t0, last, 5), "x-real")
+}
+
+// BenchmarkClusterParallel drives a sharded System from parallel
+// goroutines (RunParallel spawns GOMAXPROCS workers), measuring the
+// real wall-clock op rate of the concurrent front-end — the number
+// that should rise with -shards.
+func BenchmarkClusterParallel(b *testing.B) {
+	const keys = 20000
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sys, err := New(Options{Keys: keys, Shards: shards, Index: IndexChainHash, Mode: ModeSTLT})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Load(keys, 64)
+			var nextSeed atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				g := ycsb.NewGenerator(ycsb.Config{
+					Keys: keys, ValueSize: 64, Dist: ycsb.Zipf,
+					Seed: nextSeed.Add(1), SetFraction: 0.05,
+				})
+				var buf [ycsb.KeyLen]byte
+				c := sys.Cluster()
+				for pb.Next() {
+					op := g.Next()
+					if op.Type == ycsb.Set {
+						c.Set(ycsb.KeyNameInto(buf[:], op.KeyID%keys), ycsb.Value(op.KeyID, 1, 64))
+					} else {
+						c.GetTouch(ycsb.KeyNameInto(buf[:], op.KeyID%keys))
+					}
+				}
+			})
+			b.StopTimer()
+			rep := sys.Report()
+			if rep.Ops != uint64(b.N) {
+				b.Fatalf("lost ops under parallel drive: engine saw %d, bench ran %d", rep.Ops, b.N)
+			}
+		})
+	}
 }
 
 // --- microbenchmarks of the core primitives (real wall-clock cost of

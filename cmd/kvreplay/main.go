@@ -4,9 +4,15 @@
 // traces against the STLT design, which is how one would evaluate it
 // for a real deployment.
 //
+// With -shards N the trace is routed across N simulated machines (the
+// sharded cluster kvserve runs); per-shard and aggregate statistics
+// are reported, including the modeled wall-clock bound (busiest
+// shard's cycles).
+//
 //	ycsbgen -keys 200000 -ops 2000000 -dist zipf > trace.txt
 //	kvreplay -mode baseline -keys 200000 < trace.txt
 //	kvreplay -mode stlt     -keys 200000 -warm 600000 < trace.txt
+//	kvreplay -mode stlt     -keys 200000 -shards 4 < trace.txt
 package main
 
 import (
@@ -23,12 +29,13 @@ import (
 
 func main() {
 	var (
-		mode  = flag.String("mode", "stlt", "baseline|stlt|slb|stlt-sw|stlt-va")
-		index = flag.String("index", "chainhash", "chainhash|densehash|rbtree|btree|skiplist")
-		keys  = flag.Int("keys", 100_000, "keys to preload (ids 0..keys-1)")
-		vsize = flag.Int("vsize", 64, "preload value size")
-		warm  = flag.Int("warm", 0, "trace ops to treat as warm-up (stats reset after)")
-		file  = flag.String("f", "", "trace file (default stdin)")
+		mode   = flag.String("mode", "stlt", "baseline|stlt|slb|stlt-sw|stlt-va")
+		index  = flag.String("index", "chainhash", "chainhash|densehash|rbtree|btree|skiplist")
+		keys   = flag.Int("keys", 100_000, "keys to preload (ids 0..keys-1)")
+		shards = flag.Int("shards", 1, "simulated machines to hash the key space across")
+		vsize  = flag.Int("vsize", 64, "preload value size")
+		warm   = flag.Int("warm", 0, "trace ops to treat as warm-up (stats reset after)")
+		file   = flag.String("f", "", "trace file (default stdin)")
 	)
 	flag.Parse()
 
@@ -43,15 +50,15 @@ func main() {
 	}
 
 	sys, err := addrkv.New(addrkv.Options{
-		Keys:  *keys,
-		Index: addrkv.IndexKind(*index),
-		Mode:  addrkv.Mode(*mode),
+		Keys:   *keys,
+		Shards: *shards,
+		Index:  addrkv.IndexKind(*index),
+		Mode:   addrkv.Mode(*mode),
 	})
 	if err != nil {
 		log.Fatalf("kvreplay: %v", err)
 	}
 	sys.Load(*keys, *vsize)
-	eng := sys.Engine()
 
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -71,7 +78,7 @@ func main() {
 		rest := line[sp+1:]
 		switch verb {
 		case "GET":
-			if !eng.GetTouch(rest) {
+			if !sys.GetTouch(rest) {
 				missing++
 			}
 		case "SET":
@@ -82,14 +89,14 @@ func main() {
 					value = make([]byte, n)
 				}
 			}
-			eng.Set(key, value)
+			sys.Set(key, value)
 			setsSeen++
 		default:
 			log.Fatalf("kvreplay: bad trace line %q", line)
 		}
 		ops++
 		if *warm > 0 && ops == *warm {
-			eng.MarkMeasurement()
+			sys.MarkMeasurement()
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -99,6 +106,14 @@ func main() {
 	rep := sys.Report()
 	fmt.Printf("replayed %d ops (%d SETs, %d GET misses)\n", ops, setsSeen, missing)
 	fmt.Println(rep)
+	if rep.Shards > 1 {
+		fmt.Printf("cluster: %d shards, max shard cycles %d (modeled wall-clock bound), %.3f ops/kcycle\n",
+			rep.Shards, rep.MaxShardCycles, 1000*rep.ModeledThroughput())
+		for i, st := range rep.PerShard {
+			fmt.Printf("  shard %d: ops=%d cycles/op=%.0f fastHits=%d\n",
+				i, st.Ops, st.CyclesPerOp(), st.FastHits)
+		}
+	}
 	if len(rep.CategoryShare) > 0 {
 		fmt.Println("cycle breakdown:")
 		for _, cat := range []string{"hash", "traverse", "translate", "data", "stlt", "other"} {

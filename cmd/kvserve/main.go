@@ -1,14 +1,21 @@
 // Command kvserve runs a Redis-protocol key-value server backed by the
 // simulated addrkv engine — the zero-to-running demo of the paper's
 // setup (Figure 1 measures Redis over a Unix domain socket with
-// pipelined requests).
+// pipelined requests), scaled out across -shards simulated machines.
 //
-// Commands: PING, GET, SET, DEL, EXISTS, DBSIZE, INFO, FLUSHALL, QUIT.
-// INFO reports the *simulated* cycle statistics (cycles/op, TLB misses,
-// STLT hit rate), so a client can measure the modeled speedup while
-// talking real RESP over a real socket.
+// Each shard is an independent simulated core (own caches, TLBs, STB,
+// and an STLT sized at keys/shards); keys route to shards by a stable
+// hash, so concurrent clients touching different shards proceed in
+// parallel with only per-shard locking.
 //
-//	kvserve -mode stlt -keys 100000 -sock /tmp/addrkv.sock
+// Commands: PING, GET, SET, DEL, EXISTS, DBSIZE, INFO, RESETSTATS,
+// FLUSHALL, QUIT. INFO reports the *simulated* cycle statistics
+// (aggregate plus a section per shard), so a client can measure the
+// modeled speedup while talking real RESP over a real socket.
+// SIGINT/SIGTERM stop the listener, drain in-flight connections, and
+// remove the Unix socket file.
+//
+//	kvserve -mode stlt -keys 100000 -shards 4 -sock /tmp/addrkv.sock
 //	kvserve -mode baseline -addr 127.0.0.1:6380
 package main
 
@@ -20,29 +27,45 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"addrkv"
 	"addrkv/internal/resp"
 )
 
-type server struct {
-	mu  sync.Mutex // the simulated machine is single-core; serialize ops
-	sys *addrkv.System
+// drainTimeout bounds how long shutdown waits for in-flight
+// connections before force-closing them.
+const drainTimeout = 5 * time.Second
 
-	opsSinceMark uint64
+type server struct {
+	sys          *addrkv.System
+	opsSinceMark atomic.Uint64 // GET/SET/EXISTS dispatched since RESETSTATS
+
+	closing atomic.Bool
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+}
+
+func newServer(sys *addrkv.System) *server {
+	return &server{sys: sys, conns: map[net.Conn]struct{}{}}
 }
 
 func main() {
 	var (
-		mode  = flag.String("mode", "stlt", "baseline|stlt|slb|stlt-sw|stlt-va")
-		index = flag.String("index", "chainhash", "chainhash|densehash|rbtree|btree")
-		keys  = flag.Int("keys", 100_000, "index/STLT sizing hint (and preload count with -preload)")
-		pre   = flag.Bool("preload", false, "preload -keys YCSB records before serving")
-		vsize = flag.Int("vsize", 64, "preload value size")
-		sock  = flag.String("sock", "", "Unix socket path (the paper's transport)")
-		addr  = flag.String("addr", "", "TCP address, e.g. 127.0.0.1:6380")
+		mode   = flag.String("mode", "stlt", "baseline|stlt|slb|stlt-sw|stlt-va")
+		index  = flag.String("index", "chainhash", "chainhash|densehash|rbtree|btree")
+		keys   = flag.Int("keys", 100_000, "index/STLT sizing hint (and preload count with -preload)")
+		shards = flag.Int("shards", 1, "number of simulated machines the key space is hashed across")
+		pre    = flag.Bool("preload", false, "preload -keys YCSB records before serving")
+		vsize  = flag.Int("vsize", 64, "preload value size")
+		sock   = flag.String("sock", "", "Unix socket path (the paper's transport)")
+		addr   = flag.String("addr", "", "TCP address, e.g. 127.0.0.1:6380")
 	)
 	flag.Parse()
 
@@ -53,6 +76,7 @@ func main() {
 
 	sys, err := addrkv.New(addrkv.Options{
 		Keys:       *keys,
+		Shards:     *shards,
 		Index:      addrkv.IndexKind(*index),
 		Mode:       addrkv.Mode(*mode),
 		RedisLayer: true,
@@ -64,7 +88,7 @@ func main() {
 		log.Printf("preloading %d keys (%dB values)...", *keys, *vsize)
 		sys.Load(*keys, *vsize)
 	}
-	s := &server{sys: sys}
+	s := newServer(sys)
 
 	var ln net.Listener
 	if *sock != "" {
@@ -76,41 +100,114 @@ func main() {
 	if err != nil {
 		log.Fatalf("kvserve: %v", err)
 	}
-	log.Printf("kvserve: %s engine on %s serving %s", *mode, *index, ln.Addr())
+	log.Printf("kvserve: %s engine on %s, %d shard(s), serving %s",
+		*mode, *index, *shards, ln.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("kvserve: %v — stopping accept, draining connections", sig)
+		s.closing.Store(true)
+		ln.Close()
+		s.nudgeConns() // wake readers blocked on idle connections
+	}()
 
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if s.closing.Load() || errors.Is(err, net.ErrClosed) {
+				break
+			}
 			log.Printf("accept: %v", err)
+			time.Sleep(50 * time.Millisecond) // don't spin on persistent errors
 			continue
 		}
+		s.track(conn)
 		go s.serve(conn)
+	}
+
+	s.drain()
+	if *sock != "" {
+		_ = os.Remove(*sock)
+	}
+	log.Printf("kvserve: shutdown complete")
+}
+
+func (s *server) track(conn net.Conn) {
+	s.wg.Add(1)
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+	s.wg.Done()
+}
+
+// nudgeConns sets an immediate read deadline on every open connection
+// so serve loops blocked in ReadCommand wake up and observe closing.
+func (s *server) nudgeConns() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	now := time.Now()
+	for c := range s.conns {
+		_ = c.SetReadDeadline(now)
+	}
+}
+
+// drain waits for in-flight connections to finish their current
+// command, force-closing stragglers after drainTimeout.
+func (s *server) drain() {
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(drainTimeout):
+		s.connMu.Lock()
+		n := len(s.conns)
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.connMu.Unlock()
+		log.Printf("kvserve: drain timeout, force-closed %d connection(s)", n)
+		<-done
 	}
 }
 
 func (s *server) serve(conn net.Conn) {
+	defer s.untrack(conn)
 	defer conn.Close()
 	r := resp.NewReader(conn)
 	w := resp.NewWriter(conn)
 	for {
 		args, err := r.ReadCommand()
 		if err != nil {
-			if !errors.Is(err, io.EOF) {
+			if !errors.Is(err, io.EOF) && !isTimeout(err) {
 				log.Printf("client error: %v", err)
 			}
 			return
 		}
 		quit := s.dispatch(w, args)
-		if err := w.Flush(); err != nil || quit {
+		if err := w.Flush(); err != nil || quit || s.closing.Load() {
 			return
 		}
 	}
 }
 
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// dispatch executes one command. It takes no global lock: System's
+// data-path methods lock only the key's home shard, so concurrent
+// connections touching different shards proceed in parallel.
 func (s *server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 	cmd := strings.ToUpper(string(args[0]))
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch cmd {
 	case "PING":
 		w.WriteSimple("PONG")
@@ -122,7 +219,7 @@ func (s *server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 			w.WriteError("ERR wrong number of arguments for 'get'")
 			return
 		}
-		s.opsSinceMark++
+		s.opsSinceMark.Add(1)
 		if v, ok := s.sys.Get(args[1]); ok {
 			w.WriteBulk(v)
 		} else {
@@ -133,7 +230,7 @@ func (s *server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 			w.WriteError("ERR wrong number of arguments for 'set'")
 			return
 		}
-		s.opsSinceMark++
+		s.opsSinceMark.Add(1)
 		s.sys.Set(args[1], args[2])
 		w.WriteSimple("OK")
 	case "DEL":
@@ -153,34 +250,58 @@ func (s *server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
 			w.WriteError("ERR wrong number of arguments for 'exists'")
 			return
 		}
-		if _, ok := s.sys.Get(args[1]); ok {
+		s.opsSinceMark.Add(1)
+		if s.sys.Exists(args[1]) {
 			w.WriteInt(1)
 		} else {
 			w.WriteInt(0)
 		}
 	case "DBSIZE":
-		w.WriteInt(int64(s.sys.Engine().Idx.Len()))
+		w.WriteInt(int64(s.sys.Len()))
 	case "INFO":
-		rep := s.sys.Report()
-		var b strings.Builder
-		fmt.Fprintf(&b, "# addrkv simulated statistics (since RESETSTATS)\r\n")
-		fmt.Fprintf(&b, "ops:%d\r\n", rep.Ops)
-		fmt.Fprintf(&b, "cycles:%d\r\n", rep.Cycles)
-		fmt.Fprintf(&b, "cycles_per_op:%.1f\r\n", rep.CyclesPerOp)
-		fmt.Fprintf(&b, "tlb_misses_per_op:%.3f\r\n", rep.TLBMissesPerOp)
-		fmt.Fprintf(&b, "page_walks_per_op:%.3f\r\n", rep.PageWalksPerOp)
-		fmt.Fprintf(&b, "llc_misses_per_op:%.3f\r\n", rep.CacheMissesPerOp)
-		fmt.Fprintf(&b, "fast_path_hit_rate:%.4f\r\n", rep.FastPathHitRate)
-		fmt.Fprintf(&b, "table_miss_rate:%.4f\r\n", rep.TableMissRate)
-		w.WriteBulk([]byte(b.String()))
+		w.WriteBulk([]byte(s.info()))
 	case "RESETSTATS":
-		s.sys.Engine().MarkMeasurement()
-		s.opsSinceMark = 0
+		s.sys.MarkMeasurement()
+		s.opsSinceMark.Store(0)
 		w.WriteSimple("OK")
 	case "FLUSHALL":
-		w.WriteError("ERR FLUSHALL not supported; restart the server")
+		if err := s.sys.Reset(); err != nil {
+			w.WriteError(fmt.Sprintf("ERR flushall: %v", err))
+			return
+		}
+		s.opsSinceMark.Store(0)
+		w.WriteSimple("OK")
 	default:
 		w.WriteError(fmt.Sprintf("ERR unknown command '%s'", cmd))
 	}
 	return false
+}
+
+// info renders the INFO payload: the aggregate simulated statistics
+// followed by one section per shard.
+func (s *server) info() string {
+	rep := s.sys.Report()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# addrkv simulated statistics (since RESETSTATS)\r\n")
+	fmt.Fprintf(&b, "shards:%d\r\n", rep.Shards)
+	fmt.Fprintf(&b, "server_ops:%d\r\n", s.opsSinceMark.Load())
+	fmt.Fprintf(&b, "ops:%d\r\n", rep.Ops)
+	fmt.Fprintf(&b, "cycles:%d\r\n", rep.Cycles)
+	fmt.Fprintf(&b, "max_shard_cycles:%d\r\n", rep.MaxShardCycles)
+	fmt.Fprintf(&b, "cycles_per_op:%.1f\r\n", rep.CyclesPerOp)
+	fmt.Fprintf(&b, "modeled_ops_per_kcycle:%.3f\r\n", 1000*rep.ModeledThroughput())
+	fmt.Fprintf(&b, "tlb_misses_per_op:%.3f\r\n", rep.TLBMissesPerOp)
+	fmt.Fprintf(&b, "page_walks_per_op:%.3f\r\n", rep.PageWalksPerOp)
+	fmt.Fprintf(&b, "llc_misses_per_op:%.3f\r\n", rep.CacheMissesPerOp)
+	fmt.Fprintf(&b, "fast_path_hit_rate:%.4f\r\n", rep.FastPathHitRate)
+	fmt.Fprintf(&b, "table_miss_rate:%.4f\r\n", rep.TableMissRate)
+	for i, st := range rep.PerShard {
+		fmt.Fprintf(&b, "# shard %d\r\n", i)
+		fmt.Fprintf(&b, "shard%d_ops:%d\r\n", i, st.Ops)
+		fmt.Fprintf(&b, "shard%d_keys:%d\r\n", i, s.sys.Cluster().ShardLen(i))
+		fmt.Fprintf(&b, "shard%d_cycles:%d\r\n", i, uint64(st.Machine.Cycles))
+		fmt.Fprintf(&b, "shard%d_cycles_per_op:%.1f\r\n", i, st.CyclesPerOp())
+		fmt.Fprintf(&b, "shard%d_fast_hits:%d\r\n", i, st.FastHits)
+	}
+	return b.String()
 }

@@ -2,17 +2,20 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"addrkv"
 	"addrkv/internal/resp"
 )
 
-func newTestServer(t *testing.T) *server {
+func newTestServerShards(t *testing.T, shards int) *server {
 	t.Helper()
 	sys, err := addrkv.New(addrkv.Options{
 		Keys:       2000,
+		Shards:     shards,
 		Index:      addrkv.IndexChainHash,
 		Mode:       addrkv.ModeSTLT,
 		RedisLayer: true,
@@ -20,8 +23,10 @@ func newTestServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &server{sys: sys}
+	return newServer(sys)
 }
+
+func newTestServer(t *testing.T) *server { return newTestServerShards(t, 1) }
 
 // call dispatches a command and returns the decoded reply.
 func call(t *testing.T, s *server, args ...string) any {
@@ -80,12 +85,68 @@ func TestServerInfoAndReset(t *testing.T) {
 	if !strings.Contains(info, "cycles_per_op") {
 		t.Fatalf("INFO missing stats:\n%s", info)
 	}
+	if !strings.Contains(info, "shards:1") || !strings.Contains(info, "# shard 0") {
+		t.Fatalf("INFO missing shard sections:\n%s", info)
+	}
 	if got := call(t, s, "RESETSTATS"); got != "OK" {
 		t.Fatalf("RESETSTATS = %v", got)
 	}
 	info = string(call(t, s, "INFO").([]byte))
-	if !strings.Contains(info, "ops:0") {
+	if !strings.Contains(info, "\r\nops:0\r\n") {
 		t.Fatalf("stats not reset:\n%s", info)
+	}
+}
+
+// TestServerExistsCounted: EXISTS must count toward server_ops like
+// GET/SET, and must be cheaper than a GET of the same key (it skips
+// the value read and the value-copy reply).
+func TestServerExistsCounted(t *testing.T) {
+	s := newTestServer(t)
+	call(t, s, "SET", "k", strings.Repeat("v", 256))
+	call(t, s, "RESETSTATS")
+	call(t, s, "EXISTS", "k")
+	call(t, s, "EXISTS", "nope")
+	info := string(call(t, s, "INFO").([]byte))
+	if !strings.Contains(info, "server_ops:2") {
+		t.Fatalf("EXISTS not counted in server_ops:\n%s", info)
+	}
+	if !strings.Contains(info, "\r\nops:2\r\n") {
+		t.Fatalf("EXISTS not counted as engine ops:\n%s", info)
+	}
+
+	existsRep := s.sys.Report()
+	call(t, s, "RESETSTATS")
+	call(t, s, "GET", "k")
+	call(t, s, "GET", "nope")
+	getRep := s.sys.Report()
+	if existsRep.Cycles >= getRep.Cycles {
+		t.Fatalf("EXISTS (%d cycles) not cheaper than GET (%d cycles)",
+			existsRep.Cycles, getRep.Cycles)
+	}
+}
+
+func TestServerFlushall(t *testing.T) {
+	s := newTestServerShards(t, 2)
+	call(t, s, "SET", "a", "1")
+	call(t, s, "SET", "b", "2")
+	if got := call(t, s, "DBSIZE"); got.(int64) != 2 {
+		t.Fatalf("DBSIZE = %v", got)
+	}
+	if got := call(t, s, "FLUSHALL"); got != "OK" {
+		t.Fatalf("FLUSHALL = %v", got)
+	}
+	if got := call(t, s, "DBSIZE"); got.(int64) != 0 {
+		t.Fatalf("DBSIZE after FLUSHALL = %v", got)
+	}
+	if got := call(t, s, "GET", "a"); got != nil {
+		t.Fatalf("flushed key visible: %v", got)
+	}
+	// Server stays usable.
+	if got := call(t, s, "SET", "c", "3"); got != "OK" {
+		t.Fatalf("SET after FLUSHALL = %v", got)
+	}
+	if got := call(t, s, "GET", "c"); string(got.([]byte)) != "3" {
+		t.Fatalf("GET after FLUSHALL = %v", got)
 	}
 }
 
@@ -97,11 +158,11 @@ func TestServerErrors(t *testing.T) {
 	if _, ok := call(t, s, "SET", "k").(error); !ok {
 		t.Fatal("arity error not reported")
 	}
+	if _, ok := call(t, s, "EXISTS").(error); !ok {
+		t.Fatal("arity error not reported")
+	}
 	if _, ok := call(t, s, "WHATEVER").(error); !ok {
 		t.Fatal("unknown command not reported")
-	}
-	if _, ok := call(t, s, "FLUSHALL").(error); !ok {
-		t.Fatal("FLUSHALL should report unsupported")
 	}
 }
 
@@ -114,5 +175,57 @@ func TestServerQuit(t *testing.T) {
 	}
 	if quit := s.dispatch(w, [][]byte{[]byte("PING")}); quit {
 		t.Fatal("PING requested close")
+	}
+}
+
+// TestServerConcurrentDispatch hammers dispatch from many goroutines
+// on a 4-shard server (run under -race in CI) and checks that the
+// aggregate op counts come out exact: per-shard locking must lose no
+// updates, and concurrent INFO/DBSIZE snapshots must not crash.
+func TestServerConcurrentDispatch(t *testing.T) {
+	const (
+		goroutines = 8
+		opsEach    = 400
+	)
+	s := newTestServerShards(t, 4)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			w := resp.NewWriter(&buf)
+			for i := 0; i < opsEach; i++ {
+				key := fmt.Sprintf("key-%d-%d", g, i)
+				s.dispatch(w, [][]byte{[]byte("SET"), []byte(key), []byte("v")})
+				s.dispatch(w, [][]byte{[]byte("GET"), []byte(key)})
+				s.dispatch(w, [][]byte{[]byte("EXISTS"), []byte(key)})
+				if i%64 == 0 {
+					s.dispatch(w, [][]byte{[]byte("INFO")})
+					s.dispatch(w, [][]byte{[]byte("DBSIZE")})
+				}
+				buf.Reset()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got, want := s.opsSinceMark.Load(), uint64(3*goroutines*opsEach); got != want {
+		t.Fatalf("server_ops = %d, want %d", got, want)
+	}
+	rep := s.sys.Report()
+	if got, want := rep.Ops, uint64(3*goroutines*opsEach); got != want {
+		t.Fatalf("aggregate engine ops = %d, want %d", got, want)
+	}
+	if got, want := s.sys.Len(), goroutines*opsEach; got != want {
+		t.Fatalf("DBSIZE = %d, want %d", got, want)
+	}
+	var perShard uint64
+	for _, st := range rep.PerShard {
+		perShard += st.Ops
+	}
+	if perShard != rep.Ops {
+		t.Fatalf("per-shard ops sum %d != aggregate %d", perShard, rep.Ops)
 	}
 }

@@ -69,6 +69,40 @@ func (s Stats) Sub(base Stats) Stats {
 	return d
 }
 
+// Add returns s + o, counter-wise. MeanDRAMLatency is combined as the
+// access-count-weighted mean, so merging per-shard machine stats keeps
+// the aggregate latency meaningful.
+func (s Stats) Add(o Stats) Stats {
+	d := s
+	d.Cycles += o.Cycles
+	for i := range d.ByCat {
+		d.ByCat[i] += o.ByCat[i]
+	}
+	d.Loads += o.Loads
+	d.Stores += o.Stores
+	d.TLBLookups += o.TLBLookups
+	d.TLBMisses += o.TLBMisses
+	d.STBHits += o.STBHits
+	d.PageWalks += o.PageWalks
+	d.WalkCycles += o.WalkCycles
+	d.CacheTotal.Accesses += o.CacheTotal.Accesses
+	d.CacheTotal.L1Miss += o.CacheTotal.L1Miss
+	d.CacheTotal.L2Miss += o.CacheTotal.L2Miss
+	d.CacheTotal.L3Miss += o.CacheTotal.L3Miss
+	if total := s.DRAMAccesses + o.DRAMAccesses; total > 0 {
+		d.MeanDRAMLatency = (s.MeanDRAMLatency*float64(s.DRAMAccesses) +
+			o.MeanDRAMLatency*float64(o.DRAMAccesses)) / float64(total)
+	}
+	d.DRAMAccesses += o.DRAMAccesses
+	d.DRAMDemand += o.DRAMDemand
+	d.DRAMWritebacks += o.DRAMWritebacks
+	d.TLBPrefetchIssued += o.TLBPrefetchIssued
+	d.TLBPrefetchHits += o.TLBPrefetchHits
+	d.CachePrefetchIssued += o.CachePrefetchIssued
+	d.CachePrefetchHits += o.CachePrefetchHits
+	return d
+}
+
 // Machine is the simulated core plus its memory system.
 type Machine struct {
 	Params arch.MachineParams

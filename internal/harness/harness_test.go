@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
+
+func strconvParse(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
 
 // tinyScale keeps harness tests fast; shape targets are not asserted
 // at this scale (see EXPERIMENTS.md for calibrated runs), only that
@@ -17,6 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19l", "fig19r", "tab1", "tab5",
 		"ext-hwhash", "ext-hugepage", "ext-skiplist", "ext-latency",
+		"ext-shards",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -133,6 +137,28 @@ func TestFig19LeftRuns(t *testing.T) {
 	tables := e.Run(tinyScale())
 	if len(tables[0].Rows) == 0 {
 		t.Fatal("no rows")
+	}
+}
+
+func TestExtShardsRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	e, _ := ByID("ext-shards")
+	tables := e.Run(tinyScale())
+	t0 := tables[0]
+	if len(t0.Rows) < 3 {
+		t.Fatalf("expected at least 3 shard counts, got %d rows", len(t0.Rows))
+	}
+	// The 1-shard row normalizes both speedup columns to 1.
+	if t0.Rows[0][3] != "1.000" || t0.Rows[0][5] != "1.000" {
+		t.Fatalf("1-shard speedups not normalized:\n%s", t0.Render())
+	}
+	// Modeled speedup must grow with shards (near-linear scaling).
+	s2, _ := strconvParse(t0.Rows[1][3])
+	s4, _ := strconvParse(t0.Rows[2][3])
+	if !(s2 > 1.2 && s4 > s2) {
+		t.Fatalf("modeled scaling curve not increasing (x2=%v, x4=%v):\n%s", s2, s4, t0.Render())
 	}
 }
 

@@ -176,6 +176,36 @@ type Stats struct {
 	SLB      slb.Stats
 }
 
+// Add returns s + o, counter-wise — the merge used when aggregating
+// per-shard engine stats into cluster totals. STLT and SLB counters
+// add directly; machine counters merge via cpu.Stats.Add (which
+// weights MeanDRAMLatency by access count).
+func (s Stats) Add(o Stats) Stats {
+	d := s
+	d.Ops += o.Ops
+	d.Gets += o.Gets
+	d.Sets += o.Sets
+	d.Misses += o.Misses
+	d.FastHits += o.FastHits
+	d.Moves += o.Moves
+	d.Machine = s.Machine.Add(o.Machine)
+	d.STLT.Lookups += o.STLT.Lookups
+	d.STLT.Hits += o.STLT.Hits
+	d.STLT.IPBRejects += o.STLT.IPBRejects
+	d.STLT.MultiMatch += o.STLT.MultiMatch
+	d.STLT.Inserts += o.STLT.Inserts
+	d.STLT.InsertDrops += o.STLT.InsertDrops
+	d.STLT.Replaced += o.STLT.Replaced
+	d.STLT.Scrubs += o.STLT.Scrubs
+	d.STLT.FalseHits += o.STLT.FalseHits
+	d.SLB.Lookups += o.SLB.Lookups
+	d.SLB.Hits += o.SLB.Hits
+	d.SLB.FalseHits += o.SLB.FalseHits
+	d.SLB.Inserts += o.SLB.Inserts
+	d.SLB.Rejected += o.SLB.Rejected
+	return d
+}
+
 // CyclesPerOp returns average cycles per operation.
 func (s Stats) CyclesPerOp() float64 {
 	if s.Ops == 0 {
@@ -299,6 +329,32 @@ func (e *Engine) Load(n int, valueSize int) {
 	e.M.Fast = wasFast
 }
 
+// LoadOne inserts a single key/value pair in Fast (functional-only)
+// mode — the per-key form of Load, used by cluster loaders that route
+// a key space across several engines.
+func (e *Engine) LoadOne(key, value []byte) {
+	wasFast := e.M.Fast
+	e.M.Fast = true
+	e.Idx.Put(key, value)
+	e.M.Fast = wasFast
+}
+
+// Reset returns the engine to its just-built state: empty index, cold
+// caches/TLBs/fast paths, zeroed statistics — a FLUSHALL without a
+// process restart. The engine is rebuilt from its own Config, so a
+// reset engine behaves bit-for-bit like a fresh one. Counters are
+// zeroed (a fresh build carries table-allocation cycles; a FLUSHALL
+// should not surface those as serving cost).
+func (e *Engine) Reset() error {
+	ne, err := New(e.Cfg)
+	if err != nil {
+		return err
+	}
+	ne.MarkMeasurement()
+	*e = *ne
+	return nil
+}
+
 // Get performs a timed GET, returning the value.
 func (e *Engine) Get(key []byte) ([]byte, bool) {
 	va, ok := e.get(key)
@@ -334,6 +390,25 @@ func (e *Engine) get(key []byte) (arch.Addr, bool) {
 		e.redis.command(key, len("GET"))
 	}
 
+	va, found := e.lookup(key)
+
+	if !found {
+		e.misses++
+		if e.redis != nil {
+			e.redis.reply(0)
+		}
+		return 0, false
+	}
+	if e.redis != nil {
+		e.redis.replyValue(e.M, va)
+	}
+	return va, true
+}
+
+// lookup runs the mode-specific addressing path (fast path plus slow
+// path on a miss), charging all timing, without any command/reply
+// modeling. It is shared by GET and EXISTS.
+func (e *Engine) lookup(key []byte) (arch.Addr, bool) {
 	var va arch.Addr
 	found := false
 	switch {
@@ -371,18 +446,36 @@ func (e *Engine) get(key []byte) (arch.Addr, bool) {
 	default:
 		va, found = e.Idx.Get(key)
 	}
-
 	if !found {
-		e.misses++
-		if e.redis != nil {
-			e.redis.reply(0)
-		}
 		return 0, false
 	}
-	if e.redis != nil {
-		e.redis.replyValue(e.M, va)
-	}
 	return va, true
+}
+
+// Exists performs a timed existence check: the full addressing path
+// (fast path, slow path, STLT refill) without the value read or the
+// value-copy reply — the cheap path a Redis EXISTS takes.
+func (e *Engine) Exists(key []byte) bool {
+	if e.Monitor != nil {
+		e.Monitor.BeginOp()
+		defer e.Monitor.EndOp()
+	}
+	if e.Tuner != nil {
+		e.Tuner.Tick()
+	}
+	e.ops++
+	e.gets++
+	if e.redis != nil {
+		e.redis.command(key, len("EXISTS"))
+	}
+	_, found := e.lookup(key)
+	if !found {
+		e.misses++
+	}
+	if e.redis != nil {
+		e.redis.reply(4) // ":1\r\n" / ":0\r\n"
+	}
+	return found
 }
 
 // Set performs a timed SET.

@@ -1,0 +1,260 @@
+// Package shard scales the paper's single-core simulated engine to a
+// multi-core cluster: N independent kv.Engine instances (each with its
+// own simulated machine, caches, TLBs, STB/IPB, and an STLT sized at
+// keys/N), with each key routed to one shard by a stable hash.
+//
+// The design follows the scaling path the related work lays out: LaKe
+// replicates processing elements over a common store, and the paper's
+// own STLT is a *per-process* kernel table — so a shard-per-core
+// cluster where every core keeps private translation state (TLB, STB,
+// IPB) and a private STLT slice is the faithful multi-core extension.
+// Cross-shard state is nil by construction: a key's records, STLT rows
+// and cache lines live entirely on its home shard, so shards never
+// need coherence traffic and the front-end may drive them from
+// concurrent goroutines (one lock per shard).
+//
+// Routing happens in the front-end (the real Go dispatch code), not on
+// any simulated machine: it models the NIC/steering logic that real
+// multi-core KV servers (and LaKe's hardware scheduler) place before
+// the cores, so no simulated cycles are charged for it.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"addrkv/internal/hashfn"
+	"addrkv/internal/kv"
+	"addrkv/internal/ycsb"
+)
+
+// routeSeed is the fixed seed of the shard-routing hash. It is
+// deliberately distinct from the engines' fast-path hash seed so that
+// shard placement and STLT row placement are uncorrelated.
+const routeSeed = 0x5A4DC0DE
+
+// Config shapes a Cluster.
+type Config struct {
+	// Shards is the number of independent engines (default 1).
+	Shards int
+	// Engine is the per-shard engine template. Engine.Keys is the
+	// TOTAL expected key count across the cluster; each shard's index
+	// and STLT are sized at Keys/Shards. Shard i runs with seed
+	// Engine.Seed+i so identically-configured shards do not share hash
+	// layouts (shard 0 keeps the template seed, which is what makes a
+	// 1-shard cluster bit-identical to a single engine).
+	Engine kv.Config
+	// RouteHash overrides the key-to-shard routing hash
+	// (default xxh64).
+	RouteHash *hashfn.Func
+}
+
+// Cluster is a sharded set of simulated engines.
+type Cluster struct {
+	shards []*shardSlot
+	route  hashfn.Func
+}
+
+// shardSlot pairs an engine with its serialization lock: each engine
+// models ONE core, so operations on the same shard serialize while
+// different shards proceed concurrently.
+type shardSlot struct {
+	mu sync.Mutex
+	e  *kv.Engine
+}
+
+// New builds a cluster of cfg.Shards engines.
+func New(cfg Config) (*Cluster, error) {
+	n := cfg.Shards
+	if n == 0 {
+		n = 1
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("shard: Shards must be >= 1, got %d", n)
+	}
+	route := hashfn.XXH64
+	if cfg.RouteHash != nil {
+		route = *cfg.RouteHash
+	}
+	perShard := cfg.Engine
+	perShard.Keys = (cfg.Engine.Keys + n - 1) / n
+	c := &Cluster{route: route}
+	for i := 0; i < n; i++ {
+		ecfg := perShard
+		ecfg.Seed = cfg.Engine.Seed + uint64(i)
+		e, err := kv.New(ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		c.shards = append(c.shards, &shardSlot{e: e})
+	}
+	return c, nil
+}
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// ShardFor returns the home shard of a key — a stable function of the
+// key bytes only, so clients, replayers and the server always agree.
+func (c *Cluster) ShardFor(key []byte) int {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	return int(c.route.Hash(key, routeSeed) % uint64(len(c.shards)))
+}
+
+func (c *Cluster) slot(key []byte) *shardSlot {
+	return c.shards[c.ShardFor(key)]
+}
+
+// Engine exposes shard i's engine directly, WITHOUT locking — for
+// single-threaded phases (tests, harness setup) only.
+func (c *Cluster) Engine(i int) *kv.Engine { return c.shards[i].e }
+
+// Load bulk-inserts n sequential YCSB keys (untimed), each routed to
+// its home shard — the cluster form of kv.Engine.Load.
+func (c *Cluster) Load(n, valueSize int) {
+	var buf [ycsb.KeyLen]byte
+	for id := uint64(0); id < uint64(n); id++ {
+		key := ycsb.KeyNameInto(buf[:], id)
+		s := c.slot(key)
+		s.mu.Lock()
+		s.e.LoadOne(key, ycsb.Value(id, 0, valueSize))
+		s.mu.Unlock()
+	}
+}
+
+// Get retrieves a key with full timing on its home shard.
+func (c *Cluster) Get(key []byte) ([]byte, bool) {
+	s := c.slot(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.Get(key)
+}
+
+// GetTouch performs a timed GET charging the value read without
+// materializing it.
+func (c *Cluster) GetTouch(key []byte) bool {
+	s := c.slot(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.GetTouch(key)
+}
+
+// Set inserts or updates a key with full timing on its home shard.
+func (c *Cluster) Set(key, value []byte) {
+	s := c.slot(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.e.Set(key, value)
+}
+
+// Delete removes a key with full timing on its home shard.
+func (c *Cluster) Delete(key []byte) bool {
+	s := c.slot(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.Delete(key)
+}
+
+// Exists performs a timed existence-only check on the home shard.
+func (c *Cluster) Exists(key []byte) bool {
+	s := c.slot(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.Exists(key)
+}
+
+// RunOp executes one generated workload operation on the home shard.
+func (c *Cluster) RunOp(op ycsb.Op, valueSize int) {
+	var buf [ycsb.KeyLen]byte
+	s := c.slot(ycsb.KeyNameInto(buf[:], op.KeyID))
+	s.mu.Lock()
+	s.e.RunOp(op, valueSize)
+	s.mu.Unlock()
+}
+
+// ShardLen returns the number of keys stored on shard i.
+func (c *Cluster) ShardLen(i int) int {
+	s := c.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.Idx.Len()
+}
+
+// Len returns the total number of stored keys across all shards.
+func (c *Cluster) Len() int {
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += s.e.Idx.Len()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// MarkMeasurement resets every shard's counters: everything before
+// this call was warm-up.
+func (c *Cluster) MarkMeasurement() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.e.MarkMeasurement()
+		s.mu.Unlock()
+	}
+}
+
+// Reset returns every shard to its just-built state (FLUSHALL).
+func (c *Cluster) Reset() error {
+	for i, s := range c.shards {
+		s.mu.Lock()
+		err := s.e.Reset()
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ClusterStats is the merged view of a cluster run.
+type ClusterStats struct {
+	// PerShard holds each shard's own stats snapshot.
+	PerShard []kv.Stats
+	// Agg is the counter-wise sum over shards. Its CyclesPerOp is the
+	// ops-weighted mean cost of one operation — the per-core service
+	// time, NOT elapsed time (shards run concurrently).
+	Agg kv.Stats
+	// MaxShardCycles is the busiest shard's cycle count — the modeled
+	// wall-clock bound of the run, since the slowest core finishes
+	// last while the others idle.
+	MaxShardCycles uint64
+}
+
+// CyclesPerOp returns the ops-weighted mean cycles per operation.
+func (cs ClusterStats) CyclesPerOp() float64 { return cs.Agg.CyclesPerOp() }
+
+// ModeledThroughput returns operations per modeled wall-clock cycle
+// (total ops / busiest shard's cycles). Dividing two of these yields
+// the modeled scaling factor between shard counts.
+func (cs ClusterStats) ModeledThroughput() float64 {
+	if cs.MaxShardCycles == 0 {
+		return 0
+	}
+	return float64(cs.Agg.Ops) / float64(cs.MaxShardCycles)
+}
+
+// Stats snapshots and merges all shard counters.
+func (c *Cluster) Stats() ClusterStats {
+	cs := ClusterStats{PerShard: make([]kv.Stats, len(c.shards))}
+	for i, s := range c.shards {
+		s.mu.Lock()
+		st := s.e.Stats()
+		s.mu.Unlock()
+		cs.PerShard[i] = st
+		cs.Agg = cs.Agg.Add(st)
+		if cyc := uint64(st.Machine.Cycles); cyc > cs.MaxShardCycles {
+			cs.MaxShardCycles = cyc
+		}
+	}
+	return cs
+}
