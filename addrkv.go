@@ -190,6 +190,27 @@ func (s *System) Delete(key []byte) bool { return s.c.Delete(key) }
 // without the value read or value reply.
 func (s *System) Exists(key []byte) bool { return s.c.Exists(key) }
 
+// OpOutcome is the per-operation telemetry report of the *O data-path
+// variants: home shard, modeled cycle cost, and how the addressing
+// path resolved. Filling it reads counters only — observed runs stay
+// bit-for-bit identical to unobserved ones.
+type OpOutcome = shard.OpOutcome
+
+// GetO is Get with a per-op outcome report (out may be nil).
+func (s *System) GetO(key []byte, out *OpOutcome) ([]byte, bool) { return s.c.GetO(key, out) }
+
+// GetTouchO is GetTouch with a per-op outcome report.
+func (s *System) GetTouchO(key []byte, out *OpOutcome) bool { return s.c.GetTouchO(key, out) }
+
+// SetO is Set with a per-op outcome report.
+func (s *System) SetO(key, value []byte, out *OpOutcome) { s.c.SetO(key, value, out) }
+
+// DeleteO is Delete with a per-op outcome report.
+func (s *System) DeleteO(key []byte, out *OpOutcome) bool { return s.c.DeleteO(key, out) }
+
+// ExistsO is Exists with a per-op outcome report.
+func (s *System) ExistsO(key []byte, out *OpOutcome) bool { return s.c.ExistsO(key, out) }
+
 // Len returns the number of stored keys across all shards.
 func (s *System) Len() int { return s.c.Len() }
 

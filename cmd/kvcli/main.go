@@ -16,6 +16,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"addrkv/internal/resp"
@@ -34,6 +35,7 @@ func main() {
 		dist     = flag.String("dist", "zipf", "zipf|latest|uniform")
 		pipeline = flag.Int("pipeline", 64, "pipelined requests in flight")
 		seed     = flag.Uint64("seed", 42, "workload seed")
+		raw      = flag.Bool("raw", false, "print INFO payloads unprocessed instead of pretty-printed")
 	)
 	flag.Parse()
 
@@ -57,7 +59,7 @@ func main() {
 	case *load:
 		doLoad(r, w, *keys, *vsize, *pipeline)
 	case *bench:
-		doBench(r, w, *keys, *ops, *vsize, *dist, *pipeline, *seed)
+		doBench(r, w, *keys, *ops, *vsize, *dist, *pipeline, *seed, *raw)
 	default:
 		args := flag.Args()
 		if len(args) == 0 {
@@ -72,6 +74,10 @@ func main() {
 		must(w.Flush())
 		reply, err := r.ReadReply()
 		must(err)
+		if b, ok := reply.([]byte); ok && !*raw && strings.EqualFold(args[0], "INFO") {
+			fmt.Print(prettyInfo(string(b)))
+			return
+		}
 		printReply(reply)
 	}
 }
@@ -126,7 +132,7 @@ func doLoad(r *resp.Reader, w *resp.Writer, n, vsize, pipe int) {
 
 // doBench resets server stats, replays a YCSB stream, then prints both
 // wall-clock throughput and the server's simulated statistics.
-func doBench(r *resp.Reader, w *resp.Writer, keys, ops, vsize int, dist string, pipe int, seed uint64) {
+func doBench(r *resp.Reader, w *resp.Writer, keys, ops, vsize int, dist string, pipe int, seed uint64, raw bool) {
 	d, err := ycsb.ParseDistribution(dist)
 	must(err)
 	must(w.WriteCommand([]byte("RESETSTATS")))
@@ -171,5 +177,9 @@ func doBench(r *resp.Reader, w *resp.Writer, keys, ops, vsize int, dist string, 
 	info, err := r.ReadReply()
 	must(err)
 	fmt.Println("--- simulated statistics ---")
+	if b, ok := info.([]byte); ok && !raw {
+		fmt.Print(prettyInfo(string(b)))
+		return
+	}
 	printReply(info)
 }

@@ -1,0 +1,121 @@
+// Pretty-printing of the kvserve INFO payload: the server emits flat
+// "key:value" lines (Redis INFO style); kvcli regroups them into a
+// readable summary — engine counters, wall-clock latency percentiles,
+// modeled cycle percentiles, and a per-shard table. Use -raw for the
+// unprocessed payload (scripts).
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// infoFields holds one parsed INFO payload: flat keys plus the
+// per-shard "shardN_*" keys split out by shard index.
+type infoFields struct {
+	flat   map[string]string
+	shards map[int]map[string]string
+}
+
+// parseInfo splits an INFO payload into fields. Unknown lines are
+// ignored, so the parser keeps working as the server grows sections.
+func parseInfo(payload string) infoFields {
+	f := infoFields{flat: map[string]string{}, shards: map[int]map[string]string{}}
+	for _, line := range strings.Split(payload, "\n") {
+		line = strings.TrimSuffix(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		if rest, found := strings.CutPrefix(k, "shard"); found {
+			if i := strings.IndexByte(rest, '_'); i > 0 {
+				if n, err := strconv.Atoi(rest[:i]); err == nil {
+					if f.shards[n] == nil {
+						f.shards[n] = map[string]string{}
+					}
+					f.shards[n][rest[i+1:]] = v
+					continue
+				}
+			}
+		}
+		f.flat[k] = v
+	}
+	return f
+}
+
+func (f infoFields) get(k string) string { return f.flat[k] }
+
+// pct renders a 0..1 ratio field as a percentage.
+func (f infoFields) pct(k string) string {
+	v, err := strconv.ParseFloat(f.flat[k], 64)
+	if err != nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+// prettyInfo renders the INFO payload as grouped sections. Payloads
+// that don't look like kvserve INFO (no ops field) pass through
+// unchanged.
+func prettyInfo(payload string) string {
+	f := parseInfo(payload)
+	if _, ok := f.flat["ops"]; !ok {
+		return payload
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine (since RESETSTATS)\n")
+	fmt.Fprintf(&b, "  shards %s, server ops %s, engine ops %s, keys stored: see shards\n",
+		f.get("shards"), f.get("server_ops"), f.get("ops"))
+	fmt.Fprintf(&b, "  cycles/op %s  (total %s cycles, wall-clock bound %s)\n",
+		f.get("cycles_per_op"), f.get("cycles"), f.get("max_shard_cycles"))
+	fmt.Fprintf(&b, "  fast-path hit rate %s   table miss rate %s\n",
+		f.pct("fast_path_hit_rate"), f.pct("table_miss_rate"))
+	fmt.Fprintf(&b, "  per op: %s TLB misses, %s page walks, %s LLC misses\n",
+		f.get("tlb_misses_per_op"), f.get("page_walks_per_op"), f.get("llc_misses_per_op"))
+
+	if f.get("latency_samples") != "" {
+		fmt.Fprintf(&b, "latency (real wall clock, µs)\n")
+		fmt.Fprintf(&b, "  samples %s, mean %s\n", f.get("latency_samples"), f.get("latency_mean_us"))
+		fmt.Fprintf(&b, "  p50 %-8s p90 %-8s p99 %-8s p99.9 %-8s max %s\n",
+			f.get("latency_p50_us"), f.get("latency_p90_us"),
+			f.get("latency_p99_us"), f.get("latency_p999_us"), f.get("latency_max_us"))
+	}
+	if f.get("op_cycles_p50") != "" {
+		fmt.Fprintf(&b, "modeled op cycles: p50 %s  p99 %s  max %s\n",
+			f.get("op_cycles_p50"), f.get("op_cycles_p99"), f.get("op_cycles_max"))
+	}
+	if f.get("slowlog_len") != "" {
+		fmt.Fprintf(&b, "slowlog %s entries, %s monitor client(s)\n",
+			f.get("slowlog_len"), f.get("monitor_clients"))
+	}
+
+	if len(f.shards) > 0 {
+		ids := make([]int, 0, len(f.shards))
+		for i := range f.shards {
+			ids = append(ids, i)
+		}
+		sort.Ints(ids)
+		fmt.Fprintf(&b, "shards\n")
+		fmt.Fprintf(&b, "  %-5s %-10s %-10s %-9s %-9s %s\n",
+			"shard", "ops", "keys", "cyc/op", "fastHit", "p99 cyc")
+		for _, i := range ids {
+			sh := f.shards[i]
+			hit := "-"
+			if r, err := strconv.ParseFloat(sh["fast_hit_rate"], 64); err == nil {
+				hit = fmt.Sprintf("%.1f%%", 100*r)
+			}
+			p99 := sh["cycles_p99"]
+			if p99 == "" {
+				p99 = "-"
+			}
+			fmt.Fprintf(&b, "  %-5d %-10s %-10s %-9s %-9s %s\n",
+				i, sh["ops"], sh["keys"], sh["cycles_per_op"], hit, p99)
+		}
+	}
+	return b.String()
+}

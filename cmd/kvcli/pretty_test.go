@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleInfo is a 2-shard kvserve INFO payload as the server emits it
+// (CRLF lines, section comments, telemetry fields).
+const sampleInfo = "# addrkv simulated statistics (since RESETSTATS)\r\n" +
+	"shards:2\r\n" +
+	"server_ops:100\r\n" +
+	"ops:100\r\n" +
+	"cycles:22800\r\n" +
+	"max_shard_cycles:12000\r\n" +
+	"cycles_per_op:228.0\r\n" +
+	"modeled_ops_per_kcycle:8.333\r\n" +
+	"tlb_misses_per_op:0.020\r\n" +
+	"page_walks_per_op:0.020\r\n" +
+	"llc_misses_per_op:0.580\r\n" +
+	"fast_path_hit_rate:0.8660\r\n" +
+	"table_miss_rate:0.1338\r\n" +
+	"# latency (real wall clock, since RESETSTATS)\r\n" +
+	"latency_samples:100\r\n" +
+	"latency_mean_us:1.8\r\n" +
+	"latency_p50_us:1.5\r\n" +
+	"latency_p90_us:2.2\r\n" +
+	"latency_p99_us:6.1\r\n" +
+	"latency_p999_us:9.0\r\n" +
+	"latency_max_us:9.0\r\n" +
+	"op_cycles_p50:91\r\n" +
+	"op_cycles_p99:1663\r\n" +
+	"op_cycles_max:2943\r\n" +
+	"slowlog_len:7\r\n" +
+	"monitor_clients:0\r\n" +
+	"# shard 0\r\n" +
+	"shard0_ops:60\r\n" +
+	"shard0_keys:55\r\n" +
+	"shard0_cycles:13000\r\n" +
+	"shard0_cycles_per_op:216.7\r\n" +
+	"shard0_fast_hits:40\r\n" +
+	"shard0_fast_hit_rate:0.9000\r\n" +
+	"shard0_cycles_p99:1500\r\n" +
+	"# shard 1\r\n" +
+	"shard1_ops:40\r\n" +
+	"shard1_keys:45\r\n" +
+	"shard1_cycles:9800\r\n" +
+	"shard1_cycles_per_op:245.0\r\n" +
+	"shard1_fast_hits:30\r\n" +
+	"shard1_fast_hit_rate:0.8200\r\n" +
+	"shard1_cycles_p99:1800\r\n"
+
+func TestPrettyInfo(t *testing.T) {
+	out := prettyInfo(sampleInfo)
+	for _, want := range []string{
+		"cycles/op 228.0",
+		"fast-path hit rate 86.6%",
+		"table miss rate 13.4%",
+		"p50 1.5", "p99 6.1", "p99.9 9.0",
+		"modeled op cycles: p50 91  p99 1663  max 2943",
+		"slowlog 7 entries",
+		"90.0%", // shard 0 hit rate as a percentage
+		"82.0%", // shard 1 hit rate
+		"1500", "1800",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pretty INFO missing %q:\n%s", want, out)
+		}
+	}
+	// Shard rows come out in index order.
+	if strings.Index(out, "90.0%") > strings.Index(out, "82.0%") {
+		t.Errorf("shard rows out of order:\n%s", out)
+	}
+}
+
+// TestPrettyInfoPassThrough: non-INFO payloads (no ops field) are
+// returned unchanged rather than mangled.
+func TestPrettyInfoPassThrough(t *testing.T) {
+	for _, payload := range []string{"", "hello world", "# just a comment\r\n"} {
+		if got := prettyInfo(payload); got != payload {
+			t.Errorf("prettyInfo(%q) = %q, want pass-through", payload, got)
+		}
+	}
+}
+
+// TestPrettyInfoTolerant: a payload missing the telemetry sections
+// (older server, or stats just reset) still renders the engine block
+// without panicking.
+func TestPrettyInfoTolerant(t *testing.T) {
+	minimal := "shards:1\r\nserver_ops:0\r\nops:0\r\ncycles:0\r\ncycles_per_op:0.0\r\n"
+	out := prettyInfo(minimal)
+	if !strings.Contains(out, "engine (since RESETSTATS)") {
+		t.Fatalf("minimal INFO not rendered:\n%s", out)
+	}
+	if strings.Contains(out, "latency (real wall clock") {
+		t.Fatalf("latency section rendered without data:\n%s", out)
+	}
+}

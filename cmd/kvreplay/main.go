@@ -9,10 +9,16 @@
 // are reported, including the modeled wall-clock bound (busiest
 // shard's cycles).
 //
+// With -json PATH the run also writes a telemetry snapshot: the
+// aggregate RunRecord plus a per-op modeled cycle distribution
+// (p50/p99/p999), gathered through the engine's outcome probes —
+// which read counters only, so the modeled totals are identical to a
+// run without -json.
+//
 //	ycsbgen -keys 200000 -ops 2000000 -dist zipf > trace.txt
 //	kvreplay -mode baseline -keys 200000 < trace.txt
 //	kvreplay -mode stlt     -keys 200000 -warm 600000 < trace.txt
-//	kvreplay -mode stlt     -keys 200000 -shards 4 < trace.txt
+//	kvreplay -mode stlt     -keys 200000 -shards 4 -json replay.json < trace.txt
 package main
 
 import (
@@ -25,17 +31,19 @@ import (
 	"strconv"
 
 	"addrkv"
+	"addrkv/internal/telemetry"
 )
 
 func main() {
 	var (
-		mode   = flag.String("mode", "stlt", "baseline|stlt|slb|stlt-sw|stlt-va")
-		index  = flag.String("index", "chainhash", "chainhash|densehash|rbtree|btree|skiplist")
-		keys   = flag.Int("keys", 100_000, "keys to preload (ids 0..keys-1)")
-		shards = flag.Int("shards", 1, "simulated machines to hash the key space across")
-		vsize  = flag.Int("vsize", 64, "preload value size")
-		warm   = flag.Int("warm", 0, "trace ops to treat as warm-up (stats reset after)")
-		file   = flag.String("f", "", "trace file (default stdin)")
+		mode    = flag.String("mode", "stlt", "baseline|stlt|slb|stlt-sw|stlt-va")
+		index   = flag.String("index", "chainhash", "chainhash|densehash|rbtree|btree|skiplist")
+		keys    = flag.Int("keys", 100_000, "keys to preload (ids 0..keys-1)")
+		shards  = flag.Int("shards", 1, "simulated machines to hash the key space across")
+		vsize   = flag.Int("vsize", 64, "preload value size")
+		warm    = flag.Int("warm", 0, "trace ops to treat as warm-up (stats reset after)")
+		file    = flag.String("f", "", "trace file (default stdin)")
+		jsonOut = flag.String("json", "", "write a telemetry snapshot JSON to this path")
 	)
 	flag.Parse()
 
@@ -60,6 +68,15 @@ func main() {
 	}
 	sys.Load(*keys, *vsize)
 
+	// The cycle histogram costs two atomic adds per op; skip the
+	// outcome probing entirely without -json.
+	var cycleHist *telemetry.Histogram
+	var oc *addrkv.OpOutcome
+	if *jsonOut != "" {
+		cycleHist = &telemetry.Histogram{}
+		oc = &addrkv.OpOutcome{}
+	}
+
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var (
@@ -78,7 +95,7 @@ func main() {
 		rest := line[sp+1:]
 		switch verb {
 		case "GET":
-			if !sys.GetTouch(rest) {
+			if !sys.GetTouchO(rest, oc) {
 				missing++
 			}
 		case "SET":
@@ -89,14 +106,20 @@ func main() {
 					value = make([]byte, n)
 				}
 			}
-			sys.Set(key, value)
+			sys.SetO(key, value, oc)
 			setsSeen++
 		default:
 			log.Fatalf("kvreplay: bad trace line %q", line)
 		}
+		if cycleHist != nil {
+			cycleHist.Observe(oc.Cycles)
+		}
 		ops++
 		if *warm > 0 && ops == *warm {
 			sys.MarkMeasurement()
+			if cycleHist != nil {
+				cycleHist.Reset() // the warm-up ops were not measurement
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -119,5 +142,40 @@ func main() {
 		for _, cat := range []string{"hash", "traverse", "translate", "data", "stlt", "other"} {
 			fmt.Printf("  %-10s %5.1f%%\n", cat, 100*rep.CategoryShare[cat])
 		}
+	}
+
+	if *jsonOut != "" {
+		q := telemetry.QuantilesOf(cycleHist.Snapshot())
+		fmt.Printf("op cycles: p50=%d p99=%d p999=%d max=%d\n", q.P50, q.P99, q.P999, q.Max)
+		snap := &telemetry.Snapshot{
+			Name: "replay",
+			Kind: "replay",
+			Params: map[string]any{
+				"mode":   *mode,
+				"index":  *index,
+				"keys":   *keys,
+				"shards": *shards,
+				"warm":   *warm,
+				"ops":    ops,
+				"sets":   setsSeen,
+				"misses": missing,
+			},
+			Runs: []telemetry.RunRecord{{
+				Spec:           fmt.Sprintf("replay/%s/%s/%d/%d", *mode, *index, *keys, *shards),
+				Ops:            rep.Ops,
+				Cycles:         rep.Cycles,
+				CyclesPerOp:    rep.CyclesPerOp,
+				FastPathHits:   rep.Stats.FastHits,
+				TableMissRate:  rep.TableMissRate,
+				TLBMissesPerOp: rep.TLBMissesPerOp,
+				PageWalksPerOp: rep.PageWalksPerOp,
+				LLCMissesPerOp: rep.CacheMissesPerOp,
+			}},
+			Latency: map[string]telemetry.Quantiles{"op_cycles": q},
+		}
+		if err := snap.WriteFile(*jsonOut); err != nil {
+			log.Fatalf("kvreplay: %v", err)
+		}
+		fmt.Printf("(json: %s)\n", *jsonOut)
 	}
 }

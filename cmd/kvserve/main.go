@@ -9,14 +9,17 @@
 // parallel with only per-shard locking.
 //
 // Commands: PING, GET, SET, DEL, EXISTS, DBSIZE, INFO, RESETSTATS,
-// FLUSHALL, QUIT. INFO reports the *simulated* cycle statistics
-// (aggregate plus a section per shard), so a client can measure the
-// modeled speedup while talking real RESP over a real socket.
+// FLUSHALL, SLOWLOG GET/RESET/LEN, MONITOR, QUIT. INFO reports the
+// *simulated* cycle statistics (aggregate plus a section per shard)
+// alongside real wall-clock latency percentiles, so a client can
+// measure the modeled speedup while talking real RESP over a real
+// socket. With -metrics-addr the same numbers are served as Prometheus
+// text on /metrics (plus /snapshot.json and net/http/pprof).
 // SIGINT/SIGTERM stop the listener, drain in-flight connections, and
 // remove the Unix socket file.
 //
 //	kvserve -mode stlt -keys 100000 -shards 4 -sock /tmp/addrkv.sock
-//	kvserve -mode baseline -addr 127.0.0.1:6380
+//	kvserve -mode baseline -addr 127.0.0.1:6380 -metrics-addr 127.0.0.1:9090
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -36,15 +40,28 @@ import (
 
 	"addrkv"
 	"addrkv/internal/resp"
+	"addrkv/internal/telemetry"
 )
 
 // drainTimeout bounds how long shutdown waits for in-flight
 // connections before force-closing them.
 const drainTimeout = 5 * time.Second
 
+// defaultSlowlogCap is the default -slowlog capacity.
+const defaultSlowlogCap = 128
+
 type server struct {
 	sys          *addrkv.System
+	tele         *serverTele
 	opsSinceMark atomic.Uint64 // GET/SET/EXISTS dispatched since RESETSTATS
+
+	// statsMu orders RESETSTATS/FLUSHALL against INFO and snapshot
+	// reads: a reset holds the write lock across every counter it
+	// clears, so a concurrent INFO never sees a half-reset mix (engine
+	// stats zeroed but server_ops still counting, or vice versa).
+	// Data-path commands take no lock here — they only touch the
+	// engine's own per-shard locks and lock-free telemetry.
+	statsMu sync.RWMutex
 
 	closing atomic.Bool
 	connMu  sync.Mutex
@@ -52,20 +69,26 @@ type server struct {
 	wg      sync.WaitGroup
 }
 
-func newServer(sys *addrkv.System) *server {
-	return &server{sys: sys, conns: map[net.Conn]struct{}{}}
+func newServer(sys *addrkv.System, slowlogCap int) *server {
+	return &server{
+		sys:   sys,
+		tele:  newServerTele(sys, slowlogCap),
+		conns: map[net.Conn]struct{}{},
+	}
 }
 
 func main() {
 	var (
-		mode   = flag.String("mode", "stlt", "baseline|stlt|slb|stlt-sw|stlt-va")
-		index  = flag.String("index", "chainhash", "chainhash|densehash|rbtree|btree")
-		keys   = flag.Int("keys", 100_000, "index/STLT sizing hint (and preload count with -preload)")
-		shards = flag.Int("shards", 1, "number of simulated machines the key space is hashed across")
-		pre    = flag.Bool("preload", false, "preload -keys YCSB records before serving")
-		vsize  = flag.Int("vsize", 64, "preload value size")
-		sock   = flag.String("sock", "", "Unix socket path (the paper's transport)")
-		addr   = flag.String("addr", "", "TCP address, e.g. 127.0.0.1:6380")
+		mode    = flag.String("mode", "stlt", "baseline|stlt|slb|stlt-sw|stlt-va")
+		index   = flag.String("index", "chainhash", "chainhash|densehash|rbtree|btree")
+		keys    = flag.Int("keys", 100_000, "index/STLT sizing hint (and preload count with -preload)")
+		shards  = flag.Int("shards", 1, "number of simulated machines the key space is hashed across")
+		pre     = flag.Bool("preload", false, "preload -keys YCSB records before serving")
+		vsize   = flag.Int("vsize", 64, "preload value size")
+		sock    = flag.String("sock", "", "Unix socket path (the paper's transport)")
+		addr    = flag.String("addr", "", "TCP address, e.g. 127.0.0.1:6380")
+		maddr   = flag.String("metrics-addr", "", "HTTP address for /metrics, /snapshot.json and /debug/pprof, e.g. 127.0.0.1:9090")
+		slowCap = flag.Int("slowlog", defaultSlowlogCap, "how many slowest commands SLOWLOG keeps")
 	)
 	flag.Parse()
 
@@ -88,7 +111,16 @@ func main() {
 		log.Printf("preloading %d keys (%dB values)...", *keys, *vsize)
 		sys.Load(*keys, *vsize)
 	}
-	s := newServer(sys)
+	s := newServer(sys, *slowCap)
+
+	if *maddr != "" {
+		msrv, bound, err := startMetricsServer(*maddr, s)
+		if err != nil {
+			log.Fatalf("kvserve: metrics listener: %v", err)
+		}
+		defer msrv.Close()
+		log.Printf("kvserve: metrics on http://%s/metrics (pprof on /debug/pprof/)", bound)
+	}
 
 	var ln net.Listener
 	if *sock != "" {
@@ -191,8 +223,12 @@ func (s *server) serve(conn net.Conn) {
 			}
 			return
 		}
-		quit := s.dispatch(w, args)
+		quit, monitor := s.dispatch(w, args)
 		if err := w.Flush(); err != nil || quit || s.closing.Load() {
+			return
+		}
+		if monitor {
+			s.monitorLoop(r, w)
 			return
 		}
 	}
@@ -203,82 +239,209 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// dispatch executes one command. It takes no global lock: System's
-// data-path methods lock only the key's home shard, so concurrent
-// connections touching different shards proceed in parallel.
-func (s *server) dispatch(w *resp.Writer, args [][]byte) (quit bool) {
-	cmd := strings.ToUpper(string(args[0]))
+// dispatch executes one command and records its telemetry: wall-clock
+// latency, per-command counters, the engine's per-op outcome (shard,
+// modeled cycles, addressing-path result), a slowlog offer, and —
+// when a MONITOR client is attached — a feed line. It takes no global
+// lock on the data path: System's *O methods lock only the key's home
+// shard, and all telemetry writes are atomic.
+func (s *server) dispatch(w *resp.Writer, args [][]byte) (quit, monitor bool) {
+	start := time.Now()
+	cmd := strings.ToLower(string(args[0]))
+	oc := addrkv.OpOutcome{Shard: -1}
+	quit, monitor, isErr := s.execute(w, cmd, args, &oc)
+	dur := time.Since(start)
+	var ocp *addrkv.OpOutcome
+	if oc.Shard >= 0 {
+		ocp = &oc
+	}
+	s.tele.observeCmd(cmd, args, ocp, dur, isErr)
+	if s.tele.feed.Active() {
+		s.tele.feed.Publish(monitorLine(args, oc.Shard))
+	}
+	return quit, monitor
+}
+
+// execute runs one command's switch arm. oc is filled for commands
+// that reach an engine (oc.Shard stays -1 otherwise); for multi-key
+// DEL the per-key outcomes are summed.
+func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.OpOutcome) (quit, monitor, isErr bool) {
+	fail := func(msg string) (bool, bool, bool) {
+		w.WriteError(msg)
+		return false, false, true
+	}
 	switch cmd {
-	case "PING":
+	case "ping":
 		w.WriteSimple("PONG")
-	case "QUIT":
+	case "quit":
 		w.WriteSimple("OK")
-		return true
-	case "GET":
+		return true, false, false
+	case "get":
 		if len(args) != 2 {
-			w.WriteError("ERR wrong number of arguments for 'get'")
-			return
+			return fail("ERR wrong number of arguments for 'get'")
 		}
 		s.opsSinceMark.Add(1)
-		if v, ok := s.sys.Get(args[1]); ok {
+		if v, ok := s.sys.GetO(args[1], oc); ok {
 			w.WriteBulk(v)
 		} else {
 			w.WriteBulk(nil)
 		}
-	case "SET":
+	case "set":
 		if len(args) != 3 {
-			w.WriteError("ERR wrong number of arguments for 'set'")
-			return
+			return fail("ERR wrong number of arguments for 'set'")
 		}
 		s.opsSinceMark.Add(1)
-		s.sys.Set(args[1], args[2])
+		s.sys.SetO(args[1], args[2], oc)
 		w.WriteSimple("OK")
-	case "DEL":
+	case "del":
 		if len(args) < 2 {
-			w.WriteError("ERR wrong number of arguments for 'del'")
-			return
+			return fail("ERR wrong number of arguments for 'del'")
 		}
 		var n int64
+		var one addrkv.OpOutcome
 		for _, k := range args[1:] {
-			if s.sys.Delete(k) {
+			if s.sys.DeleteO(k, &one) {
 				n++
 			}
+			oc.Shard = one.Shard
+			oc.Cycles += one.Cycles
+			oc.TLBMisses += one.TLBMisses
+			oc.STBHits += one.STBHits
+			oc.PageWalks += one.PageWalks
 		}
 		w.WriteInt(n)
-	case "EXISTS":
+	case "exists":
 		if len(args) != 2 {
-			w.WriteError("ERR wrong number of arguments for 'exists'")
-			return
+			return fail("ERR wrong number of arguments for 'exists'")
 		}
 		s.opsSinceMark.Add(1)
-		if s.sys.Exists(args[1]) {
+		if s.sys.ExistsO(args[1], oc) {
 			w.WriteInt(1)
 		} else {
 			w.WriteInt(0)
 		}
-	case "DBSIZE":
+	case "dbsize":
 		w.WriteInt(int64(s.sys.Len()))
-	case "INFO":
-		w.WriteBulk([]byte(s.info()))
-	case "RESETSTATS":
+	case "info":
+		s.statsMu.RLock()
+		payload := s.info()
+		s.statsMu.RUnlock()
+		w.WriteBulk([]byte(payload))
+	case "resetstats":
+		s.statsMu.Lock()
 		s.sys.MarkMeasurement()
 		s.opsSinceMark.Store(0)
+		s.tele.resetWindow()
+		s.statsMu.Unlock()
 		w.WriteSimple("OK")
-	case "FLUSHALL":
-		if err := s.sys.Reset(); err != nil {
-			w.WriteError(fmt.Sprintf("ERR flushall: %v", err))
-			return
+	case "flushall":
+		s.statsMu.Lock()
+		err := s.sys.Reset()
+		if err == nil {
+			s.opsSinceMark.Store(0)
+			s.tele.resetWindow()
 		}
-		s.opsSinceMark.Store(0)
+		s.statsMu.Unlock()
+		if err != nil {
+			return fail(fmt.Sprintf("ERR flushall: %v", err))
+		}
 		w.WriteSimple("OK")
+	case "slowlog":
+		return s.slowlogCmd(w, args)
+	case "monitor":
+		if s.closing.Load() {
+			return fail("ERR server shutting down")
+		}
+		w.WriteSimple("OK")
+		return false, true, false
 	default:
-		w.WriteError(fmt.Sprintf("ERR unknown command '%s'", cmd))
+		return fail(fmt.Sprintf("ERR unknown command '%s'", strings.ToUpper(cmd)))
 	}
-	return false
+	return false, false, false
 }
 
-// info renders the INFO payload: the aggregate simulated statistics
-// followed by one section per shard.
+// slowlogCmd handles SLOWLOG GET [n] / RESET / LEN. Each GET entry is
+// a 7-element array: id, unix seconds, duration in microseconds, the
+// (truncated) argument array, home shard, modeled cycles, and the
+// addressing-path breakdown string.
+func (s *server) slowlogCmd(w *resp.Writer, args [][]byte) (quit, monitor, isErr bool) {
+	fail := func(msg string) (bool, bool, bool) {
+		w.WriteError(msg)
+		return false, false, true
+	}
+	if len(args) < 2 {
+		return fail("ERR wrong number of arguments for 'slowlog'")
+	}
+	switch strings.ToLower(string(args[1])) {
+	case "get":
+		n := 10
+		if len(args) == 3 {
+			v, err := strconv.Atoi(string(args[2]))
+			if err != nil || v < -1 {
+				return fail("ERR invalid slowlog count")
+			}
+			n = v // -1 and 0 mean "all", like Redis
+		} else if len(args) > 3 {
+			return fail("ERR wrong number of arguments for 'slowlog get'")
+		}
+		entries := s.tele.slowlog.Entries(n)
+		w.WriteArrayHeader(len(entries))
+		for _, e := range entries {
+			w.WriteArrayHeader(7)
+			w.WriteInt(e.ID)
+			w.WriteInt(e.UnixMicro / 1e6)
+			w.WriteInt(e.Duration.Microseconds())
+			w.WriteArrayHeader(len(e.Args))
+			for _, a := range e.Args {
+				w.WriteBulkString(a)
+			}
+			w.WriteInt(int64(e.Shard))
+			w.WriteInt(int64(e.Cycles))
+			w.WriteBulkString(e.Detail)
+		}
+	case "reset":
+		s.tele.slowlog.Reset()
+		w.WriteSimple("OK")
+	case "len":
+		w.WriteInt(int64(s.tele.slowlog.Len()))
+	default:
+		return fail(fmt.Sprintf("ERR unknown SLOWLOG subcommand '%s'", args[1]))
+	}
+	return false, false, false
+}
+
+// monitorLoop streams the command feed to a MONITOR client until the
+// client sends another command (QUIT/RESET per Redis, but any input
+// detaches), disconnects, or the server drains. Lines a slow client
+// cannot absorb are dropped by the feed, never blocking dispatch.
+func (s *server) monitorLoop(r *resp.Reader, w *resp.Writer) {
+	id, ch := s.tele.feed.Subscribe(1024)
+	defer s.tele.feed.Unsubscribe(id)
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
+		for {
+			if _, err := r.ReadCommand(); err != nil {
+				return // disconnect, or nudgeConns during shutdown
+			}
+			return // any command detaches the monitor
+		}
+	}()
+	for {
+		select {
+		case line := <-ch:
+			if w.WriteSimple(line) != nil || w.Flush() != nil {
+				return
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// info renders the INFO payload: the aggregate simulated statistics,
+// the server's real wall-clock latency and modeled per-op cycle
+// percentiles, then one section per shard. Callers hold statsMu.
 func (s *server) info() string {
 	rep := s.sys.Report()
 	var b strings.Builder
@@ -295,6 +458,23 @@ func (s *server) info() string {
 	fmt.Fprintf(&b, "llc_misses_per_op:%.3f\r\n", rep.CacheMissesPerOp)
 	fmt.Fprintf(&b, "fast_path_hit_rate:%.4f\r\n", rep.FastPathHitRate)
 	fmt.Fprintf(&b, "table_miss_rate:%.4f\r\n", rep.TableMissRate)
+
+	lat := telemetry.QuantilesOf(s.tele.latencySnapshot())
+	fmt.Fprintf(&b, "# latency (real wall clock, since RESETSTATS)\r\n")
+	fmt.Fprintf(&b, "latency_samples:%d\r\n", lat.Count)
+	fmt.Fprintf(&b, "latency_mean_us:%.1f\r\n", lat.Mean/1e3)
+	fmt.Fprintf(&b, "latency_p50_us:%.1f\r\n", float64(lat.P50)/1e3)
+	fmt.Fprintf(&b, "latency_p90_us:%.1f\r\n", float64(lat.P90)/1e3)
+	fmt.Fprintf(&b, "latency_p99_us:%.1f\r\n", float64(lat.P99)/1e3)
+	fmt.Fprintf(&b, "latency_p999_us:%.1f\r\n", float64(lat.P999)/1e3)
+	fmt.Fprintf(&b, "latency_max_us:%.1f\r\n", float64(lat.Max)/1e3)
+	cyc := telemetry.QuantilesOf(s.tele.cycleSnapshot())
+	fmt.Fprintf(&b, "op_cycles_p50:%d\r\n", cyc.P50)
+	fmt.Fprintf(&b, "op_cycles_p99:%d\r\n", cyc.P99)
+	fmt.Fprintf(&b, "op_cycles_max:%d\r\n", cyc.Max)
+	fmt.Fprintf(&b, "slowlog_len:%d\r\n", s.tele.slowlog.Len())
+	fmt.Fprintf(&b, "monitor_clients:%d\r\n", s.tele.feed.Subscribers())
+
 	for i, st := range rep.PerShard {
 		fmt.Fprintf(&b, "# shard %d\r\n", i)
 		fmt.Fprintf(&b, "shard%d_ops:%d\r\n", i, st.Ops)
@@ -302,6 +482,13 @@ func (s *server) info() string {
 		fmt.Fprintf(&b, "shard%d_cycles:%d\r\n", i, uint64(st.Machine.Cycles))
 		fmt.Fprintf(&b, "shard%d_cycles_per_op:%.1f\r\n", i, st.CyclesPerOp())
 		fmt.Fprintf(&b, "shard%d_fast_hits:%d\r\n", i, st.FastHits)
+		if st.Gets > 0 {
+			fmt.Fprintf(&b, "shard%d_fast_hit_rate:%.4f\r\n", i, float64(st.FastHits)/float64(st.Gets))
+		}
+		if i < len(s.tele.shardCycles) {
+			q := telemetry.QuantilesOf(s.tele.shardCycles[i].Snapshot())
+			fmt.Fprintf(&b, "shard%d_cycles_p99:%d\r\n", i, q.P99)
+		}
 	}
 	return b.String()
 }

@@ -2,13 +2,18 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 
 	"addrkv"
 	"addrkv/internal/resp"
+	"addrkv/internal/telemetry"
 )
 
 func newTestServerShards(t *testing.T, shards int) *server {
@@ -23,7 +28,7 @@ func newTestServerShards(t *testing.T, shards int) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(sys)
+	return newServer(sys, defaultSlowlogCap)
 }
 
 func newTestServer(t *testing.T) *server { return newTestServerShards(t, 1) }
@@ -170,12 +175,261 @@ func TestServerQuit(t *testing.T) {
 	s := newTestServer(t)
 	var buf bytes.Buffer
 	w := resp.NewWriter(&buf)
-	if quit := s.dispatch(w, [][]byte{[]byte("QUIT")}); !quit {
+	if quit, _ := s.dispatch(w, [][]byte{[]byte("QUIT")}); !quit {
 		t.Fatal("QUIT did not request close")
 	}
-	if quit := s.dispatch(w, [][]byte{[]byte("PING")}); quit {
+	if quit, _ := s.dispatch(w, [][]byte{[]byte("PING")}); quit {
 		t.Fatal("PING requested close")
 	}
+}
+
+// TestServerInfoLatencySections: after a few commands, INFO reports
+// wall-clock latency percentiles, modeled cycle percentiles, and the
+// per-shard telemetry lines.
+func TestServerInfoLatencySections(t *testing.T) {
+	s := newTestServer(t)
+	call(t, s, "SET", "k", "v")
+	call(t, s, "GET", "k")
+	call(t, s, "GET", "k")
+	info := string(call(t, s, "INFO").([]byte))
+	for _, want := range []string{
+		"latency_samples:", "latency_p50_us:", "latency_p99_us:", "latency_p999_us:",
+		"op_cycles_p50:", "op_cycles_p99:",
+		"slowlog_len:", "monitor_clients:0",
+		"shard0_fast_hit_rate:", "shard0_cycles_p99:",
+	} {
+		if !strings.Contains(info, want) {
+			t.Fatalf("INFO missing %q:\n%s", want, info)
+		}
+	}
+	// Commands above were dispatched, so samples and cycles are nonzero.
+	if strings.Contains(info, "latency_samples:0\r\n") {
+		t.Fatalf("no latency samples recorded:\n%s", info)
+	}
+	if strings.Contains(info, "op_cycles_p50:0\r\n") {
+		t.Fatalf("no op cycle samples recorded:\n%s", info)
+	}
+}
+
+// TestServerSlowlog: SLOWLOG LEN/GET/RESET over a handful of commands.
+// Every dispatched command qualifies while the log is below capacity,
+// and GET entries carry the shard/cycles/detail breakdown.
+func TestServerSlowlog(t *testing.T) {
+	s := newTestServer(t)
+	call(t, s, "SET", "k", "v")
+	call(t, s, "GET", "k")
+	call(t, s, "GET", "missing")
+
+	if n := call(t, s, "SLOWLOG", "LEN").(int64); n < 3 {
+		t.Fatalf("SLOWLOG LEN = %d, want >= 3", n)
+	}
+	entries := call(t, s, "SLOWLOG", "GET", "2").([]any)
+	if len(entries) != 2 {
+		t.Fatalf("SLOWLOG GET 2 returned %d entries", len(entries))
+	}
+	e := entries[0].([]any)
+	if len(e) != 7 {
+		t.Fatalf("slowlog entry has %d fields, want 7: %v", len(e), e)
+	}
+	args := e[3].([]any)
+	if len(args) == 0 {
+		t.Fatalf("slowlog entry has empty args: %v", e)
+	}
+	// At least one recorded entry must be a key command with its home
+	// shard and a nonzero modeled cycle cost attached.
+	var sawKeyCmd bool
+	for _, raw := range call(t, s, "SLOWLOG", "GET", "0").([]any) {
+		e := raw.([]any)
+		cmd := strings.ToUpper(string(e[3].([]any)[0].([]byte)))
+		shard, cycles := e[4].(int64), e[5].(int64)
+		detail := string(e[6].([]byte))
+		if cmd == "GET" || cmd == "SET" {
+			sawKeyCmd = true
+			if shard != 0 {
+				t.Fatalf("%s entry shard = %d, want 0 (1-shard server)", cmd, shard)
+			}
+			if cycles <= 0 {
+				t.Fatalf("%s entry cycles = %d, want > 0", cmd, cycles)
+			}
+			if !strings.Contains(detail, "tlb_misses=") {
+				t.Fatalf("%s entry detail missing breakdown: %q", cmd, detail)
+			}
+		}
+	}
+	if !sawKeyCmd {
+		t.Fatal("no GET/SET entry in slowlog")
+	}
+
+	if got := call(t, s, "SLOWLOG", "RESET"); got != "OK" {
+		t.Fatalf("SLOWLOG RESET = %v", got)
+	}
+	// The RESET itself may re-enter the (now empty) log afterwards.
+	if n := call(t, s, "SLOWLOG", "LEN").(int64); n > 1 {
+		t.Fatalf("SLOWLOG LEN after RESET = %d", n)
+	}
+	if _, ok := call(t, s, "SLOWLOG", "NOPE").(error); !ok {
+		t.Fatal("unknown SLOWLOG subcommand not rejected")
+	}
+	if _, ok := call(t, s, "SLOWLOG").(error); !ok {
+		t.Fatal("bare SLOWLOG not rejected")
+	}
+}
+
+// TestServerMonitorFeed: MONITOR replies +OK and flags the connection;
+// subsequent commands are published to the feed with their home shard.
+func TestServerMonitorFeed(t *testing.T) {
+	s := newTestServer(t)
+	var buf bytes.Buffer
+	w := resp.NewWriter(&buf)
+	quit, monitor := s.dispatch(w, [][]byte{[]byte("MONITOR")})
+	if quit || !monitor {
+		t.Fatalf("MONITOR: quit=%v monitor=%v", quit, monitor)
+	}
+	id, ch := s.tele.feed.Subscribe(16)
+	defer s.tele.feed.Unsubscribe(id)
+
+	call(t, s, "SET", "k", "v")
+	select {
+	case line := <-ch:
+		if !strings.Contains(line, `"SET"`) || !strings.Contains(line, "[shard 0]") {
+			t.Fatalf("monitor line = %q", line)
+		}
+	default:
+		t.Fatal("SET not published to monitor feed")
+	}
+	call(t, s, "PING")
+	select {
+	case line := <-ch:
+		if !strings.Contains(line, `"PING"`) || !strings.Contains(line, "[shard -1]") {
+			t.Fatalf("monitor line = %q", line)
+		}
+	default:
+		t.Fatal("PING not published to monitor feed")
+	}
+}
+
+// TestServerMetricsEndpoint: a live /metrics scrape exposes per-shard
+// op counters, hit-rate gauges, and the latency histograms.
+func TestServerMetricsEndpoint(t *testing.T) {
+	s := newTestServerShards(t, 2)
+	srv, addr, err := startMetricsServer("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i := 0; i < 32; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		call(t, s, "SET", k, "v")
+		call(t, s, "GET", k)
+	}
+
+	res, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`addrkv_commands_total{cmd="get"} 32`,
+		`addrkv_commands_total{cmd="set"} 32`,
+		`addrkv_shard_ops_total{shard="0"}`,
+		`addrkv_shard_ops_total{shard="1"}`,
+		"addrkv_fast_path_hit_rate ",
+		"addrkv_cycles_per_op ",
+		`addrkv_shard_fast_hit_rate{shard="0"}`,
+		`addrkv_command_latency_seconds_bucket{cmd="all",le=`,
+		`addrkv_op_cycles_count{shard="0"}`,
+		"addrkv_slowlog_len ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	res, err = http.Get("http://" + addr.String() + "/snapshot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("snapshot.json invalid: %v\n%s", err, body)
+	}
+	if snap.Kind != "server" || len(snap.Runs) != 1 || snap.Runs[0].Ops != 64 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Latency["wall_ns"].Count != 64 || snap.Latency["op_cycles"].Count != 64 {
+		t.Fatalf("snapshot latency = %+v", snap.Latency)
+	}
+}
+
+// TestServerResetStatsAtomic: INFO racing RESETSTATS must never see a
+// half-reset mix — engine ops zeroed while server_ops still counts, or
+// vice versa. With the reset under statsMu, both counters move
+// together, so INFO can only observe server_ops <= engine ops +
+// in-flight commands, and a post-reset INFO sees both at zero.
+func TestServerResetStatsAtomic(t *testing.T) {
+	s := newTestServer(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var buf bytes.Buffer
+		w := resp.NewWriter(&buf)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.dispatch(w, [][]byte{[]byte("SET"), []byte("k"), []byte("v")})
+			buf.Reset()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var buf bytes.Buffer
+		w := resp.NewWriter(&buf)
+		for i := 0; i < 50; i++ {
+			s.dispatch(w, [][]byte{[]byte("RESETSTATS")})
+			buf.Reset()
+		}
+	}()
+
+	parse := func(info, field string) int64 {
+		i := strings.Index(info, "\r\n"+field+":")
+		if i < 0 {
+			t.Fatalf("INFO missing %s:\n%s", field, info)
+		}
+		rest := info[i+len(field)+3:]
+		v, err := strconv.ParseInt(rest[:strings.Index(rest, "\r")], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	for i := 0; i < 200; i++ {
+		info := string(call(t, s, "INFO").([]byte))
+		serverOps, engineOps := parse(info, "server_ops"), parse(info, "ops")
+		// One SET may be between its server_ops bump and its engine op
+		// (or observed mid-reset window), so allow slack of 1 — but a
+		// torn reset would show a gap of hundreds.
+		if diff := serverOps - engineOps; diff > 1 || diff < -1 {
+			t.Fatalf("torn reset visible: server_ops=%d engine ops=%d", serverOps, engineOps)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestServerConcurrentDispatch hammers dispatch from many goroutines

@@ -1,0 +1,351 @@
+// Telemetry wiring for kvserve: the metrics registry backing the
+// Prometheus /metrics endpoint, the SLOWLOG ring, the MONITOR feed,
+// and the per-command instrumentation the dispatch loop calls into.
+//
+// Everything on the record path is lock-free (atomic counters and
+// per-shard histograms), and the engine is only ever *read* — modeled
+// cycle counts with telemetry attached are bit-for-bit identical to a
+// run without it.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"addrkv"
+	"addrkv/internal/telemetry"
+)
+
+// knownCmds get dedicated counters and latency histograms; everything
+// else lands in "other".
+var knownCmds = []string{
+	"get", "set", "del", "exists", "dbsize", "info", "ping",
+	"resetstats", "flushall", "slowlog", "monitor", "quit", "other",
+}
+
+// serverTele bundles the server's telemetry state.
+type serverTele struct {
+	reg     *telemetry.Registry
+	slowlog *telemetry.Slowlog
+	feed    *telemetry.Feed
+
+	// Real wall-clock command latency, nanosecond samples.
+	latAll *telemetry.Histogram
+	cmdLat map[string]*telemetry.Histogram
+	// Command counts and protocol errors.
+	cmdTotal map[string]*telemetry.Counter
+	errTotal *telemetry.Counter
+	// Per-shard serving telemetry: op counts and modeled per-op cycle
+	// cost distributions (one histogram per shard — each serving
+	// goroutine writes its own shard's cache lines).
+	shardOps    []*telemetry.Counter
+	shardCycles []*telemetry.Histogram
+	// Addressing-path outcome counters fed from OpOutcome deltas.
+	fastHits  *telemetry.Counter
+	fastMiss  *telemetry.Counter
+	keyMiss   *telemetry.Counter
+	tlbMiss   *telemetry.Counter
+	stbHits   *telemetry.Counter
+	pageWalks *telemetry.Counter
+
+	// Scrape-time cache: one Report per /metrics scrape feeds all the
+	// hit-rate/cycles-per-op gauges below.
+	mu   sync.Mutex
+	rep  addrkv.Report
+	keys []int
+}
+
+// newServerTele builds the registry and registers every metric.
+func newServerTele(sys *addrkv.System, slowlogCap int) *serverTele {
+	shards := sys.Cluster().NumShards()
+	t := &serverTele{
+		reg:      telemetry.NewRegistry(),
+		slowlog:  telemetry.NewSlowlog(slowlogCap),
+		feed:     telemetry.NewFeed(),
+		cmdLat:   map[string]*telemetry.Histogram{},
+		cmdTotal: map[string]*telemetry.Counter{},
+		keys:     make([]int, shards),
+	}
+	r := t.reg
+	t.latAll = r.Histogram("addrkv_command_latency_seconds",
+		"Real wall-clock latency of RESP commands.", 1e-9, telemetry.Labels{"cmd": "all"})
+	for _, c := range knownCmds {
+		t.cmdTotal[c] = r.Counter("addrkv_commands_total",
+			"RESP commands dispatched, by command.", telemetry.Labels{"cmd": c})
+		t.cmdLat[c] = r.Histogram("addrkv_command_latency_seconds",
+			"Real wall-clock latency of RESP commands.", 1e-9, telemetry.Labels{"cmd": c})
+	}
+	t.errTotal = r.Counter("addrkv_command_errors_total",
+		"Commands rejected with an error reply.", nil)
+	t.fastHits = r.Counter("addrkv_fast_path_hits_total",
+		"Ops served by the STLT/SLB fast path.", nil)
+	t.fastMiss = r.Counter("addrkv_fast_path_misses_total",
+		"Ops that fell back to the full indexing structure.", nil)
+	t.keyMiss = r.Counter("addrkv_key_misses_total",
+		"GET/EXISTS of absent keys.", nil)
+	t.tlbMiss = r.Counter("addrkv_tlb_misses_total",
+		"Modeled full TLB misses during served ops.", nil)
+	t.stbHits = r.Counter("addrkv_stb_hits_total",
+		"Modeled STB hits during served ops.", nil)
+	t.pageWalks = r.Counter("addrkv_page_walks_total",
+		"Modeled page-table walks during served ops.", nil)
+	for i := 0; i < shards; i++ {
+		lbl := telemetry.Labels{"shard": strconv.Itoa(i)}
+		t.shardOps = append(t.shardOps, r.Counter("addrkv_shard_ops_total",
+			"Key ops served, by home shard.", lbl))
+		t.shardCycles = append(t.shardCycles, r.Histogram("addrkv_op_cycles",
+			"Modeled cycle cost per engine op, by home shard.", 1, lbl))
+	}
+
+	// Engine-derived gauges: one Report snapshot per scrape (the
+	// OnScrape hook) feeds them all.
+	r.OnScrape(func() {
+		rep := sys.Report()
+		keys := make([]int, shards)
+		for i := 0; i < shards; i++ {
+			keys[i] = sys.Cluster().ShardLen(i)
+		}
+		t.mu.Lock()
+		t.rep, t.keys = rep, keys
+		t.mu.Unlock()
+	})
+	repGauge := func(name, help string, f func(addrkv.Report) float64) {
+		r.GaugeFunc(name, help, nil, func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return f(t.rep)
+		})
+	}
+	repGauge("addrkv_engine_ops", "Engine ops since RESETSTATS.",
+		func(rep addrkv.Report) float64 { return float64(rep.Ops) })
+	repGauge("addrkv_cycles_per_op", "Modeled mean cycles per op since RESETSTATS.",
+		func(rep addrkv.Report) float64 { return rep.CyclesPerOp })
+	repGauge("addrkv_fast_path_hit_rate", "Fraction of GETs served by the STLT/SLB fast path.",
+		func(rep addrkv.Report) float64 { return rep.FastPathHitRate })
+	repGauge("addrkv_table_miss_rate", "STLT (or SLB) table miss ratio.",
+		func(rep addrkv.Report) float64 { return rep.TableMissRate })
+	repGauge("addrkv_tlb_misses_per_op", "Modeled full TLB misses per op.",
+		func(rep addrkv.Report) float64 { return rep.TLBMissesPerOp })
+	repGauge("addrkv_page_walks_per_op", "Modeled page walks per op.",
+		func(rep addrkv.Report) float64 { return rep.PageWalksPerOp })
+	repGauge("addrkv_llc_misses_per_op", "Modeled LLC misses (DRAM demand) per op.",
+		func(rep addrkv.Report) float64 { return rep.CacheMissesPerOp })
+	repGauge("addrkv_modeled_ops_per_kcycle", "Ops per thousand modeled wall-clock cycles.",
+		func(rep addrkv.Report) float64 { return 1000 * rep.ModeledThroughput() })
+	for i := 0; i < shards; i++ {
+		i := i
+		lbl := telemetry.Labels{"shard": strconv.Itoa(i)}
+		r.GaugeFunc("addrkv_shard_fast_hit_rate",
+			"Per-shard fast-path hit rate.", lbl, func() float64 {
+				t.mu.Lock()
+				defer t.mu.Unlock()
+				if i >= len(t.rep.PerShard) || t.rep.PerShard[i].Gets == 0 {
+					return 0
+				}
+				st := t.rep.PerShard[i]
+				return float64(st.FastHits) / float64(st.Gets)
+			})
+		r.GaugeFunc("addrkv_shard_cycles_per_op",
+			"Per-shard modeled cycles per op.", lbl, func() float64 {
+				t.mu.Lock()
+				defer t.mu.Unlock()
+				if i >= len(t.rep.PerShard) {
+					return 0
+				}
+				return t.rep.PerShard[i].CyclesPerOp()
+			})
+		r.GaugeFunc("addrkv_shard_keys",
+			"Keys stored, by shard.", lbl, func() float64 {
+				t.mu.Lock()
+				defer t.mu.Unlock()
+				return float64(t.keys[i])
+			})
+	}
+	r.GaugeFunc("addrkv_slowlog_len", "Entries in the slowlog.", nil,
+		func() float64 { return float64(t.slowlog.Len()) })
+	r.GaugeFunc("addrkv_monitor_clients", "Attached MONITOR clients.", nil,
+		func() float64 { return float64(t.feed.Subscribers()) })
+	r.GaugeFunc("addrkv_monitor_dropped_total", "MONITOR lines dropped on slow clients.", nil,
+		func() float64 { return float64(t.feed.Dropped()) })
+	return t
+}
+
+// observeCmd records one dispatched command: wall latency, command
+// counters, per-shard cycle cost, outcome counters, and a slowlog
+// offer. oc is nil for commands that never reached an engine.
+func (t *serverTele) observeCmd(cmd string, args [][]byte, oc *addrkv.OpOutcome, dur time.Duration, isErr bool) {
+	key := cmd
+	if _, ok := t.cmdTotal[key]; !ok {
+		key = "other"
+	}
+	t.cmdTotal[key].Inc()
+	ns := uint64(dur.Nanoseconds())
+	t.latAll.Observe(ns)
+	t.cmdLat[key].Observe(ns)
+	if isErr {
+		t.errTotal.Inc()
+	}
+	detail := ""
+	shard := -1
+	var cycles uint64
+	if oc != nil && oc.Shard >= 0 && oc.Shard < len(t.shardOps) {
+		shard, cycles = oc.Shard, oc.Cycles
+		t.shardOps[oc.Shard].Inc()
+		t.shardCycles[oc.Shard].Observe(oc.Cycles)
+		t.tlbMiss.Add(oc.TLBMisses)
+		t.stbHits.Add(oc.STBHits)
+		t.pageWalks.Add(oc.PageWalks)
+		if cmd == "get" || cmd == "exists" {
+			if oc.FastHit {
+				t.fastHits.Inc()
+			} else {
+				t.fastMiss.Inc()
+			}
+		}
+		if oc.Missed {
+			t.keyMiss.Inc()
+		}
+		detail = fmt.Sprintf("fast_hit=%v tlb_misses=%d stb_hits=%d page_walks=%d",
+			oc.FastHit, oc.TLBMisses, oc.STBHits, oc.PageWalks)
+	}
+	t.slowlog.Note(telemetry.SlowlogEntry{
+		UnixMicro: time.Now().UnixMicro(),
+		Duration:  dur,
+		Args:      formatArgs(args),
+		Shard:     shard,
+		Cycles:    cycles,
+		Detail:    detail,
+	})
+}
+
+// formatArgs renders a command for the slowlog / monitor feed,
+// truncating long values and long argument lists.
+func formatArgs(args [][]byte) []string {
+	const maxArgs, maxLen = 8, 48
+	out := make([]string, 0, min(len(args), maxArgs+1))
+	for i, a := range args {
+		if i == maxArgs {
+			out = append(out, fmt.Sprintf("... (%d more arguments)", len(args)-maxArgs))
+			break
+		}
+		if len(a) > maxLen {
+			out = append(out, fmt.Sprintf("%s... (%d bytes)", a[:maxLen], len(a)))
+		} else {
+			out = append(out, string(a))
+		}
+	}
+	return out
+}
+
+// monitorLine formats one command for the MONITOR feed, Redis-style.
+func monitorLine(args [][]byte, shard int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.6f [shard %d]", float64(time.Now().UnixMicro())/1e6, shard)
+	for _, a := range formatArgs(args) {
+		fmt.Fprintf(&b, " %q", a)
+	}
+	return b.String()
+}
+
+// latencySnapshot merges per-command wall latency into one snapshot.
+func (t *serverTele) latencySnapshot() telemetry.HistSnapshot {
+	return t.latAll.Snapshot()
+}
+
+// cycleSnapshot merges the per-shard op-cycle histograms.
+func (t *serverTele) cycleSnapshot() telemetry.HistSnapshot {
+	var s telemetry.HistSnapshot
+	for _, h := range t.shardCycles {
+		s.Merge(h.Snapshot())
+	}
+	return s
+}
+
+// resetWindow clears the stats-window histograms (RESETSTATS).
+// Counters stay monotonic for Prometheus rate() queries.
+func (t *serverTele) resetWindow() {
+	t.latAll.Reset()
+	for _, h := range t.cmdLat {
+		h.Reset()
+	}
+	for _, h := range t.shardCycles {
+		h.Reset()
+	}
+}
+
+// startMetricsServer serves /metrics (Prometheus text), /snapshot.json
+// (a telemetry.Snapshot of the current window), and net/http/pprof
+// under /debug/pprof/ on addr. It returns the bound listener address
+// (addr may be ":0").
+func startMetricsServer(addr string, s *server) (*http.Server, net.Addr, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.tele.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
+		snap := s.benchSnapshot()
+		w.Header().Set("Content-Type", "application/json")
+		b, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(append(b, '\n'))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}
+
+// benchSnapshot renders the current stats window as a JSON snapshot
+// (the /snapshot.json payload).
+func (s *server) benchSnapshot() *telemetry.Snapshot {
+	s.statsMu.RLock()
+	rep := s.sys.Report()
+	s.statsMu.RUnlock()
+	return &telemetry.Snapshot{
+		Name:     "kvserve",
+		Kind:     "server",
+		UnixTime: time.Now().Unix(),
+		Params: map[string]any{
+			"shards": rep.Shards,
+		},
+		Runs: []telemetry.RunRecord{reportRecord("live", rep)},
+		Latency: map[string]telemetry.Quantiles{
+			"wall_ns":   telemetry.QuantilesOf(s.tele.latencySnapshot()),
+			"op_cycles": telemetry.QuantilesOf(s.tele.cycleSnapshot()),
+		},
+	}
+}
+
+// reportRecord converts an addrkv.Report into a RunRecord.
+func reportRecord(spec string, rep addrkv.Report) telemetry.RunRecord {
+	return telemetry.RunRecord{
+		Spec:           spec,
+		Ops:            rep.Ops,
+		Cycles:         rep.Cycles,
+		CyclesPerOp:    rep.CyclesPerOp,
+		FastPathHits:   rep.Stats.FastHits,
+		TableMissRate:  rep.TableMissRate,
+		TLBMissesPerOp: rep.TLBMissesPerOp,
+		PageWalksPerOp: rep.PageWalksPerOp,
+		LLCMissesPerOp: rep.CacheMissesPerOp,
+	}
+}

@@ -378,6 +378,26 @@ func (m *Machine) Stats() Stats {
 	return s
 }
 
+// Probe is a cheap snapshot of the counters a per-op observer diffs
+// across a single operation. Reading it charges nothing on the
+// simulated machine, so probing has zero timing effect.
+type Probe struct {
+	Cycles    arch.Cycles
+	TLBMisses uint64
+	STBHits   uint64
+	PageWalks uint64
+}
+
+// Probe snapshots the observer counters.
+func (m *Machine) Probe() Probe {
+	return Probe{
+		Cycles:    m.cycles,
+		TLBMisses: m.TLBs.FullMisses,
+		STBHits:   m.STB.Hits,
+		PageWalks: m.walks,
+	}
+}
+
 // ResetStats zeroes all counters while preserving cache, TLB, STB and
 // IPB *contents* — the warm-up/measurement split of Section IV-A.
 func (m *Machine) ResetStats() {

@@ -531,6 +531,27 @@ func (e *Engine) RunOp(op ycsb.Op, valueSize int) {
 	}
 }
 
+// OpProbe is a cheap snapshot of the counters a per-op observer diffs
+// across one operation (telemetry). Taking it reads plain fields and
+// charges no simulated cycles, so probed runs stay bit-for-bit
+// identical to unprobed ones.
+type OpProbe struct {
+	Machine  cpu.Probe
+	Ops      uint64
+	FastHits uint64
+	Misses   uint64
+}
+
+// Probe snapshots the observer counters.
+func (e *Engine) Probe() OpProbe {
+	return OpProbe{
+		Machine:  e.M.Probe(),
+		Ops:      e.ops,
+		FastHits: e.fastHits,
+		Misses:   e.misses,
+	}
+}
+
 // MarkMeasurement resets all counters: everything before this call was
 // warm-up.
 func (e *Engine) MarkMeasurement() {

@@ -1,0 +1,105 @@
+package resp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCommand throws arbitrary bytes at the command reader and
+// checks the parser's contract: it never panics, never returns an
+// empty argument list without an error, and anything it accepts
+// round-trips through WriteCommand bit-for-bit.
+func FuzzReadCommand(f *testing.F) {
+	seeds := []string{
+		// Well-formed array commands.
+		"*2\r\n$3\r\nGET\r\n$4\r\nkey1\r\n",
+		"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n",
+		// Inline commands, extra spaces, pipelined.
+		"PING\r\n",
+		"GET  key1 \r\nSET k v\r\n",
+		// Empty array (ignored), then a real command.
+		"*0\r\n+extra\r\n",
+		"*0\r\n*1\r\n$4\r\nPING\r\n",
+		// Truncated bulks and headers.
+		"*1\r\n$5\r\nhel",
+		"*2\r\n$3\r\nGET\r\n$4\r\nke",
+		"*1\r\n$",
+		"*12",
+		// Oversized array/bulk headers (must be rejected, not allocated).
+		"*1048577\r\n",
+		"*1\r\n$67108865\r\n",
+		"*1\r\n$999999999999999999\r\n",
+		"*99999999999999999999\r\n", // overflows int64
+		// Negative and null lengths.
+		"*-1\r\n",
+		"*1\r\n$-1\r\n",
+		// Bad terminators and type bytes.
+		"*1\r\n$3\r\nGET\nX\r\n",
+		":5\r\n",
+		"$3\r\nGET\r\n",
+		"\r\n",
+		"\x00\x01\x02\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 16; i++ {
+			args, err := r.ReadCommand()
+			if err != nil {
+				return
+			}
+			if len(args) == 0 {
+				t.Fatal("ReadCommand returned empty args without error")
+			}
+			for _, a := range args {
+				if a == nil {
+					t.Fatal("ReadCommand returned nil argument")
+				}
+				if len(a) > MaxBulkLen {
+					t.Fatalf("argument of %d bytes exceeds MaxBulkLen", len(a))
+				}
+			}
+			if len(args) > MaxArrayLen {
+				t.Fatalf("%d arguments exceed MaxArrayLen", len(args))
+			}
+			// Round-trip: the canonical encoding of what we parsed
+			// must parse back to the same argument list.
+			var buf bytes.Buffer
+			w := NewWriter(&buf)
+			if err := w.WriteCommand(args...); err != nil {
+				t.Fatalf("WriteCommand(%q): %v", args, err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			back, err := NewReader(&buf).ReadCommand()
+			if err != nil {
+				t.Fatalf("re-parse of %q failed: %v", buf.Bytes(), err)
+			}
+			if len(back) != len(args) {
+				t.Fatalf("round trip arg count %d != %d", len(back), len(args))
+			}
+			for i := range args {
+				if !bytes.Equal(back[i], args[i]) {
+					t.Fatalf("round trip arg %d: %q != %q", i, back[i], args[i])
+				}
+			}
+		}
+	})
+}
+
+// TestEmptyArraySkipped pins the *0 behavior the fuzzer relies on: an
+// empty command array is ignored (Redis semantics) instead of being
+// returned as a zero-length argument list the server would index.
+func TestEmptyArraySkipped(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("*0\r\n*1\r\n$4\r\nPING\r\n")))
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 1 || string(args[0]) != "PING" {
+		t.Fatalf("args = %q", args)
+	}
+}

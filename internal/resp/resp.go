@@ -28,46 +28,53 @@ type Reader struct {
 func NewReader(r io.Reader) *Reader { return &Reader{br: bufio.NewReader(r)} }
 
 // ReadCommand reads one client command: either a RESP array of bulk
-// strings or an inline command line. It returns the argument list.
+// strings or an inline command line. It returns a non-empty argument
+// list; empty arrays ("*0\r\n") are skipped like Redis does, so
+// callers may index args[0] unconditionally.
 func (r *Reader) ReadCommand() ([][]byte, error) {
-	c, err := r.br.ReadByte()
-	if err != nil {
-		return nil, err
-	}
-	if c != '*' {
-		// Inline command: space-separated words on one line.
-		if err := r.br.UnreadByte(); err != nil {
-			return nil, err
-		}
-		line, err := r.readLine()
+	for {
+		c, err := r.br.ReadByte()
 		if err != nil {
 			return nil, err
 		}
-		var args [][]byte
-		for _, w := range splitWords(line) {
-			args = append(args, w)
+		if c != '*' {
+			// Inline command: space-separated words on one line.
+			if err := r.br.UnreadByte(); err != nil {
+				return nil, err
+			}
+			line, err := r.readLine()
+			if err != nil {
+				return nil, err
+			}
+			var args [][]byte
+			for _, w := range splitWords(line) {
+				args = append(args, w)
+			}
+			if len(args) == 0 {
+				return nil, fmt.Errorf("resp: empty inline command")
+			}
+			return args, nil
 		}
-		if len(args) == 0 {
-			return nil, fmt.Errorf("resp: empty inline command")
+		n, err := r.readInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > MaxArrayLen {
+			return nil, fmt.Errorf("resp: bad array length %d", n)
+		}
+		if n == 0 {
+			continue // empty command array: ignore, read the next one
+		}
+		args := make([][]byte, 0, n)
+		for i := int64(0); i < n; i++ {
+			b, err := r.readBulk()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, b)
 		}
 		return args, nil
 	}
-	n, err := r.readInt()
-	if err != nil {
-		return nil, err
-	}
-	if n < 0 || n > MaxArrayLen {
-		return nil, fmt.Errorf("resp: bad array length %d", n)
-	}
-	args := make([][]byte, 0, n)
-	for i := int64(0); i < n; i++ {
-		b, err := r.readBulk()
-		if err != nil {
-			return nil, err
-		}
-		args = append(args, b)
-	}
-	return args, nil
 }
 
 // ReadReply reads one server reply and returns it decoded: string for
@@ -128,7 +135,12 @@ func (r *Reader) readBulk() ([]byte, error) {
 	if c != '$' {
 		return nil, fmt.Errorf("resp: expected bulk string, got %q", c)
 	}
-	return r.readBulkBody()
+	b, err := r.readBulkBody()
+	if err == nil && b == nil {
+		// A null bulk is a valid *reply* but not a command argument.
+		return nil, fmt.Errorf("resp: null bulk string in command")
+	}
+	return b, err
 }
 
 func (r *Reader) readBulkBody() ([]byte, error) {
@@ -227,6 +239,25 @@ func (w *Writer) WriteError(msg string) error {
 // WriteInt writes ":n\r\n".
 func (w *Writer) WriteInt(n int64) error {
 	_, err := fmt.Fprintf(w.bw, ":%d\r\n", n)
+	return err
+}
+
+// WriteArrayHeader writes "*n\r\n"; the caller then writes n elements
+// (used for structured replies like SLOWLOG GET).
+func (w *Writer) WriteArrayHeader(n int) error {
+	_, err := fmt.Fprintf(w.bw, "*%d\r\n", n)
+	return err
+}
+
+// WriteBulkString writes s as a bulk string.
+func (w *Writer) WriteBulkString(s string) error {
+	if _, err := fmt.Fprintf(w.bw, "$%d\r\n", len(s)); err != nil {
+		return err
+	}
+	if _, err := w.bw.WriteString(s); err != nil {
+		return err
+	}
+	_, err := w.bw.WriteString("\r\n")
 	return err
 }
 

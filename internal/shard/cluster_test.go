@@ -51,6 +51,74 @@ func TestOneShardMatchesSingleEngine(t *testing.T) {
 	}
 }
 
+// TestObservedOpsMatchUnobserved: running the exact same stream with
+// per-op outcome observation enabled must leave the engines bit-for-bit
+// identical to an unobserved run (telemetry reads counters, never
+// charges cycles), and the outcome deltas must sum to the engine's own
+// aggregate counters.
+func TestObservedOpsMatchUnobserved(t *testing.T) {
+	cfg := kv.Config{Keys: 6000, Index: kv.KindChainHash, Mode: kv.ModeSTLT, Seed: 42}
+	const loadN, nOps = 6000, 12000
+
+	plain, err := New(Config{Shards: 2, Engine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := New(Config{Shards: 2, Engine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Load(loadN, 64)
+	observed.Load(loadN, 64)
+	// Drop table-allocation cycles so outcome sums cover every
+	// remaining cycle in the aggregate.
+	plain.MarkMeasurement()
+	observed.MarkMeasurement()
+
+	gcfg := ycsb.Config{Keys: loadN, ValueSize: 64, Dist: ycsb.Zipf, Seed: 9, SetFraction: 0.1}
+	gp, go_ := ycsb.NewGenerator(gcfg), ycsb.NewGenerator(gcfg)
+	var oc OpOutcome
+	var sumCycles, sumTLBMisses, sumWalks, fastHits uint64
+	var buf [ycsb.KeyLen]byte
+	for i := 0; i < nOps; i++ {
+		opP, opO := gp.Next(), go_.Next()
+		key := ycsb.KeyNameInto(buf[:], opO.KeyID)
+		if opP.Type == ycsb.Set {
+			plain.Set(ycsb.KeyNameInto(buf[:], opP.KeyID), ycsb.Value(opP.KeyID, 1, 64))
+			observed.SetO(key, ycsb.Value(opO.KeyID, 1, 64), &oc)
+		} else {
+			plain.GetTouch(ycsb.KeyNameInto(buf[:], opP.KeyID))
+			observed.GetTouchO(key, &oc)
+		}
+		if want := observed.ShardFor(key); oc.Shard != want {
+			t.Fatalf("outcome shard %d, want %d", oc.Shard, want)
+		}
+		sumCycles += oc.Cycles
+		sumTLBMisses += oc.TLBMisses
+		sumWalks += oc.PageWalks
+		if oc.FastHit {
+			fastHits++
+		}
+	}
+
+	want, got := plain.Stats(), observed.Stats()
+	if got.Agg != want.Agg {
+		t.Fatalf("observed cluster diverged from unobserved:\nobserved: %+v\nplain:    %+v", got.Agg, want.Agg)
+	}
+	if sumCycles != uint64(got.Agg.Machine.Cycles) {
+		t.Errorf("outcome cycles sum %d != aggregate %d", sumCycles, got.Agg.Machine.Cycles)
+	}
+	if sumTLBMisses != got.Agg.Machine.TLBMisses {
+		t.Errorf("outcome TLB misses sum %d != aggregate %d", sumTLBMisses, got.Agg.Machine.TLBMisses)
+	}
+	if sumWalks != got.Agg.Machine.PageWalks {
+		t.Errorf("outcome page walks sum %d != aggregate %d", sumWalks, got.Agg.Machine.PageWalks)
+	}
+	if fastHits != got.Agg.FastHits {
+		t.Errorf("outcome fast hits %d != aggregate %d", fastHits, got.Agg.FastHits)
+	}
+}
+
 // TestRoutingStableAndCovering: the same key always routes to the same
 // shard, and a modest key population touches every shard.
 func TestRoutingStableAndCovering(t *testing.T) {

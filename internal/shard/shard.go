@@ -124,45 +124,135 @@ func (c *Cluster) Load(n, valueSize int) {
 	}
 }
 
+// OpOutcome describes one completed data-path operation for telemetry:
+// which shard served it, what it cost in modeled cycles, and how the
+// addressing path resolved. It is filled by diffing kv.OpProbe
+// snapshots around the op while the shard lock is held, so the deltas
+// are exact even under concurrent traffic — and since probing only
+// reads counters, observed runs stay bit-for-bit identical to
+// unobserved ones.
+type OpOutcome struct {
+	// Shard is the home shard that served the operation.
+	Shard int
+	// Cycles is the modeled cycle cost charged for this operation.
+	Cycles uint64
+	// FastHit reports whether the STLT/SLB fast path served it.
+	FastHit bool
+	// Missed reports a GET/EXISTS of an absent key.
+	Missed bool
+	// TLBMisses, STBHits and PageWalks count translation events
+	// during this operation.
+	TLBMisses uint64
+	STBHits   uint64
+	PageWalks uint64
+}
+
+// observe fills out (when non-nil) from the probe delta across an op.
+// Must be called with the shard's lock held.
+func observe(i int, e *kv.Engine, out *OpOutcome, before kv.OpProbe) {
+	if out == nil {
+		return
+	}
+	after := e.Probe()
+	*out = OpOutcome{
+		Shard:     i,
+		Cycles:    uint64(after.Machine.Cycles - before.Machine.Cycles),
+		FastHit:   after.FastHits > before.FastHits,
+		Missed:    after.Misses > before.Misses,
+		TLBMisses: after.Machine.TLBMisses - before.Machine.TLBMisses,
+		STBHits:   after.Machine.STBHits - before.Machine.STBHits,
+		PageWalks: after.Machine.PageWalks - before.Machine.PageWalks,
+	}
+}
+
 // Get retrieves a key with full timing on its home shard.
-func (c *Cluster) Get(key []byte) ([]byte, bool) {
-	s := c.slot(key)
+func (c *Cluster) Get(key []byte) ([]byte, bool) { return c.GetO(key, nil) }
+
+// GetO is Get with an optional per-op outcome report.
+func (c *Cluster) GetO(key []byte, out *OpOutcome) ([]byte, bool) {
+	i := c.ShardFor(key)
+	s := c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.e.Get(key)
+	var before kv.OpProbe
+	if out != nil {
+		before = s.e.Probe()
+	}
+	v, ok := s.e.Get(key)
+	observe(i, s.e, out, before)
+	return v, ok
 }
 
 // GetTouch performs a timed GET charging the value read without
 // materializing it.
-func (c *Cluster) GetTouch(key []byte) bool {
-	s := c.slot(key)
+func (c *Cluster) GetTouch(key []byte) bool { return c.GetTouchO(key, nil) }
+
+// GetTouchO is GetTouch with an optional per-op outcome report.
+func (c *Cluster) GetTouchO(key []byte, out *OpOutcome) bool {
+	i := c.ShardFor(key)
+	s := c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.e.GetTouch(key)
+	var before kv.OpProbe
+	if out != nil {
+		before = s.e.Probe()
+	}
+	ok := s.e.GetTouch(key)
+	observe(i, s.e, out, before)
+	return ok
 }
 
 // Set inserts or updates a key with full timing on its home shard.
-func (c *Cluster) Set(key, value []byte) {
-	s := c.slot(key)
+func (c *Cluster) Set(key, value []byte) { c.SetO(key, value, nil) }
+
+// SetO is Set with an optional per-op outcome report.
+func (c *Cluster) SetO(key, value []byte, out *OpOutcome) {
+	i := c.ShardFor(key)
+	s := c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var before kv.OpProbe
+	if out != nil {
+		before = s.e.Probe()
+	}
 	s.e.Set(key, value)
+	observe(i, s.e, out, before)
 }
 
 // Delete removes a key with full timing on its home shard.
-func (c *Cluster) Delete(key []byte) bool {
-	s := c.slot(key)
+func (c *Cluster) Delete(key []byte) bool { return c.DeleteO(key, nil) }
+
+// DeleteO is Delete with an optional per-op outcome report.
+func (c *Cluster) DeleteO(key []byte, out *OpOutcome) bool {
+	i := c.ShardFor(key)
+	s := c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.e.Delete(key)
+	var before kv.OpProbe
+	if out != nil {
+		before = s.e.Probe()
+	}
+	ok := s.e.Delete(key)
+	observe(i, s.e, out, before)
+	return ok
 }
 
 // Exists performs a timed existence-only check on the home shard.
-func (c *Cluster) Exists(key []byte) bool {
-	s := c.slot(key)
+func (c *Cluster) Exists(key []byte) bool { return c.ExistsO(key, nil) }
+
+// ExistsO is Exists with an optional per-op outcome report.
+func (c *Cluster) ExistsO(key []byte, out *OpOutcome) bool {
+	i := c.ShardFor(key)
+	s := c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.e.Exists(key)
+	var before kv.OpProbe
+	if out != nil {
+		before = s.e.Probe()
+	}
+	ok := s.e.Exists(key)
+	observe(i, s.e, out, before)
+	return ok
 }
 
 // RunOp executes one generated workload operation on the home shard.

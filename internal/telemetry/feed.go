@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Feed is a broadcast channel for the MONITOR command: every dispatched
+// command is published as one line to all subscribers. When nobody is
+// subscribed, Publish is a single atomic load; with subscribers it is
+// a non-blocking send per subscriber — a slow MONITOR client drops
+// lines (counted) instead of stalling the serving path.
+type Feed struct {
+	active  atomic.Int32
+	dropped atomic.Uint64
+	mu      sync.Mutex
+	subs    map[uint64]chan string
+	nextID  uint64
+}
+
+// NewFeed creates an empty feed.
+func NewFeed() *Feed { return &Feed{subs: map[uint64]chan string{}} }
+
+// Active reports whether any subscriber is attached (the hot-path
+// check before formatting a line).
+func (f *Feed) Active() bool { return f.active.Load() > 0 }
+
+// Subscribers returns the current subscriber count.
+func (f *Feed) Subscribers() int { return int(f.active.Load()) }
+
+// Dropped returns the number of lines dropped on full subscriber
+// buffers.
+func (f *Feed) Dropped() uint64 { return f.dropped.Load() }
+
+// Publish sends line to every subscriber, dropping on full buffers.
+func (f *Feed) Publish(line string) {
+	if f.active.Load() == 0 {
+		return
+	}
+	f.mu.Lock()
+	for _, ch := range f.subs {
+		select {
+		case ch <- line:
+		default:
+			f.dropped.Add(1)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Subscribe attaches a new subscriber with the given channel buffer.
+func (f *Feed) Subscribe(buffer int) (id uint64, ch <-chan string) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	c := make(chan string, buffer)
+	f.mu.Lock()
+	id = f.nextID
+	f.nextID++
+	f.subs[id] = c
+	f.mu.Unlock()
+	f.active.Add(1)
+	return id, c
+}
+
+// Unsubscribe detaches a subscriber and closes its channel.
+func (f *Feed) Unsubscribe(id uint64) {
+	f.mu.Lock()
+	c, ok := f.subs[id]
+	if ok {
+		delete(f.subs, id)
+	}
+	f.mu.Unlock()
+	if ok {
+		f.active.Add(-1)
+		close(c)
+	}
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowlogEntry records one slow command.
+type SlowlogEntry struct {
+	// ID is a monotonically increasing entry id (survives RESET, like
+	// Redis's slowlog ids).
+	ID int64
+	// UnixMicro is the wall-clock completion time.
+	UnixMicro int64
+	// Duration is the real (wall-clock) service time of the command.
+	Duration time.Duration
+	// Args is the command argument list (possibly truncated by the
+	// caller before recording).
+	Args []string
+	// Shard is the home shard of the command's key (-1 for keyless
+	// commands).
+	Shard int
+	// Cycles is the modeled cycle cost the engine charged for the
+	// command (0 for commands that never reach an engine).
+	Cycles uint64
+	// Detail is a free-form cycle/outcome breakdown
+	// ("tlb_misses=2 page_walks=1 fast_hit=true").
+	Detail string
+}
+
+// Slowlog keeps the N slowest commands seen since the last Reset —
+// "slowest-so-far" semantics rather than Redis's threshold filter, so
+// SLOWLOG GET is informative even when every command is fast. The
+// hot-path cost for a command that does not qualify is one atomic
+// load and a compare.
+type Slowlog struct {
+	capacity int
+	// floorNS is the minimum duration worth locking for: -1 until the
+	// log is full, then the smallest recorded duration.
+	floorNS atomic.Int64
+	mu      sync.Mutex
+	// entries is a min-heap on Duration.
+	entries []SlowlogEntry
+	nextID  int64
+}
+
+// NewSlowlog creates a slowlog keeping the capacity slowest commands.
+func NewSlowlog(capacity int) *Slowlog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &Slowlog{capacity: capacity}
+	l.floorNS.Store(-1)
+	return l
+}
+
+// Note offers an entry to the log; it is recorded iff it is slower
+// than the current floor (always, while the log is not yet full).
+// The entry's ID is assigned on recording.
+func (l *Slowlog) Note(e SlowlogEntry) bool {
+	if int64(e.Duration) <= l.floorNS.Load() {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Re-check under the lock: the floor may have moved.
+	if len(l.entries) == l.capacity && e.Duration <= l.entries[0].Duration {
+		return false
+	}
+	e.ID = l.nextID
+	l.nextID++
+	if len(l.entries) < l.capacity {
+		l.entries = append(l.entries, e)
+		l.siftUp(len(l.entries) - 1)
+		if len(l.entries) == l.capacity {
+			l.floorNS.Store(int64(l.entries[0].Duration))
+		}
+		return true
+	}
+	l.entries[0] = e
+	l.siftDown(0)
+	l.floorNS.Store(int64(l.entries[0].Duration))
+	return true
+}
+
+func (l *Slowlog) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if l.entries[p].Duration <= l.entries[i].Duration {
+			return
+		}
+		l.entries[p], l.entries[i] = l.entries[i], l.entries[p]
+		i = p
+	}
+}
+
+func (l *Slowlog) siftDown(i int) {
+	n := len(l.entries)
+	for {
+		least, left, right := i, 2*i+1, 2*i+2
+		if left < n && l.entries[left].Duration < l.entries[least].Duration {
+			least = left
+		}
+		if right < n && l.entries[right].Duration < l.entries[least].Duration {
+			least = right
+		}
+		if least == i {
+			return
+		}
+		l.entries[i], l.entries[least] = l.entries[least], l.entries[i]
+		i = least
+	}
+}
+
+// Entries returns the recorded entries, slowest first (newest first on
+// ties), up to max (<= 0 for all).
+func (l *Slowlog) Entries(max int) []SlowlogEntry {
+	l.mu.Lock()
+	out := append([]SlowlogEntry{}, l.entries...)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Duration != out[j].Duration {
+			return out[i].Duration > out[j].Duration
+		}
+		return out[i].ID > out[j].ID
+	})
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Len returns the number of recorded entries.
+func (l *Slowlog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Reset clears the log (ids keep counting).
+func (l *Slowlog) Reset() {
+	l.mu.Lock()
+	l.entries = l.entries[:0]
+	l.floorNS.Store(-1)
+	l.mu.Unlock()
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Quantiles summarizes a histogram for JSON output.
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	P999  uint64  `json:"p999"`
+	Max   uint64  `json:"max"`
+}
+
+// QuantilesOf summarizes a histogram snapshot.
+func QuantilesOf(s HistSnapshot) Quantiles {
+	return Quantiles{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
+		Max:   s.Max(),
+	}
+}
+
+// RunRecord captures the modeled outcome of one simulation run — the
+// unit of the BENCH_<exp>.json perf trajectory. Cycle counts are the
+// engine's own deterministic counters, so a record is bit-for-bit
+// reproducible for a given spec regardless of whether telemetry was
+// attached.
+type RunRecord struct {
+	// Spec is the harness's canonical run key
+	// (keys/valueSize/dist/mode/index/...).
+	Spec           string  `json:"spec"`
+	Ops            uint64  `json:"ops"`
+	Cycles         uint64  `json:"cycles"`
+	CyclesPerOp    float64 `json:"cycles_per_op"`
+	FastPathHits   uint64  `json:"fast_path_hits"`
+	TableMissRate  float64 `json:"table_miss_rate"`
+	TLBMissesPerOp float64 `json:"tlb_misses_per_op"`
+	PageWalksPerOp float64 `json:"page_walks_per_op"`
+	LLCMissesPerOp float64 `json:"llc_misses_per_op"`
+}
+
+// TableData is the JSON form of a rendered result table.
+type TableData struct {
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Snapshot is a self-contained JSON benchmark artifact: what ran, the
+// per-run modeled counters, the rendered tables, and any latency
+// distributions gathered along the way.
+type Snapshot struct {
+	// Name identifies the artifact (experiment id, "replay", ...).
+	Name string `json:"name"`
+	// Kind is the producer: "harness", "replay", or "server".
+	Kind string `json:"kind"`
+	// UnixTime stamps the run (0 where determinism matters more).
+	UnixTime int64 `json:"unix_time,omitempty"`
+	// Params records the knobs the run was shaped by.
+	Params map[string]any `json:"params,omitempty"`
+	// Runs holds one record per simulation run, in execution order.
+	Runs []RunRecord `json:"runs,omitempty"`
+	// Tables holds the rendered result tables.
+	Tables []TableData `json:"tables,omitempty"`
+	// Latency maps a distribution name ("op_cycles", "wall_ns") to its
+	// quantile summary.
+	Latency map[string]Quantiles `json:"latency,omitempty"`
+}
+
+// Marshal renders the snapshot as indented JSON with a trailing
+// newline.
+func (s *Snapshot) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the snapshot to path.
+func (s *Snapshot) WriteFile(path string) error {
+	b, err := s.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
