@@ -211,6 +211,40 @@ func (s *System) DeleteO(key []byte, out *OpOutcome) bool { return s.c.DeleteO(k
 // ExistsO is Exists with a per-op outcome report.
 func (s *System) ExistsO(key []byte, out *OpOutcome) bool { return s.c.ExistsO(key, out) }
 
+// BatchOutcome is the per-batch telemetry report of the *BatchO
+// methods: one exact probe delta per shard touched. Like OpOutcome,
+// filling it reads counters only.
+type BatchOutcome = shard.BatchOutcome
+
+// GetBatch retrieves keys with full timing, grouped by home shard and
+// executed as one locked call per shard. Results are positional:
+// vals[i]/oks[i] answer keys[i]. Modeled cycles are bit-for-bit
+// identical to len(keys) sequential Get calls.
+func (s *System) GetBatch(keys [][]byte) (vals [][]byte, oks []bool) { return s.c.GetBatch(keys) }
+
+// GetBatchO is GetBatch with a per-batch outcome report (out may be nil).
+func (s *System) GetBatchO(keys [][]byte, out *BatchOutcome) (vals [][]byte, oks []bool) {
+	return s.c.GetBatchO(keys, out)
+}
+
+// SetBatch inserts or updates keys[i] = values[i] with full timing,
+// one locked call per home shard.
+func (s *System) SetBatch(keys, values [][]byte) { s.c.SetBatch(keys, values) }
+
+// SetBatchO is SetBatch with a per-batch outcome report.
+func (s *System) SetBatchO(keys, values [][]byte, out *BatchOutcome) {
+	s.c.SetBatchO(keys, values, out)
+}
+
+// DeleteBatch removes keys with full timing, one locked call per home
+// shard, returning how many existed.
+func (s *System) DeleteBatch(keys [][]byte) int { return s.c.DeleteBatch(keys) }
+
+// DeleteBatchO is DeleteBatch with a per-batch outcome report.
+func (s *System) DeleteBatchO(keys [][]byte, out *BatchOutcome) int {
+	return s.c.DeleteBatchO(keys, out)
+}
+
 // Len returns the number of stored keys across all shards.
 func (s *System) Len() int { return s.c.Len() }
 

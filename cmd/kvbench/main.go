@@ -1,0 +1,268 @@
+// Command kvbench is a closed-loop RESP load generator for kvserve.
+// It opens -conns connections and drives each with a fixed pipeline
+// depth: write -depth commands, flush once, read -depth replies,
+// repeat. Because the loop is closed, ops/sec directly measures how
+// much per-request overhead (syscalls, flushes, scheduling) pipelining
+// amortizes — the real-world win the simulator's cycle model
+// deliberately leaves out.
+//
+//	kvbench -addr 127.0.0.1:6380 -conns 4 -depth 16 -ops 200000
+//	kvbench -addr 127.0.0.1:6380 -sweep 1,4,16,64 -json sweep.json
+//
+// With -sweep, each depth runs as its own measurement point and the
+// -json artifact holds the whole sweep (telemetry.Snapshot-style:
+// name/kind/params plus one record per depth).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"addrkv/internal/resp"
+	"addrkv/internal/telemetry"
+	"addrkv/internal/ycsb"
+)
+
+// benchConfig shapes one kvbench invocation.
+type benchConfig struct {
+	network  string // "tcp" or "unix"
+	addr     string
+	conns    int
+	ops      int // total operations per depth point, split across conns
+	keys     int // key-space size
+	vsize    int // SET value size
+	getRatio float64
+	seed     uint64
+}
+
+// depthResult is one measurement point of a sweep.
+type depthResult struct {
+	Depth     int     `json:"depth"`
+	Conns     int     `json:"conns"`
+	Ops       uint64  `json:"ops"`
+	Errors    uint64  `json:"errors"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// RoundtripUS summarizes the per-flush roundtrip (write batch,
+	// flush, read all replies) in microseconds.
+	RoundtripUS telemetry.Quantiles `json:"roundtrip_us"`
+}
+
+// artifact is the -json output: a self-contained record of the sweep.
+type artifact struct {
+	Name   string         `json:"name"`
+	Kind   string         `json:"kind"`
+	Params map[string]any `json:"params"`
+	Sweep  []depthResult  `json:"sweep"`
+}
+
+func main() {
+	var (
+		sock     = flag.String("sock", "", "Unix socket path")
+		addr     = flag.String("addr", "", "TCP address")
+		conns    = flag.Int("conns", 4, "concurrent connections")
+		depth    = flag.Int("depth", 16, "pipeline depth per connection")
+		sweep    = flag.String("sweep", "", "comma-separated depths to sweep (overrides -depth)")
+		ops      = flag.Int("ops", 100_000, "operations per depth point")
+		keys     = flag.Int("keys", 10_000, "key-space size")
+		vsize    = flag.Int("vsize", 64, "SET value size")
+		getRatio = flag.Float64("get-ratio", 0.9, "fraction of GETs (rest are SETs)")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		jsonPath = flag.String("json", "", "write the sweep artifact to this file")
+	)
+	flag.Parse()
+
+	if (*sock == "") == (*addr == "") {
+		fmt.Fprintln(os.Stderr, "kvbench: exactly one of -sock or -addr is required")
+		os.Exit(2)
+	}
+	cfg := benchConfig{
+		network: "unix", addr: *sock,
+		conns: *conns, ops: *ops, keys: *keys, vsize: *vsize,
+		getRatio: *getRatio, seed: *seed,
+	}
+	if *addr != "" {
+		cfg.network, cfg.addr = "tcp", *addr
+	}
+	if cfg.conns < 1 || *depth < 1 || cfg.ops < 1 || cfg.keys < 1 {
+		fmt.Fprintln(os.Stderr, "kvbench: -conns, -depth, -ops and -keys must be >= 1")
+		os.Exit(2)
+	}
+	depths := []int{*depth}
+	if *sweep != "" {
+		var err error
+		if depths, err = parseSweep(*sweep); err != nil {
+			fmt.Fprintf(os.Stderr, "kvbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	results, err := run(cfg, depths, os.Stdout)
+	if err != nil {
+		log.Fatalf("kvbench: %v", err)
+	}
+	if *jsonPath != "" {
+		if err := writeArtifact(*jsonPath, cfg, depths, results); err != nil {
+			log.Fatalf("kvbench: %v", err)
+		}
+	}
+}
+
+// parseSweep parses "1,4,16,64" into pipeline depths.
+func parseSweep(s string) ([]int, error) {
+	var depths []int
+	for _, part := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("bad sweep depth %q", part)
+		}
+		depths = append(depths, d)
+	}
+	return depths, nil
+}
+
+// run executes one depth point per entry of depths and reports each on
+// out as it completes.
+func run(cfg benchConfig, depths []int, out io.Writer) ([]depthResult, error) {
+	results := make([]depthResult, 0, len(depths))
+	for _, d := range depths {
+		r, err := runDepth(cfg, d)
+		if err != nil {
+			return results, err
+		}
+		fmt.Fprintf(out, "depth %3d: %9.0f ops/sec  (%d ops, %d conns, %d errors, rt p50 %dus p99 %dus)\n",
+			d, r.OpsPerSec, r.Ops, r.Conns, r.Errors, r.RoundtripUS.P50, r.RoundtripUS.P99)
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// runDepth drives one closed-loop measurement at a fixed pipeline
+// depth across cfg.conns connections.
+func runDepth(cfg benchConfig, depth int) (depthResult, error) {
+	perConn := cfg.ops / cfg.conns
+	if perConn == 0 {
+		perConn = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		done     uint64
+		errCount uint64
+		rt       telemetry.Histogram
+		firstErr error
+		errOnce  sync.Once
+	)
+	start := time.Now()
+	for c := 0; c < cfg.conns; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			n, errs, err := benchConn(cfg, depth, perConn, cfg.seed+uint64(id)*7919, &rt)
+			atomic.AddUint64(&done, n)
+			atomic.AddUint64(&errCount, errs)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return depthResult{}, firstErr
+	}
+	return depthResult{
+		Depth:       depth,
+		Conns:       cfg.conns,
+		Ops:         done,
+		Errors:      errCount,
+		ElapsedNS:   elapsed.Nanoseconds(),
+		OpsPerSec:   float64(done) / elapsed.Seconds(),
+		RoundtripUS: telemetry.QuantilesOf(rt.Snapshot()),
+	}, nil
+}
+
+// benchConn runs one connection's closed loop: batches of up to depth
+// commands, one flush per batch, then all replies. Returns ops
+// completed and error replies seen (protocol or dial errors abort).
+func benchConn(cfg benchConfig, depth, ops int, seed uint64, rt *telemetry.Histogram) (uint64, uint64, error) {
+	conn, err := net.Dial(cfg.network, cfg.addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	r := resp.NewReader(conn)
+	w := resp.NewWriter(conn)
+	rng := rand.New(rand.NewSource(int64(seed)))
+
+	var sent, errs uint64
+	for remaining := ops; remaining > 0; {
+		batch := depth
+		if remaining < batch {
+			batch = remaining
+		}
+		t0 := time.Now()
+		for i := 0; i < batch; i++ {
+			id := uint64(rng.Intn(cfg.keys))
+			key := ycsb.KeyName(id)
+			if rng.Float64() < cfg.getRatio {
+				err = w.WriteCommand([]byte("GET"), key)
+			} else {
+				err = w.WriteCommand([]byte("SET"), key, ycsb.Value(id, uint32(sent), cfg.vsize))
+			}
+			if err != nil {
+				return sent, errs, err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return sent, errs, err
+		}
+		for i := 0; i < batch; i++ {
+			v, err := r.ReadReply()
+			if err != nil {
+				return sent, errs, fmt.Errorf("read reply: %w", err)
+			}
+			if _, isErr := v.(error); isErr {
+				errs++
+			}
+			sent++
+		}
+		rt.Observe(uint64(time.Since(t0).Microseconds()))
+		remaining -= batch
+	}
+	return sent, errs, nil
+}
+
+// writeArtifact writes the sweep JSON artifact.
+func writeArtifact(path string, cfg benchConfig, depths []int, results []depthResult) error {
+	a := artifact{
+		Name: "pipeline-sweep",
+		Kind: "kvbench",
+		Params: map[string]any{
+			"addr":      cfg.addr,
+			"conns":     cfg.conns,
+			"ops":       cfg.ops,
+			"keys":      cfg.keys,
+			"vsize":     cfg.vsize,
+			"get_ratio": cfg.getRatio,
+			"seed":      cfg.seed,
+			"depths":    depths,
+		},
+		Sweep: results,
+	}
+	b, err := json.MarshalIndent(&a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

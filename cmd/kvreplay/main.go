@@ -13,7 +13,11 @@
 // aggregate RunRecord plus a per-op modeled cycle distribution
 // (p50/p99/p999), gathered through the engine's outcome probes —
 // which read counters only, so the modeled totals are identical to a
-// run without -json.
+// run without -json. The snapshot carries no timestamps, so for a
+// fixed trace and flags it is byte-for-byte reproducible (pinned by
+// the golden-file test).
+//
+// A malformed trace line aborts the replay with exit code 1.
 //
 //	ycsbgen -keys 200000 -ops 2000000 -dist zipf > trace.txt
 //	kvreplay -mode baseline -keys 200000 < trace.txt
@@ -26,6 +30,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -34,45 +39,67 @@ import (
 	"addrkv/internal/telemetry"
 )
 
+// replayConfig shapes one replay run (the parsed flag set).
+type replayConfig struct {
+	mode    string
+	index   string
+	keys    int
+	shards  int
+	vsize   int
+	warm    int
+	jsonOut string
+}
+
 func main() {
 	var (
-		mode    = flag.String("mode", "stlt", "baseline|stlt|slb|stlt-sw|stlt-va")
-		index   = flag.String("index", "chainhash", "chainhash|densehash|rbtree|btree|skiplist")
-		keys    = flag.Int("keys", 100_000, "keys to preload (ids 0..keys-1)")
-		shards  = flag.Int("shards", 1, "simulated machines to hash the key space across")
-		vsize   = flag.Int("vsize", 64, "preload value size")
-		warm    = flag.Int("warm", 0, "trace ops to treat as warm-up (stats reset after)")
-		file    = flag.String("f", "", "trace file (default stdin)")
-		jsonOut = flag.String("json", "", "write a telemetry snapshot JSON to this path")
+		cfg  replayConfig
+		file string
 	)
+	flag.StringVar(&cfg.mode, "mode", "stlt", "baseline|stlt|slb|stlt-sw|stlt-va")
+	flag.StringVar(&cfg.index, "index", "chainhash", "chainhash|densehash|rbtree|btree|skiplist")
+	flag.IntVar(&cfg.keys, "keys", 100_000, "keys to preload (ids 0..keys-1)")
+	flag.IntVar(&cfg.shards, "shards", 1, "simulated machines to hash the key space across")
+	flag.IntVar(&cfg.vsize, "vsize", 64, "preload value size")
+	flag.IntVar(&cfg.warm, "warm", 0, "trace ops to treat as warm-up (stats reset after)")
+	flag.StringVar(&file, "f", "", "trace file (default stdin)")
+	flag.StringVar(&cfg.jsonOut, "json", "", "write a telemetry snapshot JSON to this path")
 	flag.Parse()
 
-	in := os.Stdin
-	if *file != "" {
-		f, err := os.Open(*file)
+	in := io.Reader(os.Stdin)
+	if file != "" {
+		f, err := os.Open(file)
 		if err != nil {
 			log.Fatalf("kvreplay: %v", err)
 		}
 		defer f.Close()
 		in = f
 	}
-
-	sys, err := addrkv.New(addrkv.Options{
-		Keys:   *keys,
-		Shards: *shards,
-		Index:  addrkv.IndexKind(*index),
-		Mode:   addrkv.Mode(*mode),
-	})
-	if err != nil {
+	if err := run(cfg, in, os.Stdout); err != nil {
 		log.Fatalf("kvreplay: %v", err)
 	}
-	sys.Load(*keys, *vsize)
+}
+
+// run replays the trace on in, writing the human report to out and,
+// when configured, the JSON snapshot to cfg.jsonOut. It returns an
+// error (rather than exiting) on a malformed trace so main can map it
+// to exit code 1 and tests can assert on it.
+func run(cfg replayConfig, in io.Reader, out io.Writer) error {
+	sys, err := addrkv.New(addrkv.Options{
+		Keys:   cfg.keys,
+		Shards: cfg.shards,
+		Index:  addrkv.IndexKind(cfg.index),
+		Mode:   addrkv.Mode(cfg.mode),
+	})
+	if err != nil {
+		return err
+	}
+	sys.Load(cfg.keys, cfg.vsize)
 
 	// The cycle histogram costs two atomic adds per op; skip the
 	// outcome probing entirely without -json.
 	var cycleHist *telemetry.Histogram
 	var oc *addrkv.OpOutcome
-	if *jsonOut != "" {
+	if cfg.jsonOut != "" {
 		cycleHist = &telemetry.Histogram{}
 		oc = &addrkv.OpOutcome{}
 	}
@@ -84,7 +111,7 @@ func main() {
 		setsSeen int
 		missing  int
 	)
-	value := make([]byte, *vsize)
+	value := make([]byte, cfg.vsize)
 	for sc.Scan() {
 		line := sc.Bytes()
 		sp := bytes.IndexByte(line, ' ')
@@ -109,13 +136,13 @@ func main() {
 			sys.SetO(key, value, oc)
 			setsSeen++
 		default:
-			log.Fatalf("kvreplay: bad trace line %q", line)
+			return fmt.Errorf("bad trace line %q", line)
 		}
 		if cycleHist != nil {
 			cycleHist.Observe(oc.Cycles)
 		}
 		ops++
-		if *warm > 0 && ops == *warm {
+		if cfg.warm > 0 && ops == cfg.warm {
 			sys.MarkMeasurement()
 			if cycleHist != nil {
 				cycleHist.Reset() // the warm-up ops were not measurement
@@ -123,45 +150,45 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		log.Fatalf("kvreplay: %v", err)
+		return err
 	}
 
 	rep := sys.Report()
-	fmt.Printf("replayed %d ops (%d SETs, %d GET misses)\n", ops, setsSeen, missing)
-	fmt.Println(rep)
+	fmt.Fprintf(out, "replayed %d ops (%d SETs, %d GET misses)\n", ops, setsSeen, missing)
+	fmt.Fprintln(out, rep)
 	if rep.Shards > 1 {
-		fmt.Printf("cluster: %d shards, max shard cycles %d (modeled wall-clock bound), %.3f ops/kcycle\n",
+		fmt.Fprintf(out, "cluster: %d shards, max shard cycles %d (modeled wall-clock bound), %.3f ops/kcycle\n",
 			rep.Shards, rep.MaxShardCycles, 1000*rep.ModeledThroughput())
 		for i, st := range rep.PerShard {
-			fmt.Printf("  shard %d: ops=%d cycles/op=%.0f fastHits=%d\n",
+			fmt.Fprintf(out, "  shard %d: ops=%d cycles/op=%.0f fastHits=%d\n",
 				i, st.Ops, st.CyclesPerOp(), st.FastHits)
 		}
 	}
 	if len(rep.CategoryShare) > 0 {
-		fmt.Println("cycle breakdown:")
+		fmt.Fprintln(out, "cycle breakdown:")
 		for _, cat := range []string{"hash", "traverse", "translate", "data", "stlt", "other"} {
-			fmt.Printf("  %-10s %5.1f%%\n", cat, 100*rep.CategoryShare[cat])
+			fmt.Fprintf(out, "  %-10s %5.1f%%\n", cat, 100*rep.CategoryShare[cat])
 		}
 	}
 
-	if *jsonOut != "" {
+	if cfg.jsonOut != "" {
 		q := telemetry.QuantilesOf(cycleHist.Snapshot())
-		fmt.Printf("op cycles: p50=%d p99=%d p999=%d max=%d\n", q.P50, q.P99, q.P999, q.Max)
+		fmt.Fprintf(out, "op cycles: p50=%d p99=%d p999=%d max=%d\n", q.P50, q.P99, q.P999, q.Max)
 		snap := &telemetry.Snapshot{
 			Name: "replay",
 			Kind: "replay",
 			Params: map[string]any{
-				"mode":   *mode,
-				"index":  *index,
-				"keys":   *keys,
-				"shards": *shards,
-				"warm":   *warm,
+				"mode":   cfg.mode,
+				"index":  cfg.index,
+				"keys":   cfg.keys,
+				"shards": cfg.shards,
+				"warm":   cfg.warm,
 				"ops":    ops,
 				"sets":   setsSeen,
 				"misses": missing,
 			},
 			Runs: []telemetry.RunRecord{{
-				Spec:           fmt.Sprintf("replay/%s/%s/%d/%d", *mode, *index, *keys, *shards),
+				Spec:           fmt.Sprintf("replay/%s/%s/%d/%d", cfg.mode, cfg.index, cfg.keys, cfg.shards),
 				Ops:            rep.Ops,
 				Cycles:         rep.Cycles,
 				CyclesPerOp:    rep.CyclesPerOp,
@@ -173,9 +200,10 @@ func main() {
 			}},
 			Latency: map[string]telemetry.Quantiles{"op_cycles": q},
 		}
-		if err := snap.WriteFile(*jsonOut); err != nil {
-			log.Fatalf("kvreplay: %v", err)
+		if err := snap.WriteFile(cfg.jsonOut); err != nil {
+			return err
 		}
-		fmt.Printf("(json: %s)\n", *jsonOut)
+		fmt.Fprintf(out, "(json: %s)\n", cfg.jsonOut)
 	}
+	return nil
 }

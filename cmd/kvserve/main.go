@@ -8,18 +8,31 @@
 // hash, so concurrent clients touching different shards proceed in
 // parallel with only per-shard locking.
 //
-// Commands: PING, GET, SET, DEL, EXISTS, DBSIZE, INFO, RESETSTATS,
-// FLUSHALL, SLOWLOG GET/RESET/LEN, MONITOR, QUIT. INFO reports the
-// *simulated* cycle statistics (aggregate plus a section per shard)
-// alongside real wall-clock latency percentiles, so a client can
-// measure the modeled speedup while talking real RESP over a real
-// socket. With -metrics-addr the same numbers are served as Prometheus
-// text on /metrics (plus /snapshot.json and net/http/pprof).
-// SIGINT/SIGTERM stop the listener, drain in-flight connections, and
-// remove the Unix socket file.
+// The connection path is pipelined: each serve loop drains every
+// command a client has in flight (up to -pipeline), dispatches them
+// all, and flushes the replies in one write — the amortization that
+// makes Figure 1's pipelined Redis setup fast, applied to the real
+// network front-end. Multi-key commands (MGET/MSET/DEL) group their
+// keys by home shard and execute one locked batch per shard, charging
+// exactly the modeled cycles of N sequential ops. Backpressure knobs:
+// -pipeline bounds in-flight commands per drain, -writebuf caps
+// buffered reply bytes before an early flush, -idle-timeout reaps
+// silent connections, and -maxconns sheds new clients gracefully with
+// an error reply.
+//
+// Commands: PING, ECHO, GET, SET, DEL, EXISTS, MGET, MSET, DBSIZE,
+// INFO, RESETSTATS, FLUSHALL, SLOWLOG GET/RESET/LEN, MONITOR, QUIT.
+// INFO reports the *simulated* cycle statistics (aggregate plus a
+// section per shard) alongside real wall-clock latency percentiles and
+// the networking/pipelining counters, so a client can measure the
+// modeled speedup while talking real RESP over a real socket. With
+// -metrics-addr the same numbers are served as Prometheus text on
+// /metrics (plus /snapshot.json and net/http/pprof). SIGINT/SIGTERM
+// stop the listener, drain in-flight connections, and remove the Unix
+// socket file.
 //
 //	kvserve -mode stlt -keys 100000 -shards 4 -sock /tmp/addrkv.sock
-//	kvserve -mode baseline -addr 127.0.0.1:6380 -metrics-addr 127.0.0.1:9090
+//	kvserve -mode baseline -addr 127.0.0.1:6380 -metrics-addr 127.0.0.1:9090 -maxconns 1024
 package main
 
 import (
@@ -50,9 +63,35 @@ const drainTimeout = 5 * time.Second
 // defaultSlowlogCap is the default -slowlog capacity.
 const defaultSlowlogCap = 128
 
+// Networking defaults: how many pipelined commands one drain may pick
+// up, and how many reply bytes may sit unflushed before an early
+// flush relieves the write buffer.
+const (
+	defaultMaxPipeline = 1024
+	defaultWriteBufCap = 256 << 10
+)
+
+// netConfig bundles the connection-path backpressure knobs.
+type netConfig struct {
+	// maxPipeline caps commands drained (and thus replies buffered)
+	// per serve-loop iteration.
+	maxPipeline int
+	// writeBufCap flushes the reply writer early once this many bytes
+	// are buffered, bounding per-connection memory under deep
+	// pipelines of large values.
+	writeBufCap int
+	// idleTimeout, when positive, is the per-connection read deadline:
+	// a client silent for longer is disconnected.
+	idleTimeout time.Duration
+	// maxConns, when positive, sheds connections beyond this count
+	// with an error reply instead of serving them.
+	maxConns int
+}
+
 type server struct {
 	sys          *addrkv.System
 	tele         *serverTele
+	net          netConfig
 	opsSinceMark atomic.Uint64 // GET/SET/EXISTS dispatched since RESETSTATS
 
 	// statsMu orders RESETSTATS/FLUSHALL against INFO and snapshot
@@ -71,7 +110,11 @@ type server struct {
 
 func newServer(sys *addrkv.System, slowlogCap int) *server {
 	return &server{
-		sys:   sys,
+		sys: sys,
+		net: netConfig{
+			maxPipeline: defaultMaxPipeline,
+			writeBufCap: defaultWriteBufCap,
+		},
 		tele:  newServerTele(sys, slowlogCap),
 		conns: map[net.Conn]struct{}{},
 	}
@@ -89,8 +132,18 @@ func main() {
 		addr    = flag.String("addr", "", "TCP address, e.g. 127.0.0.1:6380")
 		maddr   = flag.String("metrics-addr", "", "HTTP address for /metrics, /snapshot.json and /debug/pprof, e.g. 127.0.0.1:9090")
 		slowCap = flag.Int("slowlog", defaultSlowlogCap, "how many slowest commands SLOWLOG keeps")
+
+		maxPipe  = flag.Int("pipeline", defaultMaxPipeline, "max pipelined commands drained per read batch")
+		writeBuf = flag.Int("writebuf", defaultWriteBufCap, "reply bytes buffered per connection before an early flush")
+		idleTO   = flag.Duration("idle-timeout", 0, "disconnect clients silent for this long (0 = never)")
+		maxConns = flag.Int("maxconns", 0, "max concurrent client connections; extras are shed with an error (0 = unlimited)")
 	)
 	flag.Parse()
+
+	if *maxPipe < 1 || *writeBuf < 1 {
+		fmt.Fprintln(os.Stderr, "kvserve: -pipeline and -writebuf must be >= 1")
+		os.Exit(2)
+	}
 
 	if (*sock == "") == (*addr == "") {
 		fmt.Fprintln(os.Stderr, "kvserve: exactly one of -sock or -addr is required")
@@ -112,6 +165,12 @@ func main() {
 		sys.Load(*keys, *vsize)
 	}
 	s := newServer(sys, *slowCap)
+	s.net = netConfig{
+		maxPipeline: *maxPipe,
+		writeBufCap: *writeBuf,
+		idleTimeout: *idleTO,
+		maxConns:    *maxConns,
+	}
 
 	if *maddr != "" {
 		msrv, bound, err := startMetricsServer(*maddr, s)
@@ -155,7 +214,10 @@ func main() {
 			time.Sleep(50 * time.Millisecond) // don't spin on persistent errors
 			continue
 		}
-		s.track(conn)
+		if !s.track(conn) {
+			go s.shed(conn)
+			continue
+		}
 		go s.serve(conn)
 	}
 
@@ -166,18 +228,37 @@ func main() {
 	log.Printf("kvserve: shutdown complete")
 }
 
-func (s *server) track(conn net.Conn) {
-	s.wg.Add(1)
+// track registers a connection, refusing (false) when the -maxconns
+// ceiling is reached; the caller then sheds it gracefully.
+func (s *server) track(conn net.Conn) bool {
 	s.connMu.Lock()
+	if s.net.maxConns > 0 && len(s.conns) >= s.net.maxConns {
+		s.connMu.Unlock()
+		return false
+	}
 	s.conns[conn] = struct{}{}
 	s.connMu.Unlock()
+	s.wg.Add(1)
+	s.tele.activeConns.Add(1)
+	return true
 }
 
 func (s *server) untrack(conn net.Conn) {
 	s.connMu.Lock()
 	delete(s.conns, conn)
 	s.connMu.Unlock()
+	s.tele.activeConns.Add(-1)
 	s.wg.Done()
+}
+
+// shed refuses an over-limit connection the way Redis does: one error
+// reply, then close. The client sees why instead of a silent RST.
+func (s *server) shed(conn net.Conn) {
+	s.tele.shedConns.Inc()
+	w := resp.NewWriter(conn)
+	_ = w.WriteError("ERR max number of clients reached")
+	_ = w.Flush()
+	_ = conn.Close()
 }
 
 // nudgeConns sets an immediate read deadline on every open connection
@@ -210,25 +291,54 @@ func (s *server) drain() {
 	}
 }
 
+// serve runs one connection's pipelined loop: block for the first
+// command, drain every further command the client already sent (up to
+// the pipeline cap), dispatch them all, and flush the replies in one
+// write. A whole N-deep pipeline therefore costs one read burst and
+// one flush instead of N of each — the per-request amortization the
+// batching literature (LaKe, the SmartNIC KV offloads) attributes
+// most of its networking win to. The write-buffer cap bounds reply
+// memory: past it the writer flushes early instead of buffering an
+// entire deep pipeline of bulk values.
 func (s *server) serve(conn net.Conn) {
 	defer s.untrack(conn)
 	defer conn.Close()
 	r := resp.NewReader(conn)
 	w := resp.NewWriter(conn)
 	for {
-		args, err := r.ReadCommand()
-		if err != nil {
-			if !errors.Is(err, io.EOF) && !isTimeout(err) {
-				log.Printf("client error: %v", err)
-			}
-			return
+		if s.net.idleTimeout > 0 && !s.closing.Load() {
+			_ = conn.SetReadDeadline(time.Now().Add(s.net.idleTimeout))
 		}
-		quit, monitor := s.dispatch(w, args)
+		cmds, rerr := r.ReadPipeline(s.net.maxPipeline)
+		if len(cmds) > 0 {
+			s.tele.pipeBatches.Inc()
+			s.tele.pipeCmds.Add(uint64(len(cmds)))
+			s.tele.pipeDepth.Observe(uint64(len(cmds)))
+		}
+		var quit, monitor bool
+		for _, args := range cmds {
+			quit, monitor = s.dispatch(w, args)
+			if quit || monitor {
+				break
+			}
+			if w.Buffered() >= s.net.writeBufCap {
+				s.tele.earlyFlush.Inc()
+				if err := w.Flush(); err != nil {
+					return
+				}
+			}
+		}
 		if err := w.Flush(); err != nil || quit || s.closing.Load() {
 			return
 		}
 		if monitor {
 			s.monitorLoop(r, w)
+			return
+		}
+		if rerr != nil {
+			if !errors.Is(rerr, io.EOF) && !isTimeout(rerr) {
+				log.Printf("client error: %v", rerr)
+			}
 			return
 		}
 	}
@@ -240,32 +350,40 @@ func isTimeout(err error) bool {
 }
 
 // dispatch executes one command and records its telemetry: wall-clock
-// latency, per-command counters, the engine's per-op outcome (shard,
-// modeled cycles, addressing-path result), a slowlog offer, and —
-// when a MONITOR client is attached — a feed line. It takes no global
-// lock on the data path: System's *O methods lock only the key's home
-// shard, and all telemetry writes are atomic.
+// latency, per-command counters, the engine's per-op (or per-batch)
+// outcome — shard, modeled cycles, addressing-path result — a slowlog
+// offer, and — when a MONITOR client is attached — a feed line. It
+// takes no global lock on the data path: System's *O methods lock only
+// the key's home shard, and all telemetry writes are atomic.
 func (s *server) dispatch(w *resp.Writer, args [][]byte) (quit, monitor bool) {
 	start := time.Now()
 	cmd := strings.ToLower(string(args[0]))
 	oc := addrkv.OpOutcome{Shard: -1}
-	quit, monitor, isErr := s.execute(w, cmd, args, &oc)
+	var bo addrkv.BatchOutcome
+	quit, monitor, isErr := s.execute(w, cmd, args, &oc, &bo)
 	dur := time.Since(start)
 	var ocp *addrkv.OpOutcome
-	if oc.Shard >= 0 {
+	var bop *addrkv.BatchOutcome
+	switch {
+	case len(bo.PerShard) > 0:
+		oc = bo.Merged()
+		ocp, bop = &oc, &bo
+	case oc.Shard >= 0:
 		ocp = &oc
 	}
-	s.tele.observeCmd(cmd, args, ocp, dur, isErr)
+	s.tele.observeCmd(cmd, args, ocp, bop, dur, isErr)
 	if s.tele.feed.Active() {
 		s.tele.feed.Publish(monitorLine(args, oc.Shard))
 	}
 	return quit, monitor
 }
 
-// execute runs one command's switch arm. oc is filled for commands
-// that reach an engine (oc.Shard stays -1 otherwise); for multi-key
-// DEL the per-key outcomes are summed.
-func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.OpOutcome) (quit, monitor, isErr bool) {
+// execute runs one command's switch arm. Single-key commands fill oc
+// (oc.Shard stays -1 for commands that never reach an engine);
+// multi-key commands (MGET/MSET/DEL) fill bo with one exact probe
+// delta per shard touched. PING and ECHO are pure protocol fast
+// paths: no engine, no keys, a reply straight into the write buffer.
+func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.OpOutcome, bo *addrkv.BatchOutcome) (quit, monitor, isErr bool) {
 	fail := func(msg string) (bool, bool, bool) {
 		w.WriteError(msg)
 		return false, false, true
@@ -273,6 +391,11 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 	switch cmd {
 	case "ping":
 		w.WriteSimple("PONG")
+	case "echo":
+		if len(args) != 2 {
+			return fail("ERR wrong number of arguments for 'echo'")
+		}
+		w.WriteBulk(args[1])
 	case "quit":
 		w.WriteSimple("OK")
 		return true, false, false
@@ -297,19 +420,33 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 		if len(args) < 2 {
 			return fail("ERR wrong number of arguments for 'del'")
 		}
-		var n int64
-		var one addrkv.OpOutcome
-		for _, k := range args[1:] {
-			if s.sys.DeleteO(k, &one) {
-				n++
-			}
-			oc.Shard = one.Shard
-			oc.Cycles += one.Cycles
-			oc.TLBMisses += one.TLBMisses
-			oc.STBHits += one.STBHits
-			oc.PageWalks += one.PageWalks
+		s.opsSinceMark.Add(uint64(len(args) - 1))
+		w.WriteInt(int64(s.sys.DeleteBatchO(args[1:], bo)))
+	case "mget":
+		if len(args) < 2 {
+			return fail("ERR wrong number of arguments for 'mget'")
 		}
-		w.WriteInt(n)
+		s.opsSinceMark.Add(uint64(len(args) - 1))
+		vals, oks := s.sys.GetBatchO(args[1:], bo)
+		for i := range vals {
+			if !oks[i] {
+				vals[i] = nil // null bulk, matching single-key GET misses
+			}
+		}
+		w.WriteBulkArray(vals)
+	case "mset":
+		if len(args) < 3 || len(args)%2 != 1 {
+			return fail("ERR wrong number of arguments for 'mset'")
+		}
+		n := (len(args) - 1) / 2
+		keys := make([][]byte, n)
+		vals := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			keys[i], vals[i] = args[1+2*i], args[2+2*i]
+		}
+		s.opsSinceMark.Add(uint64(n))
+		s.sys.SetBatchO(keys, vals, bo)
+		w.WriteSimple("OK")
 	case "exists":
 		if len(args) != 2 {
 			return fail("ERR wrong number of arguments for 'exists'")
@@ -474,6 +611,19 @@ func (s *server) info() string {
 	fmt.Fprintf(&b, "op_cycles_max:%d\r\n", cyc.Max)
 	fmt.Fprintf(&b, "slowlog_len:%d\r\n", s.tele.slowlog.Len())
 	fmt.Fprintf(&b, "monitor_clients:%d\r\n", s.tele.feed.Subscribers())
+
+	pd := telemetry.QuantilesOf(s.tele.pipeDepth.Snapshot())
+	fmt.Fprintf(&b, "# networking\r\n")
+	fmt.Fprintf(&b, "active_conns:%d\r\n", s.tele.activeConns.Load())
+	fmt.Fprintf(&b, "shed_conns:%d\r\n", s.tele.shedConns.Load())
+	fmt.Fprintf(&b, "pipeline_batches:%d\r\n", s.tele.pipeBatches.Load())
+	fmt.Fprintf(&b, "pipelined_commands:%d\r\n", s.tele.pipeCmds.Load())
+	fmt.Fprintf(&b, "pipeline_depth_mean:%.2f\r\n", pd.Mean)
+	fmt.Fprintf(&b, "pipeline_depth_p99:%d\r\n", pd.P99)
+	fmt.Fprintf(&b, "pipeline_depth_max:%d\r\n", pd.Max)
+	fmt.Fprintf(&b, "early_flushes:%d\r\n", s.tele.earlyFlush.Load())
+	fmt.Fprintf(&b, "batch_commands:%d\r\n", s.tele.batchCmds.Load())
+	fmt.Fprintf(&b, "batched_keys:%d\r\n", s.tele.batchKeys.Load())
 
 	for i, st := range rep.PerShard {
 		fmt.Fprintf(&b, "# shard %d\r\n", i)

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"addrkv"
 	"addrkv/internal/resp"
@@ -481,5 +483,290 @@ func TestServerConcurrentDispatch(t *testing.T) {
 	}
 	if perShard != rep.Ops {
 		t.Fatalf("per-shard ops sum %d != aggregate %d", perShard, rep.Ops)
+	}
+}
+
+// TestServerMultiKeyCommands: MGET/MSET/DEL/ECHO semantics on a
+// 2-shard server — positional MGET replies with null bulks for absent
+// keys, MSET pairing, DEL counting, and arity errors.
+func TestServerMultiKeyCommands(t *testing.T) {
+	s := newTestServerShards(t, 2)
+
+	if got := call(t, s, "MSET", "a", "1", "b", "2", "c", "3"); got != "OK" {
+		t.Fatalf("MSET = %v", got)
+	}
+	arr := call(t, s, "MGET", "a", "missing", "c", "b").([]any)
+	if len(arr) != 4 {
+		t.Fatalf("MGET returned %d values", len(arr))
+	}
+	if string(arr[0].([]byte)) != "1" || arr[1] != nil ||
+		string(arr[2].([]byte)) != "3" || string(arr[3].([]byte)) != "2" {
+		t.Fatalf("MGET = %v", arr)
+	}
+	if got := call(t, s, "DEL", "a", "b", "nope").(int64); got != 2 {
+		t.Fatalf("DEL = %v", got)
+	}
+	arr = call(t, s, "MGET", "a", "c").([]any)
+	if arr[0] != nil || string(arr[1].([]byte)) != "3" {
+		t.Fatalf("MGET after DEL = %v", arr)
+	}
+	if got := call(t, s, "ECHO", "hello"); string(got.([]byte)) != "hello" {
+		t.Fatalf("ECHO = %v", got)
+	}
+	for _, bad := range [][]string{
+		{"MGET"}, {"MSET"}, {"MSET", "k"}, {"MSET", "k", "v", "odd"}, {"ECHO"}, {"ECHO", "a", "b"},
+	} {
+		if _, ok := call(t, s, bad...).(error); !ok {
+			t.Fatalf("%v not rejected", bad)
+		}
+	}
+
+	// Multi-key ops count per key in server_ops and engine ops.
+	cmds0, keys0 := s.tele.batchCmds.Load(), s.tele.batchKeys.Load()
+	call(t, s, "RESETSTATS")
+	call(t, s, "MSET", "x", "1", "y", "2")
+	call(t, s, "MGET", "x", "y", "z")
+	call(t, s, "DEL", "x", "y")
+	info := string(call(t, s, "INFO").([]byte))
+	if !strings.Contains(info, "server_ops:7") {
+		t.Fatalf("multi-key ops not counted per key:\n%s", info)
+	}
+	if !strings.Contains(info, "\r\nops:7\r\n") {
+		t.Fatalf("engine ops != 7:\n%s", info)
+	}
+	// The batch counters are monotonic (Prometheus rate() material),
+	// so assert their deltas over the three commands above.
+	if d := s.tele.batchCmds.Load() - cmds0; d != 3 {
+		t.Fatalf("batch_commands delta = %d, want 3", d)
+	}
+	if d := s.tele.batchKeys.Load() - keys0; d != 7 {
+		t.Fatalf("batched_keys delta = %d, want 7", d)
+	}
+	if !strings.Contains(info, "# networking") || !strings.Contains(info, "batch_commands:") {
+		t.Fatalf("INFO missing networking section:\n%s", info)
+	}
+}
+
+// TestServerBatchedMatchesSequentialServer: the same traffic sent as
+// multi-key commands and as single-key commands must leave two
+// servers' engines bit-for-bit identical — the server-level face of
+// the batch determinism contract.
+func TestServerBatchedMatchesSequentialServer(t *testing.T) {
+	batched := newTestServerShards(t, 2)
+	single := newTestServerShards(t, 2)
+
+	keys := make([]string, 24)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	msetArgs := []string{"MSET"}
+	for _, k := range keys {
+		msetArgs = append(msetArgs, k, "val-"+k)
+	}
+	call(t, batched, msetArgs...)
+	for _, k := range keys {
+		call(t, single, "SET", k, "val-"+k)
+	}
+	mgetArgs := append([]string{"MGET"}, keys...)
+	gotArr := call(t, batched, mgetArgs...).([]any)
+	for i, k := range keys {
+		want := call(t, single, "GET", k)
+		if string(gotArr[i].([]byte)) != string(want.([]byte)) {
+			t.Fatalf("MGET[%d] = %q, GET = %q", i, gotArr[i], want)
+		}
+	}
+	if nb, ns := call(t, batched, append([]string{"DEL"}, keys[:10]...)...).(int64), int64(0); true {
+		for _, k := range keys[:10] {
+			ns += call(t, single, "DEL", k).(int64)
+		}
+		if nb != ns {
+			t.Fatalf("DEL batched = %d, sequential = %d", nb, ns)
+		}
+	}
+
+	br, sr := batched.sys.Report(), single.sys.Report()
+	if br.Ops != sr.Ops || br.Cycles != sr.Cycles {
+		t.Fatalf("batched server diverged: ops %d/%d cycles %d/%d",
+			br.Ops, sr.Ops, br.Cycles, sr.Cycles)
+	}
+	for i := range br.PerShard {
+		if br.PerShard[i] != sr.PerShard[i] {
+			t.Fatalf("shard %d diverged:\nbatched: %+v\nsingle:  %+v",
+				i, br.PerShard[i], sr.PerShard[i])
+		}
+	}
+}
+
+// pipeClient connects a client RESP reader/writer to a served
+// in-memory connection.
+func pipeClient(t *testing.T, s *server) (*resp.Reader, *resp.Writer, net.Conn) {
+	t.Helper()
+	client, srv := net.Pipe()
+	if !s.track(srv) {
+		srv.Close()
+		t.Fatal("track refused connection")
+	}
+	go s.serve(srv)
+	t.Cleanup(func() { client.Close() })
+	return resp.NewReader(client), resp.NewWriter(client), client
+}
+
+// TestServePipelinedConnection: a burst of pipelined commands over one
+// connection gets every reply in order, and INFO records the drain.
+func TestServePipelinedConnection(t *testing.T) {
+	s := newTestServer(t)
+	r, w, _ := pipeClient(t, s)
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		w.WriteCommand([]byte("SET"), []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	for i := 0; i < n; i++ {
+		w.WriteCommand([]byte("GET"), []byte(fmt.Sprintf("k%d", i)))
+	}
+	w.WriteCommand([]byte("PING"))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if v, err := r.ReadReply(); err != nil || v != "OK" {
+			t.Fatalf("SET %d reply = %v, %v", i, v, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if v, err := r.ReadReply(); err != nil || string(v.([]byte)) != "v" {
+			t.Fatalf("GET %d reply = %v, %v", i, v, err)
+		}
+	}
+	if v, err := r.ReadReply(); err != nil || v != "PONG" {
+		t.Fatalf("PING reply = %v, %v", v, err)
+	}
+
+	if got := s.tele.pipeCmds.Load(); got != 2*n+1 {
+		t.Fatalf("pipelined_commands = %d, want %d", got, 2*n+1)
+	}
+	// The whole burst was written before the server read any of it, so
+	// it must have been drained in far fewer batches than commands.
+	if batches := s.tele.pipeBatches.Load(); batches == 0 || batches > uint64(n) {
+		t.Fatalf("pipeline_batches = %d for %d commands", batches, 2*n+1)
+	}
+}
+
+// TestServePipelineDepthCap: -pipeline bounds how many commands one
+// drain may pick up.
+func TestServePipelineDepthCap(t *testing.T) {
+	s := newTestServer(t)
+	s.net.maxPipeline = 4
+	r, w, _ := pipeClient(t, s)
+	const n = 10
+	for i := 0; i < n; i++ {
+		w.WriteCommand([]byte("PING"))
+	}
+	w.Flush()
+	for i := 0; i < n; i++ {
+		if v, err := r.ReadReply(); err != nil || v != "PONG" {
+			t.Fatalf("reply %d = %v, %v", i, v, err)
+		}
+	}
+	if max := s.tele.pipeDepth.Quantile(1.0); max > 4 {
+		t.Fatalf("drained %d commands in one batch despite cap 4", max)
+	}
+}
+
+// TestServeWriteBufEarlyFlush: replies larger than the write-buffer
+// cap force early flushes instead of buffering the whole pipeline.
+func TestServeWriteBufEarlyFlush(t *testing.T) {
+	s := newTestServer(t)
+	s.net.writeBufCap = 64
+	r, w, _ := pipeClient(t, s)
+	big := strings.Repeat("x", 200)
+	w.WriteCommand([]byte("SET"), []byte("big"), []byte(big))
+	for i := 0; i < 8; i++ {
+		w.WriteCommand([]byte("GET"), []byte("big"))
+	}
+	w.Flush()
+	if v, err := r.ReadReply(); err != nil || v != "OK" {
+		t.Fatalf("SET reply = %v, %v", v, err)
+	}
+	for i := 0; i < 8; i++ {
+		if v, err := r.ReadReply(); err != nil || string(v.([]byte)) != big {
+			t.Fatalf("GET %d reply wrong: %v", i, err)
+		}
+	}
+	if s.tele.earlyFlush.Load() == 0 {
+		t.Fatal("no early flush despite tiny write buffer")
+	}
+}
+
+// TestServerMaxConnsShed: connections beyond -maxconns receive one
+// error reply and a close; tracked connections still work; a freed
+// slot becomes available again.
+func TestServerMaxConnsShed(t *testing.T) {
+	s := newTestServer(t)
+	s.net.maxConns = 1
+	r1, w1, _ := pipeClient(t, s)
+
+	// Second connection: the accept loop would refuse and shed it.
+	c2, srv2 := net.Pipe()
+	if s.track(srv2) {
+		t.Fatal("track admitted connection over maxconns")
+	}
+	done := make(chan struct{})
+	go func() { s.shed(srv2); close(done) }()
+	v, err := resp.NewReader(c2).ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := v.(error); !ok || !strings.Contains(e.Error(), "max number of clients") {
+		t.Fatalf("shed reply = %v", v)
+	}
+	<-done
+	c2.Close()
+	if s.tele.shedConns.Load() != 1 {
+		t.Fatalf("shed_conns = %d", s.tele.shedConns.Load())
+	}
+
+	// The admitted connection still serves.
+	w1.WriteCommand([]byte("PING"))
+	w1.Flush()
+	if v, err := r1.ReadReply(); err != nil || v != "PONG" {
+		t.Fatalf("PING on admitted conn = %v, %v", v, err)
+	}
+
+	// Quitting frees the slot.
+	w1.WriteCommand([]byte("QUIT"))
+	w1.Flush()
+	if v, err := r1.ReadReply(); err != nil || v != "OK" {
+		t.Fatalf("QUIT = %v, %v", v, err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.tele.activeConns.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection not untracked after QUIT")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c3, srv3 := net.Pipe()
+	defer c3.Close()
+	if !s.track(srv3) {
+		t.Fatal("slot not freed after QUIT")
+	}
+	go s.serve(srv3)
+}
+
+// TestServerIdleTimeout: a client silent past -idle-timeout is
+// disconnected.
+func TestServerIdleTimeout(t *testing.T) {
+	s := newTestServer(t)
+	s.net.idleTimeout = 30 * time.Millisecond
+	r, w, _ := pipeClient(t, s)
+	w.WriteCommand([]byte("PING"))
+	w.Flush()
+	if v, err := r.ReadReply(); err != nil || v != "PONG" {
+		t.Fatalf("PING = %v, %v", v, err)
+	}
+	// Stay silent; the server must close the connection.
+	if _, err := r.ReadReply(); err == nil {
+		t.Fatal("idle connection not closed")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"addrkv"
@@ -26,8 +27,9 @@ import (
 // knownCmds get dedicated counters and latency histograms; everything
 // else lands in "other".
 var knownCmds = []string{
-	"get", "set", "del", "exists", "dbsize", "info", "ping",
-	"resetstats", "flushall", "slowlog", "monitor", "quit", "other",
+	"get", "set", "del", "exists", "mget", "mset", "dbsize", "info",
+	"ping", "echo", "resetstats", "flushall", "slowlog", "monitor",
+	"quit", "other",
 }
 
 // serverTele bundles the server's telemetry state.
@@ -54,6 +56,19 @@ type serverTele struct {
 	tlbMiss   *telemetry.Counter
 	stbHits   *telemetry.Counter
 	pageWalks *telemetry.Counter
+
+	// Networking/pipelining telemetry: drained pipeline batches, the
+	// commands inside them, their depth distribution, early flushes
+	// forced by the write-buffer cap, multi-key batch commands and the
+	// keys they carried, and connection accounting.
+	pipeBatches *telemetry.Counter
+	pipeCmds    *telemetry.Counter
+	pipeDepth   *telemetry.Histogram
+	earlyFlush  *telemetry.Counter
+	batchCmds   *telemetry.Counter
+	batchKeys   *telemetry.Counter
+	shedConns   *telemetry.Counter
+	activeConns atomic.Int64
 
 	// Scrape-time cache: one Report per /metrics scrape feeds all the
 	// hit-rate/cycles-per-op gauges below.
@@ -96,6 +111,22 @@ func newServerTele(sys *addrkv.System, slowlogCap int) *serverTele {
 		"Modeled STB hits during served ops.", nil)
 	t.pageWalks = r.Counter("addrkv_page_walks_total",
 		"Modeled page-table walks during served ops.", nil)
+	t.pipeBatches = r.Counter("addrkv_pipeline_batches_total",
+		"Pipeline drains: bursts of commands read before one flush.", nil)
+	t.pipeCmds = r.Counter("addrkv_pipelined_commands_total",
+		"Commands arriving inside pipeline drains.", nil)
+	t.pipeDepth = r.Histogram("addrkv_pipeline_depth",
+		"Commands per drained pipeline batch.", 1, nil)
+	t.earlyFlush = r.Counter("addrkv_early_flushes_total",
+		"Flushes forced mid-pipeline by the write-buffer cap.", nil)
+	t.batchCmds = r.Counter("addrkv_batch_commands_total",
+		"Multi-key commands (MGET/MSET/DEL) executed via shard batches.", nil)
+	t.batchKeys = r.Counter("addrkv_batched_keys_total",
+		"Keys carried by multi-key commands.", nil)
+	t.shedConns = r.Counter("addrkv_shed_connections_total",
+		"Connections refused at the -maxconns ceiling.", nil)
+	r.GaugeFunc("addrkv_active_connections", "Currently served connections.", nil,
+		func() float64 { return float64(t.activeConns.Load()) })
 	for i := 0; i < shards; i++ {
 		lbl := telemetry.Labels{"shard": strconv.Itoa(i)}
 		t.shardOps = append(t.shardOps, r.Counter("addrkv_shard_ops_total",
@@ -179,8 +210,12 @@ func newServerTele(sys *addrkv.System, slowlogCap int) *serverTele {
 
 // observeCmd records one dispatched command: wall latency, command
 // counters, per-shard cycle cost, outcome counters, and a slowlog
-// offer. oc is nil for commands that never reached an engine.
-func (t *serverTele) observeCmd(cmd string, args [][]byte, oc *addrkv.OpOutcome, dur time.Duration, isErr bool) {
+// offer. oc is nil for commands that never reached an engine. For
+// multi-key commands bo carries the exact per-shard batch deltas (oc
+// is then the merged view: total cycles, home shard or -1); each
+// shard's op counter advances by its share of the batch, and its
+// cycle histogram records one sample per shard sub-batch.
+func (t *serverTele) observeCmd(cmd string, args [][]byte, oc *addrkv.OpOutcome, bo *addrkv.BatchOutcome, dur time.Duration, isErr bool) {
 	key := cmd
 	if _, ok := t.cmdTotal[key]; !ok {
 		key = "other"
@@ -195,7 +230,30 @@ func (t *serverTele) observeCmd(cmd string, args [][]byte, oc *addrkv.OpOutcome,
 	detail := ""
 	shard := -1
 	var cycles uint64
-	if oc != nil && oc.Shard >= 0 && oc.Shard < len(t.shardOps) {
+	switch {
+	case bo != nil && len(bo.PerShard) > 0:
+		shard, cycles = oc.Shard, oc.Cycles
+		for _, sb := range bo.PerShard {
+			if sb.Shard < 0 || sb.Shard >= len(t.shardOps) {
+				continue
+			}
+			t.shardOps[sb.Shard].Add(uint64(sb.Ops))
+			t.shardCycles[sb.Shard].Observe(sb.Cycles)
+			t.tlbMiss.Add(sb.TLBMisses)
+			t.stbHits.Add(sb.STBHits)
+			t.pageWalks.Add(sb.PageWalks)
+			if cmd == "mget" {
+				t.fastHits.Add(sb.FastHits)
+				t.fastMiss.Add(uint64(sb.Ops) - sb.FastHits)
+			}
+			t.keyMiss.Add(sb.Misses)
+		}
+		t.batchCmds.Inc()
+		t.batchKeys.Add(uint64(bo.TotalOps()))
+		detail = fmt.Sprintf("shards=%d keys=%d fast_hits=%d misses=%d tlb_misses=%d stb_hits=%d page_walks=%d",
+			len(bo.PerShard), bo.TotalOps(), batchFastHits(bo), batchMisses(bo),
+			oc.TLBMisses, oc.STBHits, oc.PageWalks)
+	case oc != nil && oc.Shard >= 0 && oc.Shard < len(t.shardOps):
 		shard, cycles = oc.Shard, oc.Cycles
 		t.shardOps[oc.Shard].Inc()
 		t.shardCycles[oc.Shard].Observe(oc.Cycles)
@@ -223,6 +281,23 @@ func (t *serverTele) observeCmd(cmd string, args [][]byte, oc *addrkv.OpOutcome,
 		Cycles:    cycles,
 		Detail:    detail,
 	})
+}
+
+// batchFastHits and batchMisses sum outcome fields over a batch.
+func batchFastHits(bo *addrkv.BatchOutcome) uint64 {
+	var n uint64
+	for _, sb := range bo.PerShard {
+		n += sb.FastHits
+	}
+	return n
+}
+
+func batchMisses(bo *addrkv.BatchOutcome) uint64 {
+	var n uint64
+	for _, sb := range bo.PerShard {
+		n += sb.Misses
+	}
+	return n
 }
 
 // formatArgs renders a command for the slowlog / monitor feed,
@@ -278,6 +353,7 @@ func (t *serverTele) resetWindow() {
 	for _, h := range t.shardCycles {
 		h.Reset()
 	}
+	t.pipeDepth.Reset()
 }
 
 // startMetricsServer serves /metrics (Prometheus text), /snapshot.json

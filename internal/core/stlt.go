@@ -67,6 +67,7 @@ type Stats struct {
 	Replaced    uint64 // inserts that evicted a valid row
 	Scrubs      uint64 // full-table scrubs (IPB overflow)
 	FalseHits   uint64 // hits whose VA the software validation rejected
+	Invalidates uint64 // rows cleared by the delete-side Invalidate hook
 }
 
 // STLT is the system translation lookaside table plus the STU state
@@ -301,6 +302,37 @@ func (t *STLT) loadVAFunctional(integer uint64) arch.Addr {
 // footnote 2: "Software further validates if the returned VA is the
 // correct one."
 func (t *STLT) ReportFalseHit() { t.Stats.FalseHits++ }
+
+// Invalidate clears every row of integer's set whose sub-integer
+// matches — the delete-side coherence hook (Section III-F: the
+// deallocation path updates the STLT so freed records cannot be
+// returned). Validation alone cannot be trusted here: the allocator
+// reuses the freed record's first word for a tagged free-list link,
+// whose low byte can alias a legal key length, so a stale row may
+// validate against its own freed record. Clearing a colliding
+// neighbor's row is harmless — the next access re-inserts it.
+func (t *STLT) Invalidate(integer uint64) {
+	if !t.Enabled {
+		return
+	}
+	s := t.setIndex(integer)
+	sub := subInt(integer)
+	if !t.m.Fast {
+		if t.Variant == VariantSoftware {
+			t.m.Compute(swScanCost(t.ways), arch.CatSTLT)
+			t.m.Touch(t.setVA(s), t.ways*RowSize, false, arch.KindSTLT, arch.CatSTLT)
+		} else {
+			t.chargeSetScan(s, arch.CatSTLT)
+		}
+	}
+	for w := 0; w < t.ways; w++ {
+		r := t.readRow(s, w)
+		if r.Valid() && r.SubInt == sub {
+			t.writeRow(s, w, Row{})
+			t.Stats.Invalidates++
+		}
+	}
+}
 
 // InsertSTLT executes the insertSTLT instruction (Figure 9): the SPTW
 // resolves the PTE for va (dropping the insert on a page fault), then

@@ -198,6 +198,7 @@ func (s Stats) Add(o Stats) Stats {
 	d.STLT.Replaced += o.STLT.Replaced
 	d.STLT.Scrubs += o.STLT.Scrubs
 	d.STLT.FalseHits += o.STLT.FalseHits
+	d.STLT.Invalidates += o.STLT.Invalidates
 	d.SLB.Lookups += o.SLB.Lookups
 	d.SLB.Hits += o.SLB.Hits
 	d.SLB.FalseHits += o.SLB.FalseHits
@@ -510,14 +511,57 @@ func (e *Engine) Set(key, value []byte) {
 func (e *Engine) Delete(key []byte) bool {
 	e.ops++
 	ok := e.Idx.Delete(key)
-	if ok && e.SLB != nil {
-		e.SLB.Invalidate(key)
+	if ok {
+		// Deallocation-side coherence (Section III-F): drop the fast-path
+		// entry so a dangling VA can never be returned. Software
+		// validation is not enough on its own — the allocator's tagged
+		// free-list link overwrites the freed record's header and its low
+		// byte can alias a legal key length, letting a stale STLT row
+		// validate against its own freed record.
+		if e.STLT != nil {
+			e.STLT.Invalidate(e.fastHash(key))
+		}
+		if e.SLB != nil {
+			e.SLB.Invalidate(key)
+		}
 	}
-	// The STLT needs no eager invalidation: the stale row fails key
-	// validation (the record bytes are gone or reused) and is
-	// replaced on the next insert. Page-level reuse is covered by
-	// the IPB path.
 	return ok
+}
+
+// GetBatch performs len(keys) timed GETs in order. It is defined as
+// exactly N sequential Get calls — same modeled cycles, same counter
+// movement, same fast-path behavior — so batched front-ends (MGET)
+// charge the simulation identically to a client issuing the GETs one
+// at a time. What batching saves is real-world per-request overhead
+// (syscalls, locks, flushes), which the simulator deliberately does
+// not model.
+func (e *Engine) GetBatch(keys [][]byte) (vals [][]byte, oks []bool) {
+	vals = make([][]byte, len(keys))
+	oks = make([]bool, len(keys))
+	for i, k := range keys {
+		vals[i], oks[i] = e.Get(k)
+	}
+	return vals, oks
+}
+
+// SetBatch performs len(keys) timed SETs in order — exactly N
+// sequential Set calls (see GetBatch).
+func (e *Engine) SetBatch(keys, values [][]byte) {
+	for i, k := range keys {
+		e.Set(k, values[i])
+	}
+}
+
+// DeleteBatch removes keys in order, returning how many existed —
+// exactly N sequential Delete calls (see GetBatch).
+func (e *Engine) DeleteBatch(keys [][]byte) int {
+	n := 0
+	for _, k := range keys {
+		if e.Delete(k) {
+			n++
+		}
+	}
+	return n
 }
 
 // RunOp executes one generated workload operation.

@@ -306,3 +306,74 @@ func TestAutoTuneGrowsUndersizedSTLT(t *testing.T) {
 		t.Fatalf("post-tuning miss rate %.2f still thrashing", mr)
 	}
 }
+
+// TestEngineBatchEqualsSequential: the batch entry points are defined
+// as exactly N sequential ops — two engines fed the same keys, one
+// batched and one looped, must end bit-for-bit identical.
+func TestEngineBatchEqualsSequential(t *testing.T) {
+	build := func() *Engine {
+		e, err := New(Config{Keys: 3000, Index: KindChainHash, Mode: ModeSTLT, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Load(3000, 64)
+		return e
+	}
+	batched, looped := build(), build()
+
+	keys := make([][]byte, 64)
+	vals := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = ycsb.KeyName(uint64(i * 37 % 4000)) // a few absent
+		vals[i] = []byte("batchval")
+	}
+
+	bv, bok := batched.GetBatch(keys)
+	for i, k := range keys {
+		v, ok := looped.Get(k)
+		if ok != bok[i] || string(v) != string(bv[i]) {
+			t.Fatalf("GET %q diverged", k)
+		}
+	}
+	batched.SetBatch(keys, vals)
+	for i, k := range keys {
+		looped.Set(k, vals[i])
+	}
+	nb := batched.DeleteBatch(keys[:32])
+	nl := 0
+	for _, k := range keys[:32] {
+		if looped.Delete(k) {
+			nl++
+		}
+	}
+	if nb != nl {
+		t.Fatalf("DeleteBatch = %d, sequential = %d", nb, nl)
+	}
+	if a, b := batched.Stats(), looped.Stats(); a != b {
+		t.Fatalf("stats diverged:\nbatched: %+v\nlooped:  %+v", a, b)
+	}
+}
+
+// TestDeleteTinyRecordNoStaleHit pins the allocator-alias regression:
+// freeing a record overwrites its header with a tagged free-list link
+// whose low byte can read back as keyLen=1, so before eager STLT
+// invalidation a warm GET of a deleted 1-byte key validated against
+// its own freed record and returned a stale empty value with ok=true.
+func TestDeleteTinyRecordNoStaleHit(t *testing.T) {
+	for _, mode := range []Mode{ModeBaseline, ModeSTLT, ModeSTLTSW, ModeSTLTVA, ModeSLB} {
+		e, err := New(Config{Keys: 100, Index: KindChainHash, Mode: mode, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Set([]byte("a"), []byte("1"))
+		if v, ok := e.Get([]byte("a")); !ok || string(v) != "1" { // warm the fast path
+			t.Fatalf("%s: warm GET = %q, %v", mode, v, ok)
+		}
+		if !e.Delete([]byte("a")) {
+			t.Fatalf("%s: delete failed", mode)
+		}
+		if v, ok := e.Get([]byte("a")); ok {
+			t.Fatalf("%s: deleted key served stale value %q", mode, v)
+		}
+	}
+}

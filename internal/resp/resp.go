@@ -8,6 +8,8 @@ package resp
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -75,6 +77,69 @@ func (r *Reader) ReadCommand() ([][]byte, error) {
 		}
 		return args, nil
 	}
+}
+
+// Buffered reports how many decoded-but-unconsumed bytes sit in the
+// reader's buffer — nonzero when a pipelining client has sent more
+// commands than the server has parsed yet.
+func (r *Reader) Buffered() int { return r.br.Buffered() }
+
+// TryReadCommand parses one command using only already-buffered bytes:
+// it never reads from the underlying connection. It returns (nil, nil)
+// when the buffer holds no complete command (empty, or a command split
+// mid-stream whose tail has not arrived), a command when one is fully
+// buffered, and an error only for malformed input. This is what lets a
+// serve loop drain an entire client pipeline without ever blocking on
+// a half-received command while replies wait unflushed.
+func (r *Reader) TryReadCommand() ([][]byte, error) {
+	n := r.br.Buffered()
+	if n == 0 {
+		return nil, nil
+	}
+	buf, err := r.br.Peek(n)
+	if err != nil {
+		return nil, err
+	}
+	src := bytes.NewReader(buf)
+	sub := Reader{br: bufio.NewReaderSize(src, len(buf)+16)}
+	args, err := sub.ReadCommand()
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, nil // incomplete: wait for more bytes
+		}
+		return nil, err
+	}
+	consumed := n - sub.br.Buffered() - src.Len()
+	if _, err := r.br.Discard(consumed); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// ReadPipeline reads one command, blocking if necessary, then drains
+// every further command already buffered — the entire pipeline a
+// client sent in one burst — up to max commands (0 means no limit).
+// The returned slice is never empty when err is nil. When a malformed
+// command follows good ones, the good prefix is returned together with
+// the error so the server can still answer what it parsed before
+// closing the connection.
+func (r *Reader) ReadPipeline(max int) ([][][]byte, error) {
+	first, err := r.ReadCommand()
+	if err != nil {
+		return nil, err
+	}
+	cmds := [][][]byte{first}
+	for max <= 0 || len(cmds) < max {
+		args, err := r.TryReadCommand()
+		if err != nil {
+			return cmds, err
+		}
+		if args == nil {
+			break
+		}
+		cmds = append(cmds, args)
+	}
+	return cmds, nil
 }
 
 // ReadReply reads one server reply and returns it decoded: string for
@@ -212,6 +277,28 @@ func NewWriter(w io.Writer) *Writer { return &Writer{bw: bufio.NewWriter(w)} }
 
 // Flush flushes buffered output.
 func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Buffered reports how many reply bytes are waiting unflushed — the
+// number a pipelined server checks against its per-connection
+// write-buffer cap to decide on an early flush.
+func (w *Writer) Buffered() int { return w.bw.Buffered() }
+
+// WriteBulkArray writes an array of bulk strings in one call (the
+// MGET reply shape): "*n" then each value, nil elements as null bulks.
+// Encoding the whole vector through the one buffered writer is the
+// reply-side counterpart of ReadPipeline: one flush covers every
+// element.
+func (w *Writer) WriteBulkArray(vals [][]byte) error {
+	if err := w.WriteArrayHeader(len(vals)); err != nil {
+		return err
+	}
+	for _, v := range vals {
+		if err := w.WriteBulk(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // WriteCommand encodes a client command as an array of bulk strings.
 func (w *Writer) WriteCommand(args ...[]byte) error {

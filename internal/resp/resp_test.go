@@ -126,6 +126,185 @@ func TestPipelinedCommands(t *testing.T) {
 	}
 }
 
+// chunkReader returns bytes in fixed-size chunks, simulating a socket
+// delivering a pipelined burst in several reads.
+type chunkReader struct {
+	data  []byte
+	chunk int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.chunk
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+// TestReadPipelineDrainsBurst: a burst of commands arriving in one
+// buffer must come back from a single ReadPipeline call, in order.
+func TestReadPipelineDrainsBurst(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const n = 32
+	for i := 0; i < n; i++ {
+		w.WriteCommand([]byte("GET"), []byte(fmt.Sprintf("key%d", i)))
+	}
+	w.Flush()
+	r := NewReader(&buf)
+	cmds, err := r.ReadPipeline(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != n {
+		t.Fatalf("ReadPipeline returned %d commands, want %d", len(cmds), n)
+	}
+	for i, args := range cmds {
+		if string(args[1]) != fmt.Sprintf("key%d", i) {
+			t.Fatalf("cmd %d = %q", i, args[1])
+		}
+	}
+	if _, err := r.ReadPipeline(0); err != io.EOF {
+		t.Fatalf("drained stream: err = %v, want EOF", err)
+	}
+}
+
+// TestReadPipelineMaxDepth: the depth cap bounds one batch; the rest
+// of the burst is picked up by the next call.
+func TestReadPipelineMaxDepth(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10; i++ {
+		w.WriteCommand([]byte("PING"))
+	}
+	w.Flush()
+	r := NewReader(&buf)
+	cmds, err := r.ReadPipeline(4)
+	if err != nil || len(cmds) != 4 {
+		t.Fatalf("first batch = %d cmds, err %v; want 4, nil", len(cmds), err)
+	}
+	cmds, err = r.ReadPipeline(0)
+	if err != nil || len(cmds) != 6 {
+		t.Fatalf("second batch = %d cmds, err %v; want 6, nil", len(cmds), err)
+	}
+}
+
+// TestTryReadCommandIncomplete: a command split mid-bulk must not be
+// consumed (nil, nil), and must parse once the tail arrives.
+func TestTryReadCommandIncomplete(t *testing.T) {
+	full := "*2\r\n$3\r\nGET\r\n$4\r\nkey1\r\n"
+	for cut := 1; cut < len(full); cut++ {
+		r := NewReader(io.MultiReader(
+			strings.NewReader(full[:cut]), strings.NewReader(full[cut:])))
+		// Prime the buffer with exactly the first fragment.
+		if _, err := r.br.Peek(cut); err != nil {
+			t.Fatal(err)
+		}
+		args, err := r.TryReadCommand()
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if args != nil {
+			t.Fatalf("cut %d: parsed %q from incomplete buffer", cut, args)
+		}
+		// The blocking read must still see the whole command.
+		args, err = r.ReadCommand()
+		if err != nil || len(args) != 2 || string(args[1]) != "key1" {
+			t.Fatalf("cut %d: recovery read = %q, %v", cut, args, err)
+		}
+	}
+}
+
+// TestReadPipelineChunked: however a burst is fragmented on the wire,
+// the concatenation of successive ReadPipeline batches must equal the
+// original command sequence.
+func TestReadPipelineChunked(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	const n = 25
+	for i := 0; i < n; i++ {
+		w.WriteCommand([]byte("SET"), []byte(fmt.Sprintf("key%d", i)), []byte("value"))
+	}
+	w.Flush()
+	wire := buf.Bytes()
+	for _, chunk := range []int{1, 2, 3, 7, 16, 64, len(wire)} {
+		r := NewReader(&chunkReader{data: append([]byte(nil), wire...), chunk: chunk})
+		var got int
+		for {
+			cmds, err := r.ReadPipeline(0)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("chunk %d: %v", chunk, err)
+			}
+			for _, args := range cmds {
+				if string(args[1]) != fmt.Sprintf("key%d", got) {
+					t.Fatalf("chunk %d: cmd %d = %q", chunk, got, args[1])
+				}
+				got++
+			}
+		}
+		if got != n {
+			t.Fatalf("chunk %d: got %d commands, want %d", chunk, got, n)
+		}
+	}
+}
+
+// TestReadPipelineMalformedTail: good commands parsed before a
+// malformed one must be returned alongside the error.
+func TestReadPipelineMalformedTail(t *testing.T) {
+	r := NewReader(strings.NewReader("*1\r\n$4\r\nPING\r\n*1\r\n$x\r\n"))
+	cmds, err := r.ReadPipeline(0)
+	if err == nil {
+		t.Fatal("malformed tail not reported")
+	}
+	if len(cmds) != 1 || string(cmds[0][0]) != "PING" {
+		t.Fatalf("good prefix lost: %q", cmds)
+	}
+}
+
+func TestWriteBulkArray(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteBulkArray([][]byte{[]byte("a"), nil, []byte("ccc")}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	v, err := NewReader(&buf).ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := v.([]any)
+	if len(arr) != 3 || string(arr[0].([]byte)) != "a" || arr[1] != nil || string(arr[2].([]byte)) != "ccc" {
+		t.Fatalf("array = %v", arr)
+	}
+}
+
+func TestWriterBuffered(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if w.Buffered() != 0 {
+		t.Fatal("fresh writer has buffered bytes")
+	}
+	w.WriteSimple("OK")
+	if w.Buffered() != len("+OK\r\n") {
+		t.Fatalf("Buffered = %d", w.Buffered())
+	}
+	w.Flush()
+	if w.Buffered() != 0 {
+		t.Fatal("flush left buffered bytes")
+	}
+}
+
 func TestBulkRoundTripProperty(t *testing.T) {
 	f := func(payload []byte) bool {
 		var buf bytes.Buffer

@@ -1,0 +1,219 @@
+// Batched cross-shard operations: the cluster side of MGET/MSET/DEL.
+//
+// A batch is grouped by home shard with the same routing hash single
+// ops use, then executed as ONE locked call per shard through the
+// engine's batch entry points (kv.Engine.GetBatch/SetBatch/
+// DeleteBatch). Those entry points are defined as exactly N sequential
+// ops, so modeled cycles are bit-for-bit identical to a client issuing
+// the keys one at a time — what batching amortizes is the real-world
+// per-op overhead (one lock acquisition and one probe diff per shard
+// instead of per key), which the simulator deliberately leaves
+// unmodeled. Within a shard the original key order is preserved, so a
+// 1-shard cluster batch reproduces the seed engine's sequential run
+// exactly (pinned by the differential tests).
+package shard
+
+import "addrkv/internal/kv"
+
+// ShardBatchOutcome reports one shard's slice of a batched operation:
+// how many keys landed there and the exact probe delta across the
+// whole locked sub-batch.
+type ShardBatchOutcome struct {
+	// Shard is the home shard this slice ran on.
+	Shard int
+	// Ops is the number of keys routed to this shard.
+	Ops int
+	// Cycles is the modeled cycle cost of the whole sub-batch.
+	Cycles uint64
+	// FastHits counts sub-batch ops served by the STLT/SLB fast path.
+	FastHits uint64
+	// Misses counts GETs of absent keys in the sub-batch.
+	Misses uint64
+	// TLBMisses, STBHits and PageWalks count translation events across
+	// the sub-batch.
+	TLBMisses uint64
+	STBHits   uint64
+	PageWalks uint64
+}
+
+// BatchOutcome is the telemetry report of one batched operation: one
+// entry per shard touched, in shard order. Like OpOutcome it is filled
+// from probe diffs taken under the shard lock — counters are only
+// read, so observed batches stay bit-for-bit identical to unobserved
+// ones.
+type BatchOutcome struct {
+	PerShard []ShardBatchOutcome
+}
+
+// TotalOps sums ops over the touched shards.
+func (b *BatchOutcome) TotalOps() int {
+	n := 0
+	for _, s := range b.PerShard {
+		n += s.Ops
+	}
+	return n
+}
+
+// TotalCycles sums modeled cycles over the touched shards. With shards
+// running concurrently this is aggregate service time, not elapsed
+// time — the same convention as ClusterStats.Agg.
+func (b *BatchOutcome) TotalCycles() uint64 {
+	var n uint64
+	for _, s := range b.PerShard {
+		n += s.Cycles
+	}
+	return n
+}
+
+// Merged flattens the batch into one OpOutcome for single-op telemetry
+// sinks (slowlog entries): Shard is the home shard when exactly one
+// shard was touched and -1 otherwise; FastHit means every op hit the
+// fast path; Missed means at least one key was absent.
+func (b *BatchOutcome) Merged() OpOutcome {
+	out := OpOutcome{Shard: -1}
+	if len(b.PerShard) == 1 {
+		out.Shard = b.PerShard[0].Shard
+	}
+	var fastHits uint64
+	for _, s := range b.PerShard {
+		out.Cycles += s.Cycles
+		out.TLBMisses += s.TLBMisses
+		out.STBHits += s.STBHits
+		out.PageWalks += s.PageWalks
+		fastHits += s.FastHits
+		if s.Misses > 0 {
+			out.Missed = true
+		}
+	}
+	out.FastHit = b.TotalOps() > 0 && fastHits == uint64(b.TotalOps())
+	return out
+}
+
+// groupByShard returns, per shard, the indices of the keys routed to
+// it, preserving original order within each shard. For a 1-shard
+// cluster every key lands in group 0 without hashing.
+func (c *Cluster) groupByShard(keys [][]byte) [][]int {
+	groups := make([][]int, len(c.shards))
+	if len(c.shards) == 1 {
+		idxs := make([]int, len(keys))
+		for i := range keys {
+			idxs[i] = i
+		}
+		groups[0] = idxs
+		return groups
+	}
+	for i, k := range keys {
+		s := c.ShardFor(k)
+		groups[s] = append(groups[s], i)
+	}
+	return groups
+}
+
+// observeBatch appends one shard's probe delta to out (when non-nil).
+// Must be called with the shard's lock held.
+func observeBatch(i, ops int, e *kv.Engine, out *BatchOutcome, before kv.OpProbe) {
+	if out == nil {
+		return
+	}
+	after := e.Probe()
+	out.PerShard = append(out.PerShard, ShardBatchOutcome{
+		Shard:     i,
+		Ops:       ops,
+		Cycles:    uint64(after.Machine.Cycles - before.Machine.Cycles),
+		FastHits:  after.FastHits - before.FastHits,
+		Misses:    after.Misses - before.Misses,
+		TLBMisses: after.Machine.TLBMisses - before.Machine.TLBMisses,
+		STBHits:   after.Machine.STBHits - before.Machine.STBHits,
+		PageWalks: after.Machine.PageWalks - before.Machine.PageWalks,
+	})
+}
+
+// GetBatch retrieves keys with full timing, one locked engine call per
+// home shard. Results are positional: vals[i]/oks[i] answer keys[i].
+func (c *Cluster) GetBatch(keys [][]byte) (vals [][]byte, oks []bool) {
+	return c.GetBatchO(keys, nil)
+}
+
+// GetBatchO is GetBatch with an optional per-batch outcome report.
+func (c *Cluster) GetBatchO(keys [][]byte, out *BatchOutcome) (vals [][]byte, oks []bool) {
+	vals = make([][]byte, len(keys))
+	oks = make([]bool, len(keys))
+	for si, idxs := range c.groupByShard(keys) {
+		if len(idxs) == 0 {
+			continue
+		}
+		sub := make([][]byte, len(idxs))
+		for j, i := range idxs {
+			sub[j] = keys[i]
+		}
+		s := c.shards[si]
+		s.mu.Lock()
+		var before kv.OpProbe
+		if out != nil {
+			before = s.e.Probe()
+		}
+		svals, soks := s.e.GetBatch(sub)
+		observeBatch(si, len(idxs), s.e, out, before)
+		s.mu.Unlock()
+		for j, i := range idxs {
+			vals[i], oks[i] = svals[j], soks[j]
+		}
+	}
+	return vals, oks
+}
+
+// SetBatch inserts or updates keys[i] = values[i] with full timing,
+// one locked engine call per home shard.
+func (c *Cluster) SetBatch(keys, values [][]byte) { c.SetBatchO(keys, values, nil) }
+
+// SetBatchO is SetBatch with an optional per-batch outcome report.
+func (c *Cluster) SetBatchO(keys, values [][]byte, out *BatchOutcome) {
+	for si, idxs := range c.groupByShard(keys) {
+		if len(idxs) == 0 {
+			continue
+		}
+		subK := make([][]byte, len(idxs))
+		subV := make([][]byte, len(idxs))
+		for j, i := range idxs {
+			subK[j], subV[j] = keys[i], values[i]
+		}
+		s := c.shards[si]
+		s.mu.Lock()
+		var before kv.OpProbe
+		if out != nil {
+			before = s.e.Probe()
+		}
+		s.e.SetBatch(subK, subV)
+		observeBatch(si, len(idxs), s.e, out, before)
+		s.mu.Unlock()
+	}
+}
+
+// DeleteBatch removes keys with full timing, one locked engine call
+// per home shard, returning how many existed.
+func (c *Cluster) DeleteBatch(keys [][]byte) int { return c.DeleteBatchO(keys, nil) }
+
+// DeleteBatchO is DeleteBatch with an optional per-batch outcome
+// report.
+func (c *Cluster) DeleteBatchO(keys [][]byte, out *BatchOutcome) int {
+	n := 0
+	for si, idxs := range c.groupByShard(keys) {
+		if len(idxs) == 0 {
+			continue
+		}
+		sub := make([][]byte, len(idxs))
+		for j, i := range idxs {
+			sub[j] = keys[i]
+		}
+		s := c.shards[si]
+		s.mu.Lock()
+		var before kv.OpProbe
+		if out != nil {
+			before = s.e.Probe()
+		}
+		n += s.e.DeleteBatch(sub)
+		observeBatch(si, len(idxs), s.e, out, before)
+		s.mu.Unlock()
+	}
+	return n
+}
