@@ -15,14 +15,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"net"
 	"os"
+	rtrace "runtime/trace"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -59,12 +63,26 @@ type depthResult struct {
 	RoundtripUS telemetry.Quantiles `json:"roundtrip_us"`
 }
 
+// traceOverhead compares server throughput with tracing off vs
+// sampling 1 in SampleEvery ops — the cost of leaving the flight
+// recorder armed in production.
+type traceOverhead struct {
+	SampleEvery  uint64  `json:"sample_every"`
+	OpsPerSecOff float64 `json:"ops_per_sec_off"`
+	OpsPerSecOn  float64 `json:"ops_per_sec_on"`
+	// OverheadFrac is 1 - median(on/off) over the interleaved round
+	// pairs; negative values mean the traced leg measured faster
+	// (noise).
+	OverheadFrac float64 `json:"overhead_frac"`
+}
+
 // artifact is the -json output: a self-contained record of the sweep.
 type artifact struct {
-	Name   string         `json:"name"`
-	Kind   string         `json:"kind"`
-	Params map[string]any `json:"params"`
-	Sweep  []depthResult  `json:"sweep"`
+	Name          string         `json:"name"`
+	Kind          string         `json:"kind"`
+	Params        map[string]any `json:"params"`
+	Sweep         []depthResult  `json:"sweep"`
+	TraceOverhead *traceOverhead `json:"trace_overhead,omitempty"`
 }
 
 func main() {
@@ -80,6 +98,10 @@ func main() {
 		getRatio = flag.Float64("get-ratio", 0.9, "fraction of GETs (rest are SETs)")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		jsonPath = flag.String("json", "", "write the sweep artifact to this file")
+
+		ovhd       = flag.Bool("trace-overhead", false, "measure tracing overhead: throughput with TRACE OFF vs TRACE ON <sample> (best of 3 each)")
+		ovhdSample = flag.Uint64("trace-overhead-sample", 1024, "1-in-N sampling rate for the traced leg of -trace-overhead")
+		maxOvhd    = flag.Float64("max-overhead", 0, "exit 1 when the measured trace overhead fraction exceeds this (0 = report only)")
 	)
 	flag.Parse()
 
@@ -108,15 +130,126 @@ func main() {
 		}
 	}
 
+	if *ovhd {
+		to, err := runTraceOverhead(cfg, *depth, *ovhdSample, os.Stdout)
+		if err != nil {
+			log.Fatalf("kvbench: %v", err)
+		}
+		if *jsonPath != "" {
+			if err := writeArtifact(*jsonPath, cfg, depths, nil, to); err != nil {
+				log.Fatalf("kvbench: %v", err)
+			}
+		}
+		if *maxOvhd > 0 && to.OverheadFrac > *maxOvhd {
+			log.Fatalf("kvbench: trace overhead %.2f%% exceeds the %.2f%% budget",
+				100*to.OverheadFrac, 100**maxOvhd)
+		}
+		return
+	}
+
 	results, err := run(cfg, depths, os.Stdout)
 	if err != nil {
 		log.Fatalf("kvbench: %v", err)
 	}
 	if *jsonPath != "" {
-		if err := writeArtifact(*jsonPath, cfg, depths, results); err != nil {
+		if err := writeArtifact(*jsonPath, cfg, depths, results, nil); err != nil {
 			log.Fatalf("kvbench: %v", err)
 		}
 	}
+}
+
+// serverCmd sends one out-of-band command (e.g. TRACE ON 1024) on its
+// own connection and fails on an error reply.
+func serverCmd(cfg benchConfig, args ...string) error {
+	conn, err := net.Dial(cfg.network, cfg.addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w := resp.NewWriter(conn)
+	ba := make([][]byte, len(args))
+	for i, a := range args {
+		ba[i] = []byte(a)
+	}
+	if err := w.WriteCommand(ba...); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	v, err := resp.NewReader(conn).ReadReply()
+	if err != nil {
+		return err
+	}
+	if e, isErr := v.(error); isErr {
+		return fmt.Errorf("%s: %w", strings.Join(args, " "), e)
+	}
+	return nil
+}
+
+// runTraceOverhead measures the cost of armed sampling. Closed-loop
+// throughput is noisy and drifts as the server's fast path warms, so
+// neither a sequential A/B nor best-of-N can resolve a small
+// overhead. Instead, after one unmeasured warmup round, the off/on
+// legs INTERLEAVE with the order flipped every round (off-on, on-off,
+// ...): each adjacent pair shares its warmth/noise regime, the
+// per-pair throughput ratio estimates the overhead with the drift
+// cancelled (alternating which leg runs first cancels any residual
+// within-pair drift direction), and the MEDIAN over pairs discards
+// outlier rounds (GC, scheduler hiccups).
+func runTraceOverhead(cfg benchConfig, depth int, sample uint64, out io.Writer) (*traceOverhead, error) {
+	const rounds = 5
+	if err := serverCmd(cfg, "TRACE", "OFF"); err != nil {
+		return nil, err
+	}
+	if _, err := runDepth(cfg, depth); err != nil { // warmup, unmeasured
+		return nil, err
+	}
+	leg := func(on bool) (depthResult, error) {
+		var err error
+		if on {
+			err = serverCmd(cfg, "TRACE", "ON", strconv.FormatUint(sample, 10))
+		} else {
+			err = serverCmd(cfg, "TRACE", "OFF")
+		}
+		if err != nil {
+			return depthResult{}, err
+		}
+		return runDepth(cfg, depth)
+	}
+	var bestOff, bestOn float64
+	ratios := make([]float64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		onFirst := i%2 == 1
+		first, err := leg(onFirst)
+		if err != nil {
+			return nil, err
+		}
+		second, err := leg(!onFirst)
+		if err != nil {
+			return nil, err
+		}
+		roff, ron := first, second
+		if onFirst {
+			roff, ron = second, first
+		}
+		bestOff = math.Max(bestOff, roff.OpsPerSec)
+		bestOn = math.Max(bestOn, ron.OpsPerSec)
+		ratios = append(ratios, ron.OpsPerSec/roff.OpsPerSec)
+	}
+	if err := serverCmd(cfg, "TRACE", "OFF"); err != nil {
+		return nil, err
+	}
+	sort.Float64s(ratios)
+	to := &traceOverhead{
+		SampleEvery:  sample,
+		OpsPerSecOff: bestOff,
+		OpsPerSecOn:  bestOn,
+		OverheadFrac: 1 - ratios[len(ratios)/2],
+	}
+	fmt.Fprintf(out, "trace overhead @1/%d sampling: best %.0f ops/sec untraced, %.0f traced, median paired overhead %.2f%%\n",
+		sample, bestOff, bestOn, 100*to.OverheadFrac)
+	return to, nil
 }
 
 // parseSweep parses "1,4,16,64" into pipeline depths.
@@ -201,6 +334,11 @@ func benchConn(cfg benchConfig, depth, ops int, seed uint64, rt *telemetry.Histo
 		return 0, 0, err
 	}
 	defer conn.Close()
+	// One runtime/trace task per connection, one region per pipelined
+	// roundtrip: `go tool trace` on a client capture then shows how
+	// batches from concurrent connections interleave.
+	ctx, task := rtrace.NewTask(context.Background(), "kvbench.conn")
+	defer task.End()
 	r := resp.NewReader(conn)
 	w := resp.NewWriter(conn)
 	rng := rand.New(rand.NewSource(int64(seed)))
@@ -212,30 +350,38 @@ func benchConn(cfg benchConfig, depth, ops int, seed uint64, rt *telemetry.Histo
 			batch = remaining
 		}
 		t0 := time.Now()
-		for i := 0; i < batch; i++ {
-			id := uint64(rng.Intn(cfg.keys))
-			key := ycsb.KeyName(id)
-			if rng.Float64() < cfg.getRatio {
-				err = w.WriteCommand([]byte("GET"), key)
-			} else {
-				err = w.WriteCommand([]byte("SET"), key, ycsb.Value(id, uint32(sent), cfg.vsize))
+		rerr := func() error {
+			reg := rtrace.StartRegion(ctx, "bench.roundtrip")
+			defer reg.End()
+			for i := 0; i < batch; i++ {
+				id := uint64(rng.Intn(cfg.keys))
+				key := ycsb.KeyName(id)
+				if rng.Float64() < cfg.getRatio {
+					err = w.WriteCommand([]byte("GET"), key)
+				} else {
+					err = w.WriteCommand([]byte("SET"), key, ycsb.Value(id, uint32(sent), cfg.vsize))
+				}
+				if err != nil {
+					return err
+				}
 			}
-			if err != nil {
-				return sent, errs, err
+			if err := w.Flush(); err != nil {
+				return err
 			}
-		}
-		if err := w.Flush(); err != nil {
-			return sent, errs, err
-		}
-		for i := 0; i < batch; i++ {
-			v, err := r.ReadReply()
-			if err != nil {
-				return sent, errs, fmt.Errorf("read reply: %w", err)
+			for i := 0; i < batch; i++ {
+				v, err := r.ReadReply()
+				if err != nil {
+					return fmt.Errorf("read reply: %w", err)
+				}
+				if _, isErr := v.(error); isErr {
+					errs++
+				}
+				sent++
 			}
-			if _, isErr := v.(error); isErr {
-				errs++
-			}
-			sent++
+			return nil
+		}()
+		if rerr != nil {
+			return sent, errs, rerr
 		}
 		rt.Observe(uint64(time.Since(t0).Microseconds()))
 		remaining -= batch
@@ -244,9 +390,13 @@ func benchConn(cfg benchConfig, depth, ops int, seed uint64, rt *telemetry.Histo
 }
 
 // writeArtifact writes the sweep JSON artifact.
-func writeArtifact(path string, cfg benchConfig, depths []int, results []depthResult) error {
+func writeArtifact(path string, cfg benchConfig, depths []int, results []depthResult, to *traceOverhead) error {
+	name := "pipeline-sweep"
+	if to != nil {
+		name = "trace-overhead"
+	}
 	a := artifact{
-		Name: "pipeline-sweep",
+		Name: name,
 		Kind: "kvbench",
 		Params: map[string]any{
 			"addr":      cfg.addr,
@@ -258,7 +408,8 @@ func writeArtifact(path string, cfg benchConfig, depths []int, results []depthRe
 			"seed":      cfg.seed,
 			"depths":    depths,
 		},
-		Sweep: results,
+		Sweep:         results,
+		TraceOverhead: to,
 	}
 	b, err := json.MarshalIndent(&a, "", "  ")
 	if err != nil {

@@ -21,7 +21,8 @@
 // an error reply.
 //
 // Commands: PING, ECHO, GET, SET, DEL, EXISTS, MGET, MSET, DBSIZE,
-// INFO, RESETSTATS, FLUSHALL, SLOWLOG GET/RESET/LEN, MONITOR, QUIT.
+// INFO, RESETSTATS, FLUSHALL, SLOWLOG GET/RESET/LEN, MONITOR,
+// TRACE ON/OFF/STATUS/DUMP, QUIT.
 // INFO reports the *simulated* cycle statistics (aggregate plus a
 // section per shard) alongside real wall-clock latency percentiles and
 // the networking/pipelining counters, so a client can measure the
@@ -36,6 +37,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +46,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	rtrace "runtime/trace"
 	"strconv"
 	"strings"
 	"sync"
@@ -54,6 +57,7 @@ import (
 	"addrkv"
 	"addrkv/internal/resp"
 	"addrkv/internal/telemetry"
+	"addrkv/internal/trace"
 )
 
 // drainTimeout bounds how long shutdown waits for in-flight
@@ -102,6 +106,14 @@ type server struct {
 	// engine's own per-shard locks and lock-free telemetry.
 	statsMu sync.RWMutex
 
+	// Span tracing: the sampling tracer shared with every shard engine,
+	// the flight-recorder dump sink (nil without -trace-dir), and a
+	// connection sequence so spans name the connection they came from.
+	tracer   *trace.Tracer
+	dumper   *trace.Dumper
+	traceDir string
+	connSeq  atomic.Int64
+
 	closing atomic.Bool
 	connMu  sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -109,7 +121,7 @@ type server struct {
 }
 
 func newServer(sys *addrkv.System, slowlogCap int) *server {
-	return &server{
+	s := &server{
 		sys: sys,
 		net: netConfig{
 			maxPipeline: defaultMaxPipeline,
@@ -118,6 +130,9 @@ func newServer(sys *addrkv.System, slowlogCap int) *server {
 		tele:  newServerTele(sys, slowlogCap),
 		conns: map[net.Conn]struct{}{},
 	}
+	s.initTrace(traceConfig{}) // sampling off until TRACE ON or -trace-sample
+	s.tele.registerTraceMetrics(s)
+	return s
 }
 
 func main() {
@@ -137,6 +152,11 @@ func main() {
 		writeBuf = flag.Int("writebuf", defaultWriteBufCap, "reply bytes buffered per connection before an early flush")
 		idleTO   = flag.Duration("idle-timeout", 0, "disconnect clients silent for this long (0 = never)")
 		maxConns = flag.Int("maxconns", 0, "max concurrent client connections; extras are shed with an error (0 = unlimited)")
+
+		traceSample = flag.Uint64("trace-sample", 0, "trace 1 in N single-key ops (1 = every op, 0 = off; TRACE ON/OFF adjusts at runtime)")
+		traceDir    = flag.String("trace-dir", "", "directory for flight-recorder dump bundles (TRACE DUMP, anomaly auto-dumps, final dump on shutdown)")
+		traceRing   = flag.Int("trace-ring", defaultTraceRing, "completed traces the flight recorder keeps per shard")
+		traceSlow   = flag.Uint64("trace-anomaly-cycles", 0, "auto-dump when a traced op exceeds this many modeled cycles (0 = off)")
 	)
 	flag.Parse()
 
@@ -170,6 +190,16 @@ func main() {
 		writeBufCap: *writeBuf,
 		idleTimeout: *idleTO,
 		maxConns:    *maxConns,
+	}
+	s.initTrace(traceConfig{
+		sampleEvery: *traceSample,
+		dir:         *traceDir,
+		ringCap:     *traceRing,
+		slowCycles:  *traceSlow,
+	})
+	if *traceSample > 0 {
+		log.Printf("kvserve: tracing 1 in %d ops (ring %d/shard, dir %q)",
+			*traceSample, *traceRing, *traceDir)
 	}
 
 	if *maddr != "" {
@@ -222,6 +252,7 @@ func main() {
 	}
 
 	s.drain()
+	s.finalTraceDump()
 	if *sock != "" {
 		_ = os.Remove(*sock)
 	}
@@ -255,6 +286,7 @@ func (s *server) untrack(conn net.Conn) {
 // reply, then close. The client sees why instead of a silent RST.
 func (s *server) shed(conn net.Conn) {
 	s.tele.shedConns.Inc()
+	s.tracer.NoteAnomaly("maxconns_shed")
 	w := resp.NewWriter(conn)
 	_ = w.WriteError("ERR max number of clients reached")
 	_ = w.Flush()
@@ -303,6 +335,12 @@ func (s *server) drain() {
 func (s *server) serve(conn net.Conn) {
 	defer s.untrack(conn)
 	defer conn.Close()
+	cs := &connState{id: s.connSeq.Add(1)}
+	// Annotate the connection as a runtime/trace task (and each
+	// pipeline drain as a region below) so `go tool trace` on a pprof
+	// capture shows per-connection lanes with one slice per batch.
+	ctx, task := rtrace.NewTask(context.Background(), "kvserve.conn")
+	defer task.End()
 	r := resp.NewReader(conn)
 	w := resp.NewWriter(conn)
 	for {
@@ -316,17 +354,23 @@ func (s *server) serve(conn net.Conn) {
 			s.tele.pipeDepth.Observe(uint64(len(cmds)))
 		}
 		var quit, monitor bool
-		for _, args := range cmds {
-			quit, monitor = s.dispatch(w, args)
-			if quit || monitor {
-				break
-			}
-			if w.Buffered() >= s.net.writeBufCap {
-				s.tele.earlyFlush.Inc()
-				if err := w.Flush(); err != nil {
+		var werr error
+		rtrace.WithRegion(ctx, "pipeline.batch", func() {
+			for _, args := range cmds {
+				quit, monitor = s.dispatch(w, args, cs)
+				if quit || monitor {
 					return
 				}
+				if w.Buffered() >= s.net.writeBufCap {
+					s.tele.earlyFlush.Inc()
+					if werr = w.Flush(); werr != nil {
+						return
+					}
+				}
 			}
+		})
+		if werr != nil {
+			return
 		}
 		if err := w.Flush(); err != nil || quit || s.closing.Load() {
 			return
@@ -349,18 +393,52 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
+// connState is the per-connection dispatch state: the connection's
+// identity for span attribution plus its local trace-sampling counter.
+// Each connection's serve loop is one goroutine, so the counter needs
+// no synchronization — sampling 1-in-N per connection instead of
+// globally keeps the untraced fast path free of shared-cache-line
+// writes at high op rates.
+type connState struct {
+	id  int64
+	ops uint64
+}
+
 // dispatch executes one command and records its telemetry: wall-clock
 // latency, per-command counters, the engine's per-op (or per-batch)
 // outcome — shard, modeled cycles, addressing-path result — a slowlog
 // offer, and — when a MONITOR client is attached — a feed line. It
 // takes no global lock on the data path: System's *O methods lock only
 // the key's home shard, and all telemetry writes are atomic.
-func (s *server) dispatch(w *resp.Writer, args [][]byte) (quit, monitor bool) {
+func (s *server) dispatch(w *resp.Writer, args [][]byte, cs *connState) (quit, monitor bool) {
 	start := time.Now()
 	cmd := strings.ToLower(string(args[0]))
 	oc := addrkv.OpOutcome{Shard: -1}
 	var bo addrkv.BatchOutcome
+	// Span lifecycle for sampled single-key ops: dispatch here, the
+	// cluster anchors the cycle base and emits shard.lock/engine-level
+	// events while the op runs under its shard lock (via oc.Trace), and
+	// reply.flush + Finish close the timeline once the reply is
+	// buffered. The sampling decision uses the connection's own counter
+	// against the shared rate, so an unsampled op costs one atomic load
+	// and never writes a shared cache line.
+	var sp *trace.Op
+	if traceSpanFor(cmd, len(args)) {
+		if every := s.tracer.Sample(); every != 0 {
+			cs.ops++
+			if cs.ops%every == 0 {
+				sp = s.tracer.BeginSampled(cmd, args[1])
+				sp.Conn = cs.id
+				sp.EventRel(trace.EvDispatch, 0, 0, 0, 0)
+				oc.Trace = sp
+			}
+		}
+	}
 	quit, monitor, isErr := s.execute(w, cmd, args, &oc, &bo)
+	if sp != nil {
+		sp.EventRel(trace.EvReplyFlush, sp.Cycles, 0, 0, 0)
+		s.tracer.Finish(sp, oc.Shard, oc.FastHit, oc.Missed)
+	}
 	dur := time.Since(start)
 	var ocp *addrkv.OpOutcome
 	var bop *addrkv.BatchOutcome
@@ -421,6 +499,16 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 			return fail("ERR wrong number of arguments for 'del'")
 		}
 		s.opsSinceMark.Add(uint64(len(args) - 1))
+		if len(args) == 2 {
+			// Single-key DEL takes the per-op path so it fills oc (and
+			// carries a span when sampled) instead of a one-shard batch.
+			if s.sys.DeleteO(args[1], oc) {
+				w.WriteInt(1)
+			} else {
+				w.WriteInt(0)
+			}
+			break
+		}
 		w.WriteInt(int64(s.sys.DeleteBatchO(args[1:], bo)))
 	case "mget":
 		if len(args) < 2 {
@@ -470,6 +558,9 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 		s.opsSinceMark.Store(0)
 		s.tele.resetWindow()
 		s.statsMu.Unlock()
+		// A measurement mark means the caches should be warm from here
+		// on: arm the page_walk_warm flight-recorder trigger.
+		s.tracer.SetWarm(true)
 		w.WriteSimple("OK")
 	case "flushall":
 		s.statsMu.Lock()
@@ -482,9 +573,12 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 		if err != nil {
 			return fail(fmt.Sprintf("ERR flushall: %v", err))
 		}
+		s.tracer.SetWarm(false) // fresh engines start cold again
 		w.WriteSimple("OK")
 	case "slowlog":
 		return s.slowlogCmd(w, args)
+	case "trace":
+		return s.traceCmd(w, args)
 	case "monitor":
 		if s.closing.Load() {
 			return fail("ERR server shutting down")
@@ -624,6 +718,13 @@ func (s *server) info() string {
 	fmt.Fprintf(&b, "early_flushes:%d\r\n", s.tele.earlyFlush.Load())
 	fmt.Fprintf(&b, "batch_commands:%d\r\n", s.tele.batchCmds.Load())
 	fmt.Fprintf(&b, "batched_keys:%d\r\n", s.tele.batchKeys.Load())
+
+	fmt.Fprintf(&b, "# tracing\r\n")
+	fmt.Fprintf(&b, "trace_sample_every:%d\r\n", s.tracer.Sample())
+	fmt.Fprintf(&b, "trace_ops:%d\r\n", s.tracer.Traced())
+	fmt.Fprintf(&b, "trace_anomalies:%d\r\n", s.tracer.AnomalyCount())
+	fmt.Fprintf(&b, "trace_auto_dumps:%d\r\n", s.tracer.Dumps())
+	fmt.Fprintf(&b, "trace_warm_phase:%v\r\n", s.tracer.Warm())
 
 	for i, st := range rep.PerShard {
 		fmt.Fprintf(&b, "# shard %d\r\n", i)

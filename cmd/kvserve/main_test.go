@@ -44,7 +44,7 @@ func call(t *testing.T, s *server, args ...string) any {
 	for i, a := range args {
 		ba[i] = []byte(a)
 	}
-	s.dispatch(w, ba)
+	s.dispatch(w, ba, &connState{id: 1})
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -177,10 +177,10 @@ func TestServerQuit(t *testing.T) {
 	s := newTestServer(t)
 	var buf bytes.Buffer
 	w := resp.NewWriter(&buf)
-	if quit, _ := s.dispatch(w, [][]byte{[]byte("QUIT")}); !quit {
+	if quit, _ := s.dispatch(w, [][]byte{[]byte("QUIT")}, &connState{id: 1}); !quit {
 		t.Fatal("QUIT did not request close")
 	}
-	if quit, _ := s.dispatch(w, [][]byte{[]byte("PING")}); quit {
+	if quit, _ := s.dispatch(w, [][]byte{[]byte("PING")}, &connState{id: 1}); quit {
 		t.Fatal("PING requested close")
 	}
 }
@@ -283,7 +283,7 @@ func TestServerMonitorFeed(t *testing.T) {
 	s := newTestServer(t)
 	var buf bytes.Buffer
 	w := resp.NewWriter(&buf)
-	quit, monitor := s.dispatch(w, [][]byte{[]byte("MONITOR")})
+	quit, monitor := s.dispatch(w, [][]byte{[]byte("MONITOR")}, &connState{id: 1})
 	if quit || !monitor {
 		t.Fatalf("MONITOR: quit=%v monitor=%v", quit, monitor)
 	}
@@ -394,7 +394,7 @@ func TestServerResetStatsAtomic(t *testing.T) {
 				return
 			default:
 			}
-			s.dispatch(w, [][]byte{[]byte("SET"), []byte("k"), []byte("v")})
+			s.dispatch(w, [][]byte{[]byte("SET"), []byte("k"), []byte("v")}, &connState{id: 1})
 			buf.Reset()
 		}
 	}()
@@ -403,7 +403,7 @@ func TestServerResetStatsAtomic(t *testing.T) {
 		var buf bytes.Buffer
 		w := resp.NewWriter(&buf)
 		for i := 0; i < 50; i++ {
-			s.dispatch(w, [][]byte{[]byte("RESETSTATS")})
+			s.dispatch(w, [][]byte{[]byte("RESETSTATS")}, &connState{id: 1})
 			buf.Reset()
 		}
 	}()
@@ -454,12 +454,12 @@ func TestServerConcurrentDispatch(t *testing.T) {
 			w := resp.NewWriter(&buf)
 			for i := 0; i < opsEach; i++ {
 				key := fmt.Sprintf("key-%d-%d", g, i)
-				s.dispatch(w, [][]byte{[]byte("SET"), []byte(key), []byte("v")})
-				s.dispatch(w, [][]byte{[]byte("GET"), []byte(key)})
-				s.dispatch(w, [][]byte{[]byte("EXISTS"), []byte(key)})
+				s.dispatch(w, [][]byte{[]byte("SET"), []byte(key), []byte("v")}, &connState{id: 1})
+				s.dispatch(w, [][]byte{[]byte("GET"), []byte(key)}, &connState{id: 1})
+				s.dispatch(w, [][]byte{[]byte("EXISTS"), []byte(key)}, &connState{id: 1})
 				if i%64 == 0 {
-					s.dispatch(w, [][]byte{[]byte("INFO")})
-					s.dispatch(w, [][]byte{[]byte("DBSIZE")})
+					s.dispatch(w, [][]byte{[]byte("INFO")}, &connState{id: 1})
+					s.dispatch(w, [][]byte{[]byte("DBSIZE")}, &connState{id: 1})
 				}
 				buf.Reset()
 			}

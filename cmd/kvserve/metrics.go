@@ -343,8 +343,10 @@ func (t *serverTele) cycleSnapshot() telemetry.HistSnapshot {
 	return s
 }
 
-// resetWindow clears the stats-window histograms (RESETSTATS).
-// Counters stay monotonic for Prometheus rate() queries.
+// resetWindow clears the stats-window histograms (RESETSTATS) and the
+// slowlog: the slowest ops of the warmup phase are exactly what a
+// fresh measurement window must not keep reporting. Counters stay
+// monotonic for Prometheus rate() queries.
 func (t *serverTele) resetWindow() {
 	t.latAll.Reset()
 	for _, h := range t.cmdLat {
@@ -354,6 +356,21 @@ func (t *serverTele) resetWindow() {
 		h.Reset()
 	}
 	t.pipeDepth.Reset()
+	t.slowlog.Reset()
+}
+
+// registerTraceMetrics exposes the span tracer's state on /metrics.
+// The gauges read s.tracer at scrape time, so main() swapping in the
+// flag-configured tracer after newServer needs no re-registration.
+func (t *serverTele) registerTraceMetrics(s *server) {
+	t.reg.GaugeFunc("addrkv_trace_sample_every", "1-in-N trace sampling rate (0 = off).", nil,
+		func() float64 { return float64(s.tracer.Sample()) })
+	t.reg.GaugeFunc("addrkv_traced_ops_total", "Ops completed with a trace span attached.", nil,
+		func() float64 { return float64(s.tracer.Traced()) })
+	t.reg.GaugeFunc("addrkv_trace_anomalies_total", "Flight-recorder anomaly trigger firings.", nil,
+		func() float64 { return float64(s.tracer.AnomalyCount()) })
+	t.reg.GaugeFunc("addrkv_trace_auto_dumps_total", "Auto-dumps requested by anomaly triggers.", nil,
+		func() float64 { return float64(s.tracer.Dumps()) })
 }
 
 // startMetricsServer serves /metrics (Prometheus text), /snapshot.json

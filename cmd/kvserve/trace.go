@@ -1,0 +1,190 @@
+// Span-tracing wiring for kvserve: the -trace-* flags, the TRACE
+// ON/OFF/STATUS/DUMP command, the flight-recorder dump sink, and the
+// INFO/Prometheus surfaces for tracing state.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"addrkv/internal/resp"
+	"addrkv/internal/trace"
+)
+
+// writeJSONFile marshals v (indented) into path, creating the
+// directory if needed.
+func writeJSONFile(path string, v any) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// defaultTraceRing is the default per-shard flight-recorder depth.
+const defaultTraceRing = 64
+
+// traceConfig bundles the tracing knobs from the -trace-* flags.
+type traceConfig struct {
+	// sampleEvery is the initial 1-in-N sampling rate (0 = off).
+	sampleEvery uint64
+	// dir, when non-empty, receives flight-recorder dump bundles
+	// (TRACE DUMP, anomaly auto-dumps, and the final dump on
+	// shutdown) plus the Chrome trace_event export.
+	dir string
+	// ringCap is the per-shard flight-recorder depth.
+	ringCap int
+	// slowCycles arms the slow-op anomaly trigger (0 = off).
+	slowCycles uint64
+}
+
+// initTrace builds the server's tracer and dump sink.
+func (s *server) initTrace(cfg traceConfig) {
+	if cfg.ringCap < 1 {
+		cfg.ringCap = defaultTraceRing
+	}
+	tr := trace.NewTracer(s.sys.Cluster().NumShards(), cfg.ringCap, cfg.sampleEvery)
+	tr.SetAnomalyConfig(trace.AnomalyConfig{
+		SlowCycles: cfg.slowCycles,
+		WalkInWarm: true,
+	})
+	s.tracer = tr
+	s.traceDir = cfg.dir
+	s.sys.Cluster().SetTracer(tr)
+	if cfg.dir != "" {
+		s.dumper = trace.NewDumper(cfg.dir, "kvserve")
+		tr.SetDumpFunc(func(reason string) {
+			if path, err := s.dumper.Dump(tr, reason); err != nil {
+				log.Printf("kvserve: trace auto-dump (%s): %v", reason, err)
+			} else {
+				log.Printf("kvserve: trace auto-dump (%s) -> %s", reason, path)
+			}
+		})
+	}
+}
+
+// finalTraceDump writes the shutdown bundle (plus its Chrome export)
+// when a dump directory is configured and anything was traced.
+func (s *server) finalTraceDump() {
+	if s.dumper == nil || s.tracer.Traced() == 0 {
+		return
+	}
+	path, err := s.dumper.Dump(s.tracer, "final")
+	if err != nil {
+		log.Printf("kvserve: final trace dump: %v", err)
+		return
+	}
+	log.Printf("kvserve: final trace dump -> %s", path)
+	if cpath, err := s.writeChromeTrace("final"); err != nil {
+		log.Printf("kvserve: chrome trace export: %v", err)
+	} else {
+		log.Printf("kvserve: chrome trace -> %s", cpath)
+	}
+}
+
+// writeChromeTrace renders the current flight-recorder contents as
+// Chrome trace_event JSON under the dump directory.
+func (s *server) writeChromeTrace(label string) (string, error) {
+	b := s.tracer.Snapshot("kvserve", label)
+	path := filepath.Join(s.traceDir, fmt.Sprintf("kvserve-chrome-%s.json", label))
+	ct := trace.ChromeTraceOf(b)
+	return path, writeJSONFile(path, ct)
+}
+
+// traceCmd handles TRACE ON [1-in-N] / OFF / STATUS / DUMP.
+func (s *server) traceCmd(w *resp.Writer, args [][]byte) (quit, monitor, isErr bool) {
+	fail := func(msg string) (bool, bool, bool) {
+		w.WriteError(msg)
+		return false, false, true
+	}
+	if len(args) < 2 {
+		return fail("ERR wrong number of arguments for 'trace'")
+	}
+	switch strings.ToLower(string(args[1])) {
+	case "on":
+		every := uint64(1)
+		if len(args) == 3 {
+			v, err := strconv.ParseUint(string(args[2]), 10, 64)
+			if err != nil || v < 1 {
+				return fail("ERR invalid trace sampling rate")
+			}
+			every = v
+		} else if len(args) > 3 {
+			return fail("ERR wrong number of arguments for 'trace on'")
+		}
+		s.tracer.SetSample(every)
+		w.WriteSimple("OK")
+	case "off":
+		s.tracer.SetSample(0)
+		w.WriteSimple("OK")
+	case "status":
+		counts := s.tracer.EventCounts()
+		var b strings.Builder
+		fmt.Fprintf(&b, "sample_every:%d\r\n", s.tracer.Sample())
+		fmt.Fprintf(&b, "traced_ops:%d\r\n", s.tracer.Traced())
+		fmt.Fprintf(&b, "shards:%d\r\n", s.tracer.Shards())
+		fmt.Fprintf(&b, "anomalies:%d\r\n", s.tracer.AnomalyCount())
+		fmt.Fprintf(&b, "auto_dumps:%d\r\n", s.tracer.Dumps())
+		fmt.Fprintf(&b, "warm_phase:%v\r\n", s.tracer.Warm())
+		fmt.Fprintf(&b, "dump_dir:%s\r\n", s.traceDir)
+		for _, k := range traceKindOrder() {
+			if n, ok := counts[k]; ok {
+				fmt.Fprintf(&b, "events_%s:%d\r\n", strings.ReplaceAll(k, ".", "_"), n)
+			}
+		}
+		w.WriteBulk([]byte(b.String()))
+	case "dump":
+		if s.dumper == nil {
+			return fail("ERR no trace dump directory configured (start kvserve with -trace-dir)")
+		}
+		reason := "manual"
+		if len(args) == 3 {
+			reason = string(args[2])
+		} else if len(args) > 3 {
+			return fail("ERR wrong number of arguments for 'trace dump'")
+		}
+		path, err := s.dumper.Dump(s.tracer, reason)
+		if err != nil {
+			return fail(fmt.Sprintf("ERR trace dump: %v", err))
+		}
+		if _, err := s.writeChromeTrace(reason); err != nil {
+			log.Printf("kvserve: chrome trace export: %v", err)
+		}
+		w.WriteBulk([]byte(path))
+	default:
+		return fail(fmt.Sprintf("ERR unknown TRACE subcommand '%s'", args[1]))
+	}
+	return false, false, false
+}
+
+// traceKindOrder returns the event kinds in pipeline order for the
+// STATUS listing.
+func traceKindOrder() []string {
+	out := make([]string, trace.NumEventKinds)
+	for i := range out {
+		out[i] = trace.EventKind(i).String()
+	}
+	return out
+}
+
+// traceSpanFor reports whether cmd (with its argument count) is a
+// single-key data-path command the server attaches spans to. Multi-key
+// batches (MGET/MSET, multi-key DEL) span several shards and are left
+// to the aggregate BatchOutcome telemetry.
+func traceSpanFor(cmd string, nargs int) bool {
+	switch cmd {
+	case "get", "exists", "del":
+		return nargs == 2
+	case "set":
+		return nargs == 3
+	}
+	return false
+}

@@ -1,0 +1,413 @@
+// Command kvtrace inspects flight-recorder dump bundles written by
+// kvserve (TRACE DUMP, anomaly auto-dumps, the final dump on
+// shutdown): the per-op event timelines the span tracer recorded, with
+// modeled-cycle and wall-clock deltas per pipeline stage.
+//
+// Subcommands:
+//
+//	kvtrace summary bundle.json...   per-op-name cycle stats and the
+//	                                 critical-path breakdown (which
+//	                                 pipeline stage the cycles went to)
+//	kvtrace events bundle.json...    per-event-kind totals: count,
+//	                                 attributed cycles, mean cost
+//	kvtrace flows bundle.json...     hit/miss flow table: ops grouped
+//	                                 by their event signature, in the
+//	                                 style of the paper's Figure 13
+//	                                 hit/miss handling flows
+//	kvtrace ops bundle.json...       one line per retained op, oldest
+//	                                 first, with its full timeline
+//	kvtrace chrome -o out.json in... convert to Chrome trace_event JSON
+//	                                 (load into Perfetto / about:tracing)
+//	kvtrace check [-min-...] in...   CI gate: assert the bundle parses
+//	                                 and its whole-run event totals meet
+//	                                 the given minima
+//
+// Multiple bundles merge into one view (ops re-sorted by start time),
+// so a directory of auto-dumps reads as a single recording.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"addrkv/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kvtrace:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: kvtrace <summary|events|flows|ops|chrome|check> [flags] bundle.json...`
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return errors.New(usage)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "summary":
+		b, err := loadBundles(rest)
+		if err != nil {
+			return err
+		}
+		return summary(out, b)
+	case "events":
+		b, err := loadBundles(rest)
+		if err != nil {
+			return err
+		}
+		return events(out, b)
+	case "flows":
+		b, err := loadBundles(rest)
+		if err != nil {
+			return err
+		}
+		return flows(out, b)
+	case "ops":
+		b, err := loadBundles(rest)
+		if err != nil {
+			return err
+		}
+		return opsDump(out, b)
+	case "chrome":
+		return chrome(out, rest)
+	case "check":
+		return check(out, rest)
+	default:
+		return fmt.Errorf("unknown subcommand %q\n%s", cmd, usage)
+	}
+}
+
+// loadBundles parses every path and merges the results.
+func loadBundles(paths []string) (*trace.Bundle, error) {
+	if len(paths) == 0 {
+		return nil, errors.New("no bundle files given\n" + usage)
+	}
+	var merged *trace.Bundle
+	for _, p := range paths {
+		b, err := trace.ParseBundleFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if merged == nil {
+			merged = b
+		} else {
+			merged.Merge(b)
+		}
+	}
+	return merged, nil
+}
+
+// deltas walks one op's timeline attributing cycle costs: each event's
+// cost is its stamp minus the previous event's (an event marks the END
+// of its pipeline stage). f receives the event and its cycle delta.
+func deltas(op *trace.Op, f func(e trace.Event, dCycles uint64)) {
+	prev := uint64(0)
+	for _, e := range op.Events {
+		d := uint64(0)
+		if e.Cycles > prev {
+			d = e.Cycles - prev
+			prev = e.Cycles
+		}
+		f(e, d)
+	}
+}
+
+// kindAgg accumulates per-event-kind count and attributed cycles.
+type kindAgg struct {
+	count  uint64
+	cycles uint64
+}
+
+// summary prints per-op-name cycle statistics plus the critical-path
+// breakdown: where the mean op's cycles went, stage by stage.
+func summary(out io.Writer, b *trace.Bundle) error {
+	fmt.Fprintf(out, "bundle: %s (%s), %d shards, sample 1/%d, %d ops traced, %d retained, %d anomalies\n\n",
+		b.Name, b.Reason, b.Shards, max(b.SampleEvery, 1), b.Traced, len(b.Ops), len(b.Anomalies))
+
+	type opStats struct {
+		cycles []uint64
+		wallNS int64
+		kinds  map[trace.EventKind]*kindAgg
+	}
+	byName := map[string]*opStats{}
+	for _, op := range b.Ops {
+		st := byName[op.Name]
+		if st == nil {
+			st = &opStats{kinds: map[trace.EventKind]*kindAgg{}}
+			byName[op.Name] = st
+		}
+		st.cycles = append(st.cycles, op.Cycles)
+		st.wallNS += op.WallNS
+		deltas(op, func(e trace.Event, d uint64) {
+			ka := st.kinds[e.Kind]
+			if ka == nil {
+				ka = &kindAgg{}
+				st.kinds[e.Kind] = ka
+			}
+			ka.count++
+			ka.cycles += d
+		})
+	}
+
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "op\tops\tcycles/op\tp50\tp99\tmax\twall us/op")
+	for _, n := range names {
+		st := byName[n]
+		q := quantiles(st.cycles)
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%d\t%d\t%.1f\n",
+			n, len(st.cycles), q.mean, q.p50, q.p99, q.max,
+			float64(st.wallNS)/float64(len(st.cycles))/1e3)
+	}
+	tw.Flush()
+
+	// Critical path: the mean attributed cycle cost per stage, largest
+	// first — the Figure 1 "where does one op's time go" breakdown.
+	for _, n := range names {
+		st := byName[n]
+		fmt.Fprintf(out, "\ncritical path: %s (%d ops)\n", n, len(st.cycles))
+		type row struct {
+			kind trace.EventKind
+			agg  *kindAgg
+		}
+		rows := make([]row, 0, len(st.kinds))
+		var total uint64
+		for k, a := range st.kinds {
+			rows = append(rows, row{k, a})
+			total += a.cycles
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].agg.cycles != rows[j].agg.cycles {
+				return rows[i].agg.cycles > rows[j].agg.cycles
+			}
+			return rows[i].kind < rows[j].kind
+		})
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  stage\tevents\tcycles\tcycles/op\tshare")
+		for _, r := range rows {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(r.agg.cycles) / float64(total)
+			}
+			fmt.Fprintf(tw, "  %s\t%d\t%d\t%.1f\t%.1f%%\n",
+				r.kind, r.agg.count, r.agg.cycles,
+				float64(r.agg.cycles)/float64(len(st.cycles)), share)
+		}
+		tw.Flush()
+	}
+	return nil
+}
+
+// events prints the per-event-kind breakdown across every retained op.
+func events(out io.Writer, b *trace.Bundle) error {
+	var aggs [trace.NumEventKinds]kindAgg
+	for _, op := range b.Ops {
+		deltas(op, func(e trace.Event, d uint64) {
+			aggs[e.Kind].count++
+			aggs[e.Kind].cycles += d
+		})
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "event\tretained\twhole-run\tcycles\tmean cycles")
+	for k := 0; k < trace.NumEventKinds; k++ {
+		name := trace.EventKind(k).String()
+		whole := b.EventCounts[name]
+		a := aggs[k]
+		if a.count == 0 && whole == 0 {
+			continue
+		}
+		mean := 0.0
+		if a.count > 0 {
+			mean = float64(a.cycles) / float64(a.count)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f\n", name, a.count, whole, a.cycles, mean)
+	}
+	return tw.Flush()
+}
+
+// flowSignature collapses an op's timeline into the path it took
+// through the addressing pipeline, with consecutive repeats counted
+// (e.g. "dispatch shard.lock engine.op stlt.loadva stlt.probe
+// walk.level*4 page.walk ... reply.flush").
+func flowSignature(op *trace.Op) string {
+	var parts []string
+	run := 0
+	var last trace.EventKind
+	flush := func() {
+		if run == 0 {
+			return
+		}
+		if run > 1 {
+			parts = append(parts, fmt.Sprintf("%s*%d", last, run))
+		} else {
+			parts = append(parts, last.String())
+		}
+	}
+	for _, e := range op.Events {
+		if run > 0 && e.Kind == last {
+			run++
+			continue
+		}
+		flush()
+		last, run = e.Kind, 1
+	}
+	flush()
+	return strings.Join(parts, " → ")
+}
+
+// flows groups retained ops by flow signature — the trace-level
+// equivalent of the paper's Figure 13 hit/miss handling flows — and
+// prints each flow's frequency and cycle cost.
+func flows(out io.Writer, b *trace.Bundle) error {
+	type flowAgg struct {
+		name   string
+		cycles []uint64
+	}
+	byFlow := map[string]*flowAgg{}
+	for _, op := range b.Ops {
+		sig := op.Name + ": " + flowSignature(op)
+		fa := byFlow[sig]
+		if fa == nil {
+			fa = &flowAgg{name: sig}
+			byFlow[sig] = fa
+		}
+		fa.cycles = append(fa.cycles, op.Cycles)
+	}
+	rows := make([]*flowAgg, 0, len(byFlow))
+	for _, fa := range byFlow {
+		rows = append(rows, fa)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if len(rows[i].cycles) != len(rows[j].cycles) {
+			return len(rows[i].cycles) > len(rows[j].cycles)
+		}
+		return rows[i].name < rows[j].name
+	})
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ops\tshare\tcycles/op\tflow")
+	total := len(b.Ops)
+	for _, fa := range rows {
+		q := quantiles(fa.cycles)
+		fmt.Fprintf(tw, "%d\t%.1f%%\t%.1f\t%s\n",
+			len(fa.cycles), 100*float64(len(fa.cycles))/float64(max(total, 1)), q.mean, fa.name)
+	}
+	return tw.Flush()
+}
+
+// opsDump prints every retained op with its timeline.
+func opsDump(out io.Writer, b *trace.Bundle) error {
+	for _, op := range b.Ops {
+		flags := ""
+		if op.FastHit {
+			flags += " fast-hit"
+		}
+		if op.Missed {
+			flags += " key-miss"
+		}
+		if len(op.Anomalies) > 0 {
+			flags += " anomalies=" + strings.Join(op.Anomalies, ",")
+		}
+		fmt.Fprintf(out, "op %d shard %d conn %d %s %q: %d cycles, %d ns%s\n",
+			op.ID, op.Shard, op.Conn, op.Name, op.Key, op.Cycles, op.WallNS, flags)
+		deltas(op, func(e trace.Event, d uint64) {
+			fmt.Fprintf(out, "  +%6d (Δ%5d)  %-12s a=%d b=%d c=%d\n",
+				e.Cycles, d, e.Kind, e.A, e.B, e.C)
+		})
+	}
+	return nil
+}
+
+// chrome converts bundles to Chrome trace_event JSON for Perfetto.
+func chrome(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("chrome", flag.ContinueOnError)
+	outPath := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := loadBundles(fs.Args())
+	if err != nil {
+		return err
+	}
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return trace.WriteChromeTrace(w, b)
+}
+
+// check is the CI gate: the bundles must parse, and the whole-run
+// event totals must meet the minima.
+func check(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	minOps := fs.Uint64("min-ops", 1, "minimum ops traced over the run")
+	minWalks := fs.Uint64("min-page-walks", 0, "minimum page.walk events over the run")
+	minSTBHits := fs.Uint64("min-stb-hits", 0, "minimum stb.hit events over the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := loadBundles(fs.Args())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bundle ok: %d ops traced, %d retained, events %v\n",
+		b.Traced, len(b.Ops), b.EventCounts)
+	var fails []string
+	checkMin := func(what string, got, want uint64) {
+		if got < want {
+			fails = append(fails, fmt.Sprintf("%s = %d, want >= %d", what, got, want))
+		}
+	}
+	checkMin("traced ops", b.Traced, *minOps)
+	checkMin("page.walk events", b.EventCounts["page.walk"], *minWalks)
+	checkMin("stb.hit events", b.EventCounts["stb.hit"], *minSTBHits)
+	if len(fails) > 0 {
+		return errors.New("check failed: " + strings.Join(fails, "; "))
+	}
+	fmt.Fprintln(out, "check passed")
+	return nil
+}
+
+// qstats are simple order statistics over cycle samples.
+type qstats struct {
+	mean          float64
+	p50, p99, max uint64
+}
+
+func quantiles(v []uint64) qstats {
+	if len(v) == 0 {
+		return qstats{}
+	}
+	s := append([]uint64(nil), v...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum uint64
+	for _, x := range s {
+		sum += x
+	}
+	at := func(q float64) uint64 { return s[min(int(q*float64(len(s))), len(s)-1)] }
+	return qstats{
+		mean: float64(sum) / float64(len(s)),
+		p50:  at(0.50),
+		p99:  at(0.99),
+		max:  s[len(s)-1],
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"addrkv/internal/arch"
 	"addrkv/internal/cpu"
+	"addrkv/internal/trace"
 	"addrkv/internal/vm"
 )
 
@@ -216,6 +217,9 @@ func (t *STLT) LoadVA(integer uint64) arch.Addr {
 		return t.loadVAFunctional(integer)
 	}
 	s := t.setIndex(integer)
+	if t.m.Trace != nil {
+		t.m.Trace.Event(trace.EvLoadVA, uint64(t.m.Cycles()), int64(s), int64(t.ways), 0)
+	}
 	if t.Variant == VariantSoftware {
 		// Software table: branchy scan over the set through the
 		// ordinary virtual load path (pays its own translations).
@@ -242,6 +246,9 @@ func (t *STLT) LoadVA(integer uint64) arch.Addr {
 			}
 		}
 	}
+	if t.m.Trace != nil {
+		t.m.Trace.Event(trace.EvSTLTProbe, uint64(t.m.Cycles()), int64(s), int64(match), int64(sub))
+	}
 	if match < 0 {
 		return 0
 	}
@@ -249,9 +256,19 @@ func (t *STLT) LoadVA(integer uint64) arch.Addr {
 
 	// IPB filter: recently invalidated pages must miss. The software
 	// variant has no IPB; it relies on software validation alone.
-	if t.Variant != VariantSoftware && t.m.IPB.Contains(r.VA.Page()) {
-		t.Stats.IPBRejects++
-		return 0
+	if t.Variant != VariantSoftware {
+		ipbIdx := t.m.IPB.ContainsIdx(r.VA.Page())
+		if t.m.Trace != nil {
+			rejected := int64(0)
+			if ipbIdx >= 0 {
+				rejected = 1
+			}
+			t.m.Trace.Event(trace.EvIPBCheck, uint64(t.m.Cycles()), rejected, int64(ipbIdx), 0)
+		}
+		if ipbIdx >= 0 {
+			t.Stats.IPBRejects++
+			return 0
+		}
 	}
 
 	// Counter update: a 4-bit store back into the row's line (already
@@ -393,6 +410,9 @@ func (t *STLT) InsertSTLT(integer uint64, va arch.Addr) {
 		c := t.m.Caches.Access(t.rowPA(s, w), true, arch.KindSTLT)
 		t.chargeCycles(c, arch.CatSTLT)
 	}
+	if t.m.Trace != nil {
+		t.m.Trace.Event(trace.EvSTLTInsert, uint64(t.m.Cycles()), int64(s), int64(w), 0)
+	}
 	t.Stats.Inserts++
 }
 
@@ -457,6 +477,9 @@ func (t *STLT) victimWay(s int, sub uint16) int {
 // updates STLT via searching the page table for invalidated PTEs").
 func (t *STLT) scrub() {
 	t.Stats.Scrubs++
+	if t.m.Trace != nil {
+		t.m.Trace.Event(trace.EvSTLTScrub, uint64(t.m.Cycles()), int64(t.sets), int64(t.ways), 0)
+	}
 	for s := 0; s < t.sets; s++ {
 		for w := 0; w < t.ways; w++ {
 			r := t.readRow(s, w)

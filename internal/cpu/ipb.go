@@ -49,12 +49,18 @@ func (b *IPB) Insert(vpn uint64) {
 // Contains reports whether vpn is in the buffer (the CAM match
 // performed by loadVA).
 func (b *IPB) Contains(vpn uint64) bool {
+	return b.ContainsIdx(vpn) >= 0
+}
+
+// ContainsIdx reports which slot holds vpn (-1 if absent), so the span
+// tracer can tag ipb.check events with the matching entry.
+func (b *IPB) ContainsIdx(vpn uint64) int {
 	for i := range b.vpns {
 		if b.valid[i] && b.vpns[i] == vpn {
-			return true
+			return i
 		}
 	}
-	return false
+	return -1
 }
 
 // Clear empties the buffer (instruction 2).

@@ -15,6 +15,7 @@ import (
 	"addrkv/internal/arch"
 	"addrkv/internal/cache"
 	"addrkv/internal/tlb"
+	"addrkv/internal/trace"
 	"addrkv/internal/vm"
 )
 
@@ -121,6 +122,13 @@ type Machine struct {
 	// thousand-key stores quickly before warming up.
 	Fast bool
 
+	// Trace, when non-nil, receives translation-pipeline events
+	// (stb.hit/miss, walk levels, tlb refills) for the op currently
+	// being traced. Hooks only read counters and append to the span;
+	// they never charge cycles, so the untraced path is bit-for-bit
+	// identical.
+	Trace *trace.Op
+
 	cycles     arch.Cycles
 	byCat      [arch.NumCostCategories]arch.Cycles
 	loads      uint64
@@ -188,17 +196,29 @@ func (m *Machine) Translate(va arch.Addr) arch.Addr {
 	pte, lat, hit := m.TLBs.Lookup(vpn)
 	m.charge(lat, arch.CatTranslate)
 	if !hit {
-		var ok bool
-		pte, ok = m.STB.Lookup(vpn)
+		var idx int
+		pte, idx = m.STB.LookupIdx(vpn)
 		m.charge(1, arch.CatTranslate) // STB CAM match, off the L1 critical path
-		if ok {
+		if idx >= 0 {
+			if m.Trace != nil {
+				m.Trace.Event(trace.EvSTBHit, uint64(m.cycles), int64(idx), int64(vpn), 0)
+			}
 			m.TLBs.Fill(vpn, pte)
+			if m.Trace != nil {
+				m.Trace.Event(trace.EvTLBRefill, uint64(m.cycles), int64(vpn), 0, 0)
+			}
 		} else {
+			if m.Trace != nil {
+				m.Trace.Event(trace.EvSTBMiss, uint64(m.cycles), int64(vpn), 0, 0)
+			}
 			pte = m.walk(va)
 			if !pte.Present() {
 				panic(fmt.Sprintf("cpu: page fault on %v (stale translation?)", va))
 			}
 			m.TLBs.Fill(vpn, pte)
+			if m.Trace != nil {
+				m.Trace.Event(trace.EvTLBRefill, uint64(m.cycles), int64(vpn), 0, 0)
+			}
 			m.tlbPrefetch(vpn)
 		}
 	}
@@ -214,10 +234,21 @@ func (m *Machine) walk(va arch.Addr) vm.PTE {
 	pte, m.walkBuf = m.AS.PT.Walk(va, m.walkBuf[:0])
 	var c arch.Cycles
 	for _, st := range m.walkBuf {
-		c += m.Caches.Access(st.PTEAddr, false, arch.KindPageTable)
+		lc := m.Caches.Access(st.PTEAddr, false, arch.KindPageTable)
+		c += lc
+		if m.Trace != nil {
+			leaf := int64(0)
+			if st.Leaf() {
+				leaf = 1
+			}
+			m.Trace.Event(trace.EvWalkLevel, uint64(m.cycles+c), int64(st.Level), int64(lc), leaf)
+		}
 	}
 	m.walkCycles += c
 	m.charge(c, arch.CatTranslate)
+	if m.Trace != nil {
+		m.Trace.Event(trace.EvPageWalk, uint64(m.cycles), int64(len(m.walkBuf)), int64(c), 0)
+	}
 	return pte
 }
 

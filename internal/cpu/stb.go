@@ -34,14 +34,21 @@ func (s *STB) Insert(vpn uint64, pte vm.PTE) {
 
 // Lookup searches for vpn (fully associative).
 func (s *STB) Lookup(vpn uint64) (vm.PTE, bool) {
+	pte, i := s.LookupIdx(vpn)
+	return pte, i >= 0
+}
+
+// LookupIdx is Lookup but also reports which entry hit (-1 on miss),
+// so the span tracer can tag stb.hit events with the slot index.
+func (s *STB) LookupIdx(vpn uint64) (vm.PTE, int) {
 	s.Lookups++
 	for i := range s.vpns {
 		if s.valid[i] && s.vpns[i] == vpn {
 			s.Hits++
-			return s.ptes[i], true
+			return s.ptes[i], i
 		}
 	}
-	return 0, false
+	return 0, -1
 }
 
 // InvalidatePage drops any entry for vpn (coherence on page

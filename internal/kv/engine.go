@@ -18,6 +18,7 @@ import (
 	"addrkv/internal/index"
 	"addrkv/internal/slb"
 	"addrkv/internal/tlb"
+	"addrkv/internal/trace"
 	"addrkv/internal/ycsb"
 )
 
@@ -229,6 +230,16 @@ type Engine struct {
 
 	redis *redisLayer
 
+	// tracer, when non-nil, samples the engine's own spans for ops
+	// that arrive without an externally attached trace (standalone
+	// engine use; the cluster/server attach their own spans instead).
+	// traceCtr is the engine-local sampling counter: ops run under the
+	// shard lock, so counting locally keeps the unsampled fast path off
+	// the tracer's shared counter cache line.
+	tracer      *trace.Tracer
+	tracerShard int
+	traceCtr    uint64
+
 	ops, gets, sets, misses, fastHits, moves uint64
 	keyBuf                                   [ycsb.KeyLen]byte
 }
@@ -352,28 +363,90 @@ func (e *Engine) Reset() error {
 		return err
 	}
 	ne.MarkMeasurement()
+	tr, sh := e.tracer, e.tracerShard
 	*e = *ne
+	e.tracer, e.tracerShard = tr, sh
 	return nil
+}
+
+// SetTracer installs a span tracer for the engine's own sampling; ops
+// it begins are filed under ring shard (0 for a standalone engine).
+func (e *Engine) SetTracer(t *trace.Tracer, shard int) {
+	e.tracer, e.tracerShard = t, shard
+}
+
+// Tracer returns the engine's own tracer (nil when not set).
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// AttachTrace points the machine's event hooks at an externally owned
+// span (the cluster attaches the front-end's span under the shard
+// lock). The caller must DetachTrace before releasing ownership.
+func (e *Engine) AttachTrace(op *trace.Op) { e.M.Trace = op }
+
+// DetachTrace disconnects the machine's event hooks.
+func (e *Engine) DetachTrace() { e.M.Trace = nil }
+
+// traceBegin starts an engine-owned span when the engine has its own
+// tracer and no external span is attached; either way it stamps the
+// engine.op timeline event on whatever span is live. Returns nil when
+// this op does not own a span (unsampled, or externally traced).
+func (e *Engine) traceBegin(name string, key []byte) *trace.Op {
+	if e.M.Trace == nil && e.tracer != nil {
+		every := e.tracer.Sample()
+		if every == 0 {
+			return nil
+		}
+		e.traceCtr++
+		if e.traceCtr%every != 0 {
+			return nil
+		}
+		op := e.tracer.BeginSampled(name, key)
+		op.SetBase(uint64(e.M.Cycles()))
+		e.M.Trace = op
+		op.Event(trace.EvEngineOp, uint64(e.M.Cycles()), 0, 0, 0)
+		return op
+	}
+	if e.M.Trace != nil {
+		e.M.Trace.Event(trace.EvEngineOp, uint64(e.M.Cycles()), 0, 0, 0)
+	}
+	return nil
+}
+
+// traceEnd completes an engine-owned span from traceBegin (no-op for
+// nil).
+func (e *Engine) traceEnd(op *trace.Op, fastHit, missed bool) {
+	if op == nil {
+		return
+	}
+	e.M.Trace = nil
+	op.End(uint64(e.M.Cycles()))
+	e.tracer.Finish(op, e.tracerShard, fastHit, missed)
 }
 
 // Get performs a timed GET, returning the value.
 func (e *Engine) Get(key []byte) ([]byte, bool) {
+	sp := e.traceBegin("get", key)
+	fh := e.fastHits
 	va, ok := e.get(key)
-	if !ok {
-		return nil, false
+	var val []byte
+	if ok {
+		val = index.ReadValue(e.M, va)
 	}
-	return index.ReadValue(e.M, va), true
+	e.traceEnd(sp, e.fastHits > fh, !ok)
+	return val, ok
 }
 
 // GetTouch performs a timed GET charging the value read without
 // materializing it (the harness's hot loop).
 func (e *Engine) GetTouch(key []byte) bool {
+	sp := e.traceBegin("get", key)
+	fh := e.fastHits
 	va, ok := e.get(key)
-	if !ok {
-		return false
+	if ok {
+		index.TouchValue(e.M, va)
 	}
-	index.TouchValue(e.M, va)
-	return true
+	e.traceEnd(sp, e.fastHits > fh, !ok)
+	return ok
 }
 
 // get runs the mode-specific addressing path and returns the record VA.
@@ -424,7 +497,7 @@ func (e *Engine) lookup(key []byte) (arch.Addr, bool) {
 			}
 		}
 		if !found {
-			va, found = e.Idx.Get(key)
+			va, found = e.idxGet(key)
 			if found {
 				e.STLT.InsertSTLT(integer, va)
 			}
@@ -439,13 +512,13 @@ func (e *Engine) lookup(key []byte) (arch.Addr, bool) {
 			}
 		}
 		if !found {
-			va, found = e.Idx.Get(key)
+			va, found = e.idxGet(key)
 			if found {
 				e.SLB.OnMiss(key, va)
 			}
 		}
 	default:
-		va, found = e.Idx.Get(key)
+		va, found = e.idxGet(key)
 	}
 	if !found {
 		return 0, false
@@ -453,10 +526,24 @@ func (e *Engine) lookup(key []byte) (arch.Addr, bool) {
 	return va, true
 }
 
+// idxGet is Idx.Get plus the index.walk timeline event.
+func (e *Engine) idxGet(key []byte) (arch.Addr, bool) {
+	va, found := e.Idx.Get(key)
+	if e.M.Trace != nil {
+		f := int64(0)
+		if found {
+			f = 1
+		}
+		e.M.Trace.Event(trace.EvIndexWalk, uint64(e.M.Cycles()), f, 0, 0)
+	}
+	return va, found
+}
+
 // Exists performs a timed existence check: the full addressing path
 // (fast path, slow path, STLT refill) without the value read or the
 // value-copy reply — the cheap path a Redis EXISTS takes.
 func (e *Engine) Exists(key []byte) bool {
+	sp := e.traceBegin("exists", key)
 	if e.Monitor != nil {
 		e.Monitor.BeginOp()
 		defer e.Monitor.EndOp()
@@ -469,6 +556,7 @@ func (e *Engine) Exists(key []byte) bool {
 	if e.redis != nil {
 		e.redis.command(key, len("EXISTS"))
 	}
+	fh := e.fastHits
 	_, found := e.lookup(key)
 	if !found {
 		e.misses++
@@ -476,11 +564,13 @@ func (e *Engine) Exists(key []byte) bool {
 	if e.redis != nil {
 		e.redis.reply(4) // ":1\r\n" / ":0\r\n"
 	}
+	e.traceEnd(sp, e.fastHits > fh, !found)
 	return found
 }
 
 // Set performs a timed SET.
 func (e *Engine) Set(key, value []byte) {
+	sp := e.traceBegin("set", key)
 	if e.Monitor != nil {
 		e.Monitor.BeginOp()
 		defer e.Monitor.EndOp()
@@ -491,6 +581,13 @@ func (e *Engine) Set(key, value []byte) {
 		e.redis.command(key, len("SET")+len(value))
 	}
 	res := e.Idx.Put(key, value)
+	if e.M.Trace != nil {
+		moved := int64(0)
+		if res.Moved {
+			moved = 1
+		}
+		e.M.Trace.Event(trace.EvIndexWalk, uint64(e.M.Cycles()), 1, moved, 0)
+	}
 	if res.Moved {
 		e.moves++
 		// Record-move protocol (Section III-F): refresh the STLT row
@@ -505,12 +602,21 @@ func (e *Engine) Set(key, value []byte) {
 	if e.redis != nil {
 		e.redis.reply(5) // "+OK\r\n"
 	}
+	e.traceEnd(sp, false, false)
 }
 
 // Delete removes a key, keeping the fast paths coherent.
 func (e *Engine) Delete(key []byte) bool {
+	sp := e.traceBegin("del", key)
 	e.ops++
 	ok := e.Idx.Delete(key)
+	if e.M.Trace != nil {
+		f := int64(0)
+		if ok {
+			f = 1
+		}
+		e.M.Trace.Event(trace.EvIndexWalk, uint64(e.M.Cycles()), f, 0, 0)
+	}
 	if ok {
 		// Deallocation-side coherence (Section III-F): drop the fast-path
 		// entry so a dangling VA can never be returned. Software
@@ -525,6 +631,7 @@ func (e *Engine) Delete(key []byte) bool {
 			e.SLB.Invalidate(key)
 		}
 	}
+	e.traceEnd(sp, false, !ok)
 	return ok
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"addrkv/internal/hashfn"
 	"addrkv/internal/kv"
+	"addrkv/internal/trace"
 	"addrkv/internal/ycsb"
 )
 
@@ -145,6 +146,13 @@ type OpOutcome struct {
 	TLBMisses uint64
 	STBHits   uint64
 	PageWalks uint64
+	// Trace, when set by the caller BEFORE the op, is the front-end's
+	// span for this operation: the shard anchors its cycle base and
+	// attaches it to the engine's event hooks for the duration of the
+	// op (under the shard lock), then detaches it with the total cycle
+	// cost stamped. The caller finishes the span (reply events,
+	// Tracer.Finish) after the outcome returns.
+	Trace *trace.Op
 }
 
 // observe fills out (when non-nil) from the probe delta across an op.
@@ -162,7 +170,31 @@ func observe(i int, e *kv.Engine, out *OpOutcome, before kv.OpProbe) {
 		TLBMisses: after.Machine.TLBMisses - before.Machine.TLBMisses,
 		STBHits:   after.Machine.STBHits - before.Machine.STBHits,
 		PageWalks: after.Machine.PageWalks - before.Machine.PageWalks,
+		Trace:     out.Trace,
 	}
+}
+
+// attachTrace anchors a caller-provided span (out.Trace) on shard i's
+// engine: sets the cycle base, stamps shard.lock, and connects the
+// machine's event hooks. Must hold the shard lock.
+func attachTrace(i int, e *kv.Engine, out *OpOutcome) {
+	if out == nil || out.Trace == nil {
+		return
+	}
+	cyc := uint64(e.M.Cycles())
+	out.Trace.SetBase(cyc)
+	out.Trace.Event(trace.EvShardLock, cyc, int64(i), 0, 0)
+	e.AttachTrace(out.Trace)
+}
+
+// detachTrace stamps the span's total cycle cost and disconnects the
+// event hooks. Must hold the shard lock.
+func detachTrace(e *kv.Engine, out *OpOutcome) {
+	if out == nil || out.Trace == nil {
+		return
+	}
+	out.Trace.End(uint64(e.M.Cycles()))
+	e.DetachTrace()
 }
 
 // Get retrieves a key with full timing on its home shard.
@@ -177,8 +209,10 @@ func (c *Cluster) GetO(key []byte, out *OpOutcome) ([]byte, bool) {
 	var before kv.OpProbe
 	if out != nil {
 		before = s.e.Probe()
+		attachTrace(i, s.e, out)
 	}
 	v, ok := s.e.Get(key)
+	detachTrace(s.e, out)
 	observe(i, s.e, out, before)
 	return v, ok
 }
@@ -196,8 +230,10 @@ func (c *Cluster) GetTouchO(key []byte, out *OpOutcome) bool {
 	var before kv.OpProbe
 	if out != nil {
 		before = s.e.Probe()
+		attachTrace(i, s.e, out)
 	}
 	ok := s.e.GetTouch(key)
+	detachTrace(s.e, out)
 	observe(i, s.e, out, before)
 	return ok
 }
@@ -214,8 +250,10 @@ func (c *Cluster) SetO(key, value []byte, out *OpOutcome) {
 	var before kv.OpProbe
 	if out != nil {
 		before = s.e.Probe()
+		attachTrace(i, s.e, out)
 	}
 	s.e.Set(key, value)
+	detachTrace(s.e, out)
 	observe(i, s.e, out, before)
 }
 
@@ -231,8 +269,10 @@ func (c *Cluster) DeleteO(key []byte, out *OpOutcome) bool {
 	var before kv.OpProbe
 	if out != nil {
 		before = s.e.Probe()
+		attachTrace(i, s.e, out)
 	}
 	ok := s.e.Delete(key)
+	detachTrace(s.e, out)
 	observe(i, s.e, out, before)
 	return ok
 }
@@ -249,8 +289,10 @@ func (c *Cluster) ExistsO(key []byte, out *OpOutcome) bool {
 	var before kv.OpProbe
 	if out != nil {
 		before = s.e.Probe()
+		attachTrace(i, s.e, out)
 	}
 	ok := s.e.Exists(key)
+	detachTrace(s.e, out)
 	observe(i, s.e, out, before)
 	return ok
 }
@@ -281,6 +323,18 @@ func (c *Cluster) Len() int {
 		s.mu.Unlock()
 	}
 	return total
+}
+
+// SetTracer installs tr as every shard engine's own span tracer
+// (engine-begun ops on shard i file into ring i). Front-end spans via
+// OpOutcome.Trace take precedence per op, so a server that creates its
+// own spans can share the same tracer without double-tracing.
+func (c *Cluster) SetTracer(tr *trace.Tracer) {
+	for i, s := range c.shards {
+		s.mu.Lock()
+		s.e.SetTracer(tr, i)
+		s.mu.Unlock()
+	}
 }
 
 // MarkMeasurement resets every shard's counters: everything before

@@ -1,0 +1,111 @@
+// Chrome trace_event export: renders a Bundle as the JSON Object
+// Format consumed by Perfetto and chrome://tracing. Each traced op
+// becomes one complete ("X") slice on track (pid=shard, tid=conn);
+// the deltas between consecutive timeline events become child slices
+// named after the pipeline stage they ended, so the Perfetto flame
+// view shows exactly where inside one op the time went.
+
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeEvent is one trace_event entry. Fields follow the Trace Event
+// Format spec (ph "X" = complete event, ph "M" = metadata); ts and dur
+// are microseconds.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTraceOf converts a bundle. Timestamps are wall-clock
+// microseconds relative to the earliest traced op so Perfetto's
+// timeline starts at zero.
+func ChromeTraceOf(b *Bundle) *ChromeTrace {
+	ct := &ChromeTrace{DisplayTimeUnit: "ns"}
+	var base int64
+	for _, op := range b.Ops {
+		if base == 0 || op.StartUnixNS < base {
+			base = op.StartUnixNS
+		}
+	}
+	seenShard := map[int64]bool{}
+	for _, op := range b.Ops {
+		pid, tid := int64(op.Shard), op.Conn
+		if !seenShard[pid] {
+			seenShard[pid] = true
+			ct.TraceEvents = append(ct.TraceEvents, ChromeEvent{
+				Name: "process_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": fmt.Sprintf("shard %d", op.Shard)},
+			})
+		}
+		start := float64(op.StartUnixNS-base) / 1e3
+		args := map[string]any{
+			"id":     op.ID,
+			"key":    op.Key,
+			"cycles": op.Cycles,
+		}
+		if op.FastHit {
+			args["fast_hit"] = true
+		}
+		if op.Missed {
+			args["missed"] = true
+		}
+		if len(op.Anomalies) > 0 {
+			args["anomalies"] = op.Anomalies
+		}
+		ct.TraceEvents = append(ct.TraceEvents, ChromeEvent{
+			Name: op.Name, Ph: "X", Cat: "op",
+			TS: start, Dur: maxf(float64(op.WallNS)/1e3, 0.001),
+			PID: pid, TID: tid, Args: args,
+		})
+		prevWall := int64(0)
+		prevCycles := uint64(0)
+		for _, e := range op.Events {
+			durUS := float64(e.WallNS-prevWall) / 1e3
+			if durUS < 0 {
+				durUS = 0
+			}
+			var dCyc uint64
+			if e.Cycles >= prevCycles {
+				dCyc = e.Cycles - prevCycles
+			}
+			ct.TraceEvents = append(ct.TraceEvents, ChromeEvent{
+				Name: e.Kind.String(), Ph: "X", Cat: "stage",
+				TS: start + float64(prevWall)/1e3, Dur: maxf(durUS, 0.001),
+				PID: pid, TID: tid,
+				Args: map[string]any{"cycles": dCyc, "a": e.A, "b": e.B, "c": e.C},
+			})
+			prevWall, prevCycles = e.WallNS, e.Cycles
+		}
+	}
+	return ct
+}
+
+// WriteChromeTrace renders the bundle as Chrome trace JSON on w.
+func WriteChromeTrace(w io.Writer, b *Bundle) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ChromeTraceOf(b))
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

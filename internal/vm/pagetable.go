@@ -60,6 +60,10 @@ type WalkStep struct {
 	Level   int
 }
 
+// Leaf reports whether the step read the final (PT-level) entry that
+// holds the actual translation.
+func (s WalkStep) Leaf() bool { return s.Level == 1 }
+
 // PageTable is a 4-level radix page table whose table pages live in
 // simulated physical memory, exactly like a real OS page table.
 type PageTable struct {
