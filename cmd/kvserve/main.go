@@ -56,6 +56,7 @@ import (
 
 	"addrkv"
 	"addrkv/internal/resp"
+	"addrkv/internal/shard"
 	"addrkv/internal/telemetry"
 	"addrkv/internal/trace"
 )
@@ -97,6 +98,13 @@ type server struct {
 	tele         *serverTele
 	net          netConfig
 	opsSinceMark atomic.Uint64 // GET/SET/EXISTS dispatched since RESETSTATS
+
+	// workers selects the per-shard worker runtime (-dispatch worker):
+	// single-key commands are enqueued on their home shard's request
+	// ring and completed by the shard's owning goroutine. queueCap is
+	// the per-shard ring capacity.
+	workers  bool
+	queueCap int
 
 	// statsMu orders RESETSTATS/FLUSHALL against INFO and snapshot
 	// reads: a reset holds the write lock across every counter it
@@ -153,6 +161,9 @@ func main() {
 		idleTO   = flag.Duration("idle-timeout", 0, "disconnect clients silent for this long (0 = never)")
 		maxConns = flag.Int("maxconns", 0, "max concurrent client connections; extras are shed with an error (0 = unlimited)")
 
+		dispatch = flag.String("dispatch", "worker", "worker: per-shard owning goroutines drain request rings; mutex: lock-per-op dispatch")
+		queueCap = flag.Int("queue", 0, "per-shard request ring capacity for -dispatch worker (0 = default, rounded up to a power of two)")
+
 		traceSample = flag.Uint64("trace-sample", 0, "trace 1 in N single-key ops (1 = every op, 0 = off; TRACE ON/OFF adjusts at runtime)")
 		traceDir    = flag.String("trace-dir", "", "directory for flight-recorder dump bundles (TRACE DUMP, anomaly auto-dumps, final dump on shutdown)")
 		traceRing   = flag.Int("trace-ring", defaultTraceRing, "completed traces the flight recorder keeps per shard")
@@ -167,6 +178,10 @@ func main() {
 
 	if (*sock == "") == (*addr == "") {
 		fmt.Fprintln(os.Stderr, "kvserve: exactly one of -sock or -addr is required")
+		os.Exit(2)
+	}
+	if *dispatch != "worker" && *dispatch != "mutex" {
+		fmt.Fprintln(os.Stderr, "kvserve: -dispatch must be worker or mutex")
 		os.Exit(2)
 	}
 
@@ -200,6 +215,13 @@ func main() {
 	if *traceSample > 0 {
 		log.Printf("kvserve: tracing 1 in %d ops (ring %d/shard, dir %q)",
 			*traceSample, *traceRing, *traceDir)
+	}
+	if *dispatch == "worker" {
+		if err := s.startWorkers(*queueCap); err != nil {
+			log.Fatalf("kvserve: %v", err)
+		}
+		log.Printf("kvserve: worker runtime up (%d shard workers, ring cap %d)",
+			*shards, s.queueCap)
 	}
 
 	if *maddr != "" {
@@ -245,6 +267,9 @@ func main() {
 			continue
 		}
 		if !s.track(conn) {
+			// Shed goroutines count toward the shutdown drain too: a
+			// SIGTERM must not leak a pending shed write.
+			s.wg.Add(1)
 			go s.shed(conn)
 			continue
 		}
@@ -252,6 +277,7 @@ func main() {
 	}
 
 	s.drain()
+	s.stopWorkers() // after drain: no connection is producing anymore
 	s.finalTraceDump()
 	if *sock != "" {
 		_ = os.Remove(*sock)
@@ -284,7 +310,9 @@ func (s *server) untrack(conn net.Conn) {
 
 // shed refuses an over-limit connection the way Redis does: one error
 // reply, then close. The client sees why instead of a silent RST.
+// Callers add the goroutine to s.wg so shutdown waits for the reply.
 func (s *server) shed(conn net.Conn) {
+	defer s.wg.Done()
 	s.tele.shedConns.Inc()
 	s.tracer.NoteAnomaly("maxconns_shed")
 	w := resp.NewWriter(conn)
@@ -343,11 +371,15 @@ func (s *server) serve(conn net.Conn) {
 	defer task.End()
 	r := resp.NewReader(conn)
 	w := resp.NewWriter(conn)
+	workers := s.workers
 	for {
 		if s.net.idleTimeout > 0 && !s.closing.Load() {
 			_ = conn.SetReadDeadline(time.Now().Add(s.net.idleTimeout))
 		}
-		cmds, rerr := r.ReadPipeline(s.net.maxPipeline)
+		// The arena-reuse read path: everything cmds references is valid
+		// until the next ReadPipelineReuse call, i.e. across this whole
+		// burst (including the pending-window flush below).
+		cmds, rerr := r.ReadPipelineReuse(s.net.maxPipeline)
 		if len(cmds) > 0 {
 			s.tele.pipeBatches.Inc()
 			s.tele.pipeCmds.Add(uint64(len(cmds)))
@@ -355,20 +387,34 @@ func (s *server) serve(conn net.Conn) {
 		}
 		var quit, monitor bool
 		var werr error
-		rtrace.WithRegion(ctx, "pipeline.batch", func() {
-			for _, args := range cmds {
-				quit, monitor = s.dispatch(w, args, cs)
-				if quit || monitor {
-					return
+		reg := rtrace.StartRegion(ctx, "pipeline.batch")
+		for _, args := range cmds {
+			if workers {
+				if kind, cmd, ok := asyncKind(args); ok {
+					s.enqueueAsync(cs, kind, cmd, args)
+					continue
 				}
-				if w.Buffered() >= s.net.writeBufCap {
-					s.tele.earlyFlush.Inc()
-					if werr = w.Flush(); werr != nil {
-						return
-					}
+				// A command the workers cannot serve is an ordering
+				// barrier: earlier async replies must be written first.
+				if werr = s.flushPending(w, cs); werr != nil {
+					break
 				}
 			}
-		})
+			quit, monitor = s.dispatch(w, args, cs)
+			if quit || monitor {
+				break
+			}
+			if w.Buffered() >= s.net.writeBufCap {
+				s.tele.earlyFlush.Inc()
+				if werr = w.Flush(); werr != nil {
+					break
+				}
+			}
+		}
+		if workers && werr == nil {
+			werr = s.flushPending(w, cs)
+		}
+		reg.End()
 		if werr != nil {
 			return
 		}
@@ -402,6 +448,14 @@ func isTimeout(err error) bool {
 type connState struct {
 	id  int64
 	ops uint64
+
+	// Worker-dispatch state: a slab of reusable request slots (pointer
+	// slice — addresses stay stable while it grows, and each slot's Val
+	// buffer stays warm) and the pending window of enqueued commands
+	// awaiting completion, both reset by flushPending.
+	reqs []*shard.Req
+	used int
+	pend []pending
 }
 
 // dispatch executes one command and records its telemetry: wall-clock
@@ -718,6 +772,10 @@ func (s *server) info() string {
 	fmt.Fprintf(&b, "early_flushes:%d\r\n", s.tele.earlyFlush.Load())
 	fmt.Fprintf(&b, "batch_commands:%d\r\n", s.tele.batchCmds.Load())
 	fmt.Fprintf(&b, "batched_keys:%d\r\n", s.tele.batchKeys.Load())
+
+	s.runtimeInfo(func(format string, args ...any) {
+		fmt.Fprintf(&b, format, args...)
+	})
 
 	fmt.Fprintf(&b, "# tracing\r\n")
 	fmt.Fprintf(&b, "trace_sample_every:%d\r\n", s.tracer.Sample())

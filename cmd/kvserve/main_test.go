@@ -377,11 +377,13 @@ func TestServerMetricsEndpoint(t *testing.T) {
 // TestServerResetStatsAtomic: INFO racing RESETSTATS must never see a
 // half-reset mix — engine ops zeroed while server_ops still counts, or
 // vice versa. With the reset under statsMu, both counters move
-// together, so INFO can only observe server_ops <= engine ops +
-// in-flight commands, and a post-reset INFO sees both at zero.
+// together. The producer is gated so each INFO samples at an op
+// boundary: any gap bigger than the reset window itself means a torn
+// reset, not in-flight skew.
 func TestServerResetStatsAtomic(t *testing.T) {
 	s := newTestServer(t)
 	stop := make(chan struct{})
+	var gate sync.Mutex // held around each SET so INFO samples between ops
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
@@ -394,7 +396,9 @@ func TestServerResetStatsAtomic(t *testing.T) {
 				return
 			default:
 			}
+			gate.Lock()
 			s.dispatch(w, [][]byte{[]byte("SET"), []byte("k"), []byte("v")}, &connState{id: 1})
+			gate.Unlock()
 			buf.Reset()
 		}
 	}()
@@ -421,10 +425,12 @@ func TestServerResetStatsAtomic(t *testing.T) {
 		return v
 	}
 	for i := 0; i < 200; i++ {
+		gate.Lock()
 		info := string(call(t, s, "INFO").([]byte))
+		gate.Unlock()
 		serverOps, engineOps := parse(info, "server_ops"), parse(info, "ops")
-		// One SET may be between its server_ops bump and its engine op
-		// (or observed mid-reset window), so allow slack of 1 — but a
+		// With the producer paused at an op boundary and INFO's statsMu
+		// read lock excluding the reset, the counters must agree — a
 		// torn reset would show a gap of hundreds.
 		if diff := serverOps - engineOps; diff > 1 || diff < -1 {
 			t.Fatalf("torn reset visible: server_ops=%d engine ops=%d", serverOps, engineOps)
@@ -712,6 +718,7 @@ func TestServerMaxConnsShed(t *testing.T) {
 		t.Fatal("track admitted connection over maxconns")
 	}
 	done := make(chan struct{})
+	s.wg.Add(1) // shed goroutines are tracked like served connections
 	go func() { s.shed(srv2); close(done) }()
 	v, err := resp.NewReader(c2).ReadReply()
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"addrkv"
+	"addrkv/internal/shard"
 	"addrkv/internal/telemetry"
 )
 
@@ -70,11 +71,17 @@ type serverTele struct {
 	shedConns   *telemetry.Counter
 	activeConns atomic.Int64
 
+	// Worker-runtime telemetry: requests coalesced per drain burst
+	// (fed by the cluster's drain observer) plus scrape-time gauges
+	// over the per-shard worker counters.
+	drainSize *telemetry.Histogram
+
 	// Scrape-time cache: one Report per /metrics scrape feeds all the
 	// hit-rate/cycles-per-op gauges below.
-	mu   sync.Mutex
-	rep  addrkv.Report
-	keys []int
+	mu     sync.Mutex
+	rep    addrkv.Report
+	keys   []int
+	wstats []shard.WorkerStats
 }
 
 // newServerTele builds the registry and registers every metric.
@@ -125,6 +132,8 @@ func newServerTele(sys *addrkv.System, slowlogCap int) *serverTele {
 		"Keys carried by multi-key commands.", nil)
 	t.shedConns = r.Counter("addrkv_shed_connections_total",
 		"Connections refused at the -maxconns ceiling.", nil)
+	t.drainSize = r.Histogram("addrkv_drain_size",
+		"Requests coalesced per worker drain burst (cross-connection batching).", 1, nil)
 	r.GaugeFunc("addrkv_active_connections", "Currently served connections.", nil,
 		func() float64 { return float64(t.activeConns.Load()) })
 	for i := 0; i < shards; i++ {
@@ -143,8 +152,9 @@ func newServerTele(sys *addrkv.System, slowlogCap int) *serverTele {
 		for i := 0; i < shards; i++ {
 			keys[i] = sys.Cluster().ShardLen(i)
 		}
+		ws := sys.Cluster().RuntimeStats()
 		t.mu.Lock()
-		t.rep, t.keys = rep, keys
+		t.rep, t.keys, t.wstats = rep, keys, ws
 		t.mu.Unlock()
 	})
 	repGauge := func(name, help string, f func(addrkv.Report) float64) {
@@ -199,6 +209,36 @@ func newServerTele(sys *addrkv.System, slowlogCap int) *serverTele {
 				return float64(t.keys[i])
 			})
 	}
+	for i := 0; i < shards; i++ {
+		i := i
+		r.GaugeFunc("addrkv_queue_depth",
+			"Requests queued in the shard worker's ring (0 with -dispatch mutex).",
+			telemetry.Labels{"shard": strconv.Itoa(i)}, func() float64 {
+				t.mu.Lock()
+				defer t.mu.Unlock()
+				if i >= len(t.wstats) {
+					return 0
+				}
+				return float64(t.wstats[i].Depth)
+			})
+	}
+	workerGauge := func(name, help string, f func(shard.WorkerStats) uint64) {
+		r.GaugeFunc(name, help, nil, func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			var sum uint64
+			for _, st := range t.wstats {
+				sum += f(st)
+			}
+			return float64(sum)
+		})
+	}
+	workerGauge("addrkv_worker_drains_total", "Worker drain bursts across all shards.",
+		func(st shard.WorkerStats) uint64 { return st.Drains })
+	workerGauge("addrkv_worker_drained_ops_total", "Requests completed by worker drains.",
+		func(st shard.WorkerStats) uint64 { return st.DrainedOps })
+	workerGauge("addrkv_queue_full_spins_total", "Producer yields on a full worker ring.",
+		func(st shard.WorkerStats) uint64 { return st.FullSpins })
 	r.GaugeFunc("addrkv_slowlog_len", "Entries in the slowlog.", nil,
 		func() float64 { return float64(t.slowlog.Len()) })
 	r.GaugeFunc("addrkv_monitor_clients", "Attached MONITOR clients.", nil,
@@ -227,11 +267,12 @@ func (t *serverTele) observeCmd(cmd string, args [][]byte, oc *addrkv.OpOutcome,
 	if isErr {
 		t.errTotal.Inc()
 	}
-	detail := ""
 	shard := -1
 	var cycles uint64
+	isBatch := bo != nil && len(bo.PerShard) > 0
+	isOp := !isBatch && oc != nil && oc.Shard >= 0 && oc.Shard < len(t.shardOps)
 	switch {
-	case bo != nil && len(bo.PerShard) > 0:
+	case isBatch:
 		shard, cycles = oc.Shard, oc.Cycles
 		for _, sb := range bo.PerShard {
 			if sb.Shard < 0 || sb.Shard >= len(t.shardOps) {
@@ -250,10 +291,7 @@ func (t *serverTele) observeCmd(cmd string, args [][]byte, oc *addrkv.OpOutcome,
 		}
 		t.batchCmds.Inc()
 		t.batchKeys.Add(uint64(bo.TotalOps()))
-		detail = fmt.Sprintf("shards=%d keys=%d fast_hits=%d misses=%d tlb_misses=%d stb_hits=%d page_walks=%d",
-			len(bo.PerShard), bo.TotalOps(), batchFastHits(bo), batchMisses(bo),
-			oc.TLBMisses, oc.STBHits, oc.PageWalks)
-	case oc != nil && oc.Shard >= 0 && oc.Shard < len(t.shardOps):
+	case isOp:
 		shard, cycles = oc.Shard, oc.Cycles
 		t.shardOps[oc.Shard].Inc()
 		t.shardCycles[oc.Shard].Observe(oc.Cycles)
@@ -270,6 +308,21 @@ func (t *serverTele) observeCmd(cmd string, args [][]byte, oc *addrkv.OpOutcome,
 		if oc.Missed {
 			t.keyMiss.Inc()
 		}
+	}
+	// Building a slowlog entry formats arguments and the outcome
+	// breakdown (both allocate); skip the construction entirely for
+	// commands under the log's floor, keeping the steady-state record
+	// path allocation-free.
+	if !t.slowlog.Qualifies(dur) {
+		return
+	}
+	detail := ""
+	switch {
+	case isBatch:
+		detail = fmt.Sprintf("shards=%d keys=%d fast_hits=%d misses=%d tlb_misses=%d stb_hits=%d page_walks=%d",
+			len(bo.PerShard), bo.TotalOps(), batchFastHits(bo), batchMisses(bo),
+			oc.TLBMisses, oc.STBHits, oc.PageWalks)
+	case isOp:
 		detail = fmt.Sprintf("fast_hit=%v tlb_misses=%d stb_hits=%d page_walks=%d",
 			oc.FastHit, oc.TLBMisses, oc.STBHits, oc.PageWalks)
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates on channel and pipe handoffs, so the
+// zero-allocation budget tests skip themselves under -race.
+const raceEnabled = true

@@ -124,6 +124,21 @@ func ReadValue(m *cpu.Machine, va arch.Addr) []byte {
 	return v
 }
 
+// ReadValueInto is ReadValue with a caller-supplied buffer: the value
+// is appended into buf[:0] (reallocated only when cap(buf) is too
+// small), so a steady-state reader with a warm buffer performs zero
+// allocations. The timed traffic is identical to ReadValue.
+func ReadValueInto(m *cpu.Machine, va arch.Addr, buf []byte) []byte {
+	kl, vl := ReadRecordHeader(m, va, arch.CatData)
+	if cap(buf) < vl {
+		buf = make([]byte, vl)
+	} else {
+		buf = buf[:vl]
+	}
+	m.Read(va+RecordHeaderSize+arch.Addr(kl), buf, arch.KindRecord, arch.CatData)
+	return buf
+}
+
 // TouchValue charges the timed traffic of reading the value without
 // materializing it.
 func TouchValue(m *cpu.Machine, va arch.Addr) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"strings"
 	"testing"
 )
 
@@ -293,4 +294,73 @@ func TestEmptyArraySkipped(t *testing.T) {
 	if len(args) != 1 || string(args[0]) != "PING" {
 		t.Fatalf("args = %q", args)
 	}
+}
+
+// FuzzReadPipelineReuse is the differential check behind the arena
+// read path: on any input and fragmentation, ReadPipelineReuse must
+// yield the same command sequence as ReadPipeline. The arena path
+// deliberately rejects protocol lines longer than the bufio buffer
+// ("line too long"); streams that trip that are exempt from the
+// error-class comparison (the parsed prefix must still agree).
+func FuzzReadPipelineReuse(f *testing.F) {
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"), uint16(3))
+	f.Add([]byte("PING\r\nGET a\r\n*0\r\n*1\r\n$4\r\nQUIT\r\n"), uint16(1))
+	f.Add([]byte("*2\r\n$3\r\nSET\r\n$-1\r\n"), uint16(5))
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n$bad"), uint16(2))
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint16) {
+		cs := int(chunk%512) + 1
+		ref := NewReader(&chunkReader{data: append([]byte(nil), data...), chunk: cs})
+		var want [][][]byte
+		var wantErr error
+		for len(want) < 64 {
+			cmds, err := ref.ReadPipeline(0)
+			want = append(want, cmds...)
+			if err != nil {
+				wantErr = err
+				break
+			}
+		}
+		r := NewReader(&chunkReader{data: append([]byte(nil), data...), chunk: cs})
+		var got [][][]byte
+		var gotErr error
+		for len(got) < 64 {
+			cmds, err := r.ReadPipelineReuse(0)
+			for _, args := range cmds {
+				cp := make([][]byte, len(args))
+				for i, a := range args {
+					cp[i] = append([]byte(nil), a...)
+				}
+				got = append(got, cp)
+			}
+			if err != nil {
+				gotErr = err
+				break
+			}
+		}
+		tooLong := gotErr != nil && strings.Contains(gotErr.Error(), "line too long")
+		n := min(len(got), len(want))
+		for i := 0; i < n; i++ {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("chunk %d: cmd %d arg count %d != %d", cs, i, len(got[i]), len(want[i]))
+			}
+			for j := range got[i] {
+				if !bytes.Equal(got[i][j], want[i][j]) {
+					t.Fatalf("chunk %d: cmd %d arg %d %q != %q", cs, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+		if tooLong {
+			return
+		}
+		if len(got) < 64 && len(want) < 64 {
+			if len(got) != len(want) {
+				t.Fatalf("chunk %d: %d commands vs %d", cs, len(got), len(want))
+			}
+			wantEOF := errors.Is(wantErr, io.EOF) || errors.Is(wantErr, io.ErrUnexpectedEOF)
+			gotEOF := errors.Is(gotErr, io.EOF) || errors.Is(gotErr, io.ErrUnexpectedEOF)
+			if wantEOF != gotEOF {
+				t.Fatalf("chunk %d: error class diverged: %v vs %v", cs, gotErr, wantErr)
+			}
+		}
+	})
 }

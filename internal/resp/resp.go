@@ -24,6 +24,15 @@ const MaxArrayLen = 1 << 20
 // Reader decodes RESP values from a stream.
 type Reader struct {
 	br *bufio.Reader
+
+	// Arena state for ReadPipelineReuse (see arena.go): one flat byte
+	// buffer for argument bytes, one argument-slice store, and the
+	// command list — all reset (length 0, capacity kept) per pipeline
+	// burst so the steady state allocates nothing.
+	data []byte
+	args [][]byte
+	cmds [][][]byte
+	crlf [2]byte
 }
 
 // NewReader wraps r.
@@ -267,9 +276,14 @@ func splitWords(line []byte) [][]byte {
 	return out
 }
 
-// Writer encodes RESP values.
+// Writer encodes RESP values. Every write method is allocation-free
+// on the steady state (integers are formatted into the writer's own
+// scratch buffer, never through fmt), so a pipelined reply burst
+// costs only the bufio copies.
 type Writer struct {
 	bw *bufio.Writer
+	// scratch formats integer headers ("$123", ":42", "*7").
+	scratch [24]byte
 }
 
 // NewWriter wraps w.
@@ -300,9 +314,20 @@ func (w *Writer) WriteBulkArray(vals [][]byte) error {
 	return nil
 }
 
+// writeIntLine writes "<prefix><n>\r\n" through the scratch buffer.
+func (w *Writer) writeIntLine(prefix byte, n int64) error {
+	buf := append(w.scratch[:0], prefix)
+	buf = strconv.AppendInt(buf, n, 10)
+	buf = append(buf, '\r', '\n')
+	_, err := w.bw.Write(buf)
+	return err
+}
+
 // WriteCommand encodes a client command as an array of bulk strings.
 func (w *Writer) WriteCommand(args ...[]byte) error {
-	fmt.Fprintf(w.bw, "*%d\r\n", len(args))
+	if err := w.writeIntLine('*', int64(len(args))); err != nil {
+		return err
+	}
 	for _, a := range args {
 		if err := w.WriteBulk(a); err != nil {
 			return err
@@ -313,32 +338,42 @@ func (w *Writer) WriteCommand(args ...[]byte) error {
 
 // WriteSimple writes "+s\r\n".
 func (w *Writer) WriteSimple(s string) error {
-	_, err := fmt.Fprintf(w.bw, "+%s\r\n", s)
+	if err := w.bw.WriteByte('+'); err != nil {
+		return err
+	}
+	if _, err := w.bw.WriteString(s); err != nil {
+		return err
+	}
+	_, err := w.bw.WriteString("\r\n")
 	return err
 }
 
 // WriteError writes "-msg\r\n".
 func (w *Writer) WriteError(msg string) error {
-	_, err := fmt.Fprintf(w.bw, "-%s\r\n", msg)
+	if err := w.bw.WriteByte('-'); err != nil {
+		return err
+	}
+	if _, err := w.bw.WriteString(msg); err != nil {
+		return err
+	}
+	_, err := w.bw.WriteString("\r\n")
 	return err
 }
 
 // WriteInt writes ":n\r\n".
 func (w *Writer) WriteInt(n int64) error {
-	_, err := fmt.Fprintf(w.bw, ":%d\r\n", n)
-	return err
+	return w.writeIntLine(':', n)
 }
 
 // WriteArrayHeader writes "*n\r\n"; the caller then writes n elements
 // (used for structured replies like SLOWLOG GET).
 func (w *Writer) WriteArrayHeader(n int) error {
-	_, err := fmt.Fprintf(w.bw, "*%d\r\n", n)
-	return err
+	return w.writeIntLine('*', int64(n))
 }
 
 // WriteBulkString writes s as a bulk string.
 func (w *Writer) WriteBulkString(s string) error {
-	if _, err := fmt.Fprintf(w.bw, "$%d\r\n", len(s)); err != nil {
+	if err := w.writeIntLine('$', int64(len(s))); err != nil {
 		return err
 	}
 	if _, err := w.bw.WriteString(s); err != nil {
@@ -354,7 +389,7 @@ func (w *Writer) WriteBulk(b []byte) error {
 		_, err := w.bw.WriteString("$-1\r\n")
 		return err
 	}
-	if _, err := fmt.Fprintf(w.bw, "$%d\r\n", len(b)); err != nil {
+	if err := w.writeIntLine('$', int64(len(b))); err != nil {
 		return err
 	}
 	if _, err := w.bw.Write(b); err != nil {

@@ -22,6 +22,7 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"addrkv/internal/hashfn"
 	"addrkv/internal/kv"
@@ -54,6 +55,19 @@ type Config struct {
 type Cluster struct {
 	shards []*shardSlot
 	route  hashfn.Func
+	// mask is len(shards)-1 when the shard count is a power of two —
+	// ShardFor then routes with one AND instead of a 64-bit modulo.
+	// Zero means "use %" (non-power-of-two counts; shard 0's mask
+	// would also be 0, but that count takes the len==1 early return).
+	mask uint64
+
+	// Worker runtime (see worker.go): one owning goroutine per shard
+	// draining a bounded MPSC request ring. The atomic pointer lets
+	// metric scrapes read depth/drain counters concurrently with
+	// StartWorkers/StopWorkers.
+	wset    atomic.Pointer[workerSet]
+	wwg     sync.WaitGroup
+	onDrain func(shard, burst int)
 }
 
 // shardSlot pairs an engine with its serialization lock: each engine
@@ -80,6 +94,9 @@ func New(cfg Config) (*Cluster, error) {
 	perShard := cfg.Engine
 	perShard.Keys = (cfg.Engine.Keys + n - 1) / n
 	c := &Cluster{route: route}
+	if n&(n-1) == 0 {
+		c.mask = uint64(n - 1)
+	}
 	for i := 0; i < n; i++ {
 		ecfg := perShard
 		ecfg.Seed = cfg.Engine.Seed + uint64(i)
@@ -101,7 +118,12 @@ func (c *Cluster) ShardFor(key []byte) int {
 	if len(c.shards) == 1 {
 		return 0
 	}
-	return int(c.route.Hash(key, routeSeed) % uint64(len(c.shards)))
+	h := c.route.Hash(key, routeSeed)
+	if c.mask != 0 {
+		// h & (2^k - 1) == h % 2^k: bit-identical routing, no divide.
+		return int(h & c.mask)
+	}
+	return int(h % uint64(len(c.shards)))
 }
 
 func (c *Cluster) slot(key []byte) *shardSlot {
@@ -161,7 +183,13 @@ func observe(i int, e *kv.Engine, out *OpOutcome, before kv.OpProbe) {
 	if out == nil {
 		return
 	}
-	after := e.Probe()
+	observeDelta(i, out, before, e.Probe())
+}
+
+// observeDelta fills out from an explicit pair of probe snapshots.
+// The worker's drain loop uses it with chained probes (op N's after
+// is op N+1's before), halving probe cost across a burst.
+func observeDelta(i int, out *OpOutcome, before, after kv.OpProbe) {
 	*out = OpOutcome{
 		Shard:     i,
 		Cycles:    uint64(after.Machine.Cycles - before.Machine.Cycles),

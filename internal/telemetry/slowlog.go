@@ -56,6 +56,15 @@ func NewSlowlog(capacity int) *Slowlog {
 	return l
 }
 
+// Qualifies reports whether a command of duration d would currently
+// make it into the log — the same one-atomic-load check Note performs
+// first. Callers that must *build* an entry (format its arguments)
+// use this to skip the construction entirely for ops under the floor,
+// keeping the steady-state record path allocation-free.
+func (l *Slowlog) Qualifies(d time.Duration) bool {
+	return int64(d) > l.floorNS.Load()
+}
+
 // Note offers an entry to the log; it is recorded iff it is slower
 // than the current floor (always, while the log is not yet full).
 // The entry's ID is assigned on recording.

@@ -35,7 +35,8 @@ import (
 )
 
 // EventKind identifies one step of the traced pipeline. The order
-// mirrors the op timeline: dispatch → shard.lock → engine.op →
+// mirrors the op timeline: dispatch → [queue.wait → drain] →
+// shard.lock → engine.op →
 // stlt.loadva → stlt.probe → ipb.check → stb.{hit|miss} →
 // {tlb.refill | walk.level* → page.walk} → index.walk → stlt.insert →
 // reply.flush.
@@ -47,6 +48,15 @@ const (
 	// EvDispatch marks the RESP front-end picking the command off the
 	// wire. No cycle stamp (the simulated machine is not chosen yet).
 	EvDispatch EventKind = iota
+	// EvQueueWait marks a worker dequeuing the op from its shard's
+	// request ring (worker dispatch mode); A = shard, B = position in
+	// the drained burst, C = burst size. The wall delta from dispatch
+	// is the time the op sat queued behind its shard's worker.
+	EvQueueWait
+	// EvDrain marks the op executing inside a worker drain burst —
+	// one shard-lock critical section shared by every op of the burst;
+	// A = burst size, B = position within it.
+	EvDrain
 	// EvShardLock marks the home shard's lock acquisition; A = shard.
 	// The wall delta from dispatch is the lock wait plus routing.
 	EvShardLock
@@ -92,9 +102,10 @@ const (
 )
 
 var kindNames = [NumEventKinds]string{
-	"dispatch", "shard.lock", "engine.op", "stlt.loadva", "stlt.probe",
-	"ipb.check", "stb.hit", "stb.miss", "tlb.refill", "walk.level",
-	"page.walk", "index.walk", "stlt.insert", "stlt.scrub", "reply.flush",
+	"dispatch", "queue.wait", "drain", "shard.lock", "engine.op",
+	"stlt.loadva", "stlt.probe", "ipb.check", "stb.hit", "stb.miss",
+	"tlb.refill", "walk.level", "page.walk", "index.walk", "stlt.insert",
+	"stlt.scrub", "reply.flush",
 }
 
 // String returns the stable wire name of the kind.
