@@ -93,6 +93,19 @@ func prettyInfo(payload string) string {
 		fmt.Fprintf(&b, "slowlog %s entries, %s monitor client(s)\n",
 			f.get("slowlog_len"), f.get("monitor_clients"))
 	}
+	if f.get("aof_enabled") == "1" {
+		mean := f.get("aof_fsync_mean_us")
+		if mean == "" {
+			mean = "-"
+		}
+		fmt.Fprintf(&b, "persistence\n")
+		fmt.Fprintf(&b, "  aof on (fsync %s): %s bytes, %s appends, %s fsyncs (mean %s µs), %s rewrites\n",
+			f.get("aof_fsync"), f.get("aof_size_bytes"), f.get("aof_appends"),
+			f.get("aof_fsyncs"), mean, f.get("aof_rewrites"))
+		fmt.Fprintf(&b, "  bgsaves ok %s / err %s, last save unix %s; recovered %s record(s), %s torn byte(s)\n",
+			f.get("bgsaves_ok"), f.get("bgsaves_err"), f.get("last_save_unix"),
+			f.get("recovered_records"), f.get("recovered_torn_bytes"))
+	}
 
 	if len(f.shards) > 0 {
 		ids := make([]int, 0, len(f.shards))

@@ -33,6 +33,19 @@ const sampleInfo = "# addrkv simulated statistics (since RESETSTATS)\r\n" +
 	"op_cycles_max:2943\r\n" +
 	"slowlog_len:7\r\n" +
 	"monitor_clients:0\r\n" +
+	"# persistence\r\n" +
+	"aof_enabled:1\r\n" +
+	"aof_fsync:everysec\r\n" +
+	"aof_size_bytes:4096\r\n" +
+	"aof_appends:64\r\n" +
+	"aof_fsyncs:3\r\n" +
+	"aof_fsync_mean_us:212.0\r\n" +
+	"aof_rewrites:1\r\n" +
+	"bgsaves_ok:1\r\n" +
+	"bgsaves_err:0\r\n" +
+	"last_save_unix:1700000000\r\n" +
+	"recovered_records:55\r\n" +
+	"recovered_torn_bytes:0\r\n" +
 	"# shard 0\r\n" +
 	"shard0_ops:60\r\n" +
 	"shard0_keys:55\r\n" +
@@ -59,6 +72,8 @@ func TestPrettyInfo(t *testing.T) {
 		"p50 1.5", "p99 6.1", "p99.9 9.0",
 		"modeled op cycles: p50 91  p99 1663  max 2943",
 		"slowlog 7 entries",
+		"aof on (fsync everysec): 4096 bytes, 64 appends, 3 fsyncs (mean 212.0 µs), 1 rewrites",
+		"bgsaves ok 1 / err 0, last save unix 1700000000; recovered 55 record(s), 0 torn byte(s)",
 		"90.0%", // shard 0 hit rate as a percentage
 		"82.0%", // shard 1 hit rate
 		"1500", "1800",

@@ -19,10 +19,21 @@
 //
 // A malformed trace line aborts the replay with exit code 1.
 //
+// With -format aof the input is an addrkv append-only log instead of a
+// text trace: -f may name a kvserve -aof-dir (every shard's snapshot
+// and log tail is replayed, shard count auto-detected) or a single
+// .aof/.snap file; raw frames can also stream in on stdin. Records are
+// applied exactly the way server recovery applies them — snapshot
+// loads untimed, tail SET/DEL/FLUSHALL through the timed ops — so
+// kvreplay is the reference executor the recovery-equals-replay
+// contract is checked against. A torn trailing frame is reported and
+// skipped, never an error.
+//
 //	ycsbgen -keys 200000 -ops 2000000 -dist zipf > trace.txt
 //	kvreplay -mode baseline -keys 200000 < trace.txt
 //	kvreplay -mode stlt     -keys 200000 -warm 600000 < trace.txt
 //	kvreplay -mode stlt     -keys 200000 -shards 4 -json replay.json < trace.txt
+//	kvreplay -format aof -keys 200000 -f ./aof -json recovered.json
 package main
 
 import (
@@ -47,6 +58,8 @@ type replayConfig struct {
 	shards  int
 	vsize   int
 	warm    int
+	format  string
+	file    string
 	jsonOut string
 }
 
@@ -61,10 +74,21 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 1, "simulated machines to hash the key space across")
 	flag.IntVar(&cfg.vsize, "vsize", 64, "preload value size")
 	flag.IntVar(&cfg.warm, "warm", 0, "trace ops to treat as warm-up (stats reset after)")
-	flag.StringVar(&file, "f", "", "trace file (default stdin)")
+	flag.StringVar(&file, "f", "", "trace file, or AOF file/directory with -format aof (default stdin)")
+	flag.StringVar(&cfg.format, "format", "trace", "trace: ycsbgen text lines; aof: addrkv append-only log")
 	flag.StringVar(&cfg.jsonOut, "json", "", "write a telemetry snapshot JSON to this path")
 	flag.Parse()
 
+	cfg.file = file
+	if cfg.format == "aof" {
+		if err := runAOF(cfg, os.Stdin, os.Stdout); err != nil {
+			log.Fatalf("kvreplay: %v", err)
+		}
+		return
+	}
+	if cfg.format != "trace" {
+		log.Fatalf("kvreplay: -format must be trace or aof")
+	}
 	in := io.Reader(os.Stdin)
 	if file != "" {
 		f, err := os.Open(file)

@@ -22,7 +22,13 @@
 //
 // Commands: PING, ECHO, GET, SET, DEL, EXISTS, MGET, MSET, DBSIZE,
 // INFO, RESETSTATS, FLUSHALL, SLOWLOG GET/RESET/LEN, MONITOR,
-// TRACE ON/OFF/STATUS/DUMP, QUIT.
+// TRACE ON/OFF/STATUS/DUMP, BGSAVE, LASTSAVE, QUIT.
+//
+// With -aof every mutation is appended to a per-shard append-only log
+// (group-committed at the dispatch mode's batch boundary, fsynced per
+// -aof-fsync) and replayed on startup; BGSAVE — or a positive
+// -snapshot-interval — compacts each shard's log into a snapshot
+// generation in the background while traffic continues.
 // INFO reports the *simulated* cycle statistics (aggregate plus a
 // section per shard) alongside real wall-clock latency percentiles and
 // the networking/pipelining counters, so a client can measure the
@@ -114,6 +120,9 @@ type server struct {
 	// engine's own per-shard locks and lock-free telemetry.
 	statsMu sync.RWMutex
 
+	// persist is the durability runtime (nil without -aof).
+	persist *persistState
+
 	// Span tracing: the sampling tracer shared with every shard engine,
 	// the flight-recorder dump sink (nil without -trace-dir), and a
 	// connection sequence so spans name the connection they came from.
@@ -164,6 +173,11 @@ func main() {
 		dispatch = flag.String("dispatch", "worker", "worker: per-shard owning goroutines drain request rings; mutex: lock-per-op dispatch")
 		queueCap = flag.Int("queue", 0, "per-shard request ring capacity for -dispatch worker (0 = default, rounded up to a power of two)")
 
+		aof       = flag.Bool("aof", false, "enable the per-shard append-only log (durability)")
+		aofDir    = flag.String("aof-dir", "aof", "directory for AOF segments and snapshots")
+		aofFsync  = flag.String("aof-fsync", "everysec", "fsync policy: always|everysec|no")
+		snapEvery = flag.Duration("snapshot-interval", 0, "run a compacting BGSAVE this often (0 = only on demand)")
+
 		traceSample = flag.Uint64("trace-sample", 0, "trace 1 in N single-key ops (1 = every op, 0 = off; TRACE ON/OFF adjusts at runtime)")
 		traceDir    = flag.String("trace-dir", "", "directory for flight-recorder dump bundles (TRACE DUMP, anomaly auto-dumps, final dump on shutdown)")
 		traceRing   = flag.Int("trace-ring", defaultTraceRing, "completed traces the flight recorder keeps per shard")
@@ -195,11 +209,35 @@ func main() {
 	if err != nil {
 		log.Fatalf("kvserve: %v", err)
 	}
+	// Recovery must run against fresh engines, so durability comes up
+	// before any preload; a preload on top of recovered data would
+	// double-apply, so it only runs into an empty store.
+	var ps *persistState
+	if *aof {
+		ps, err = openPersistence(sys, persistOpts{
+			dir:      *aofDir,
+			fsync:    *aofFsync,
+			interval: *snapEvery,
+			shards:   *shards,
+		})
+		if err != nil {
+			log.Fatalf("kvserve: %v", err)
+		}
+	}
 	if *pre {
-		log.Printf("preloading %d keys (%dB values)...", *keys, *vsize)
-		sys.Load(*keys, *vsize)
+		if ps != nil && ps.recovered.Ops() > 0 {
+			log.Printf("kvserve: skipping -preload, %d keys recovered from %s", sys.Len(), *aofDir)
+		} else {
+			log.Printf("preloading %d keys (%dB values)...", *keys, *vsize)
+			sys.Load(*keys, *vsize)
+		}
 	}
 	s := newServer(sys, *slowCap)
+	s.persist = ps
+	if ps != nil {
+		s.tele.registerPersistMetrics(s)
+		s.startSnapshotter()
+	}
 	s.net = netConfig{
 		maxPipeline: *maxPipe,
 		writeBufCap: *writeBuf,
@@ -277,7 +315,8 @@ func main() {
 	}
 
 	s.drain()
-	s.stopWorkers() // after drain: no connection is producing anymore
+	s.stopWorkers()      // after drain: no connection is producing anymore
+	s.closePersistence() // after workers: nothing appends; sync + close the logs
 	s.finalTraceDump()
 	if *sock != "" {
 		_ = os.Remove(*sock)
@@ -629,6 +668,11 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 		}
 		s.tracer.SetWarm(false) // fresh engines start cold again
 		w.WriteSimple("OK")
+	case "bgsave", "lastsave":
+		if len(args) != 1 {
+			return fail(fmt.Sprintf("ERR wrong number of arguments for '%s'", cmd))
+		}
+		return false, false, s.persistCmd(w, cmd)
 	case "slowlog":
 		return s.slowlogCmd(w, args)
 	case "trace":
@@ -774,6 +818,10 @@ func (s *server) info() string {
 	fmt.Fprintf(&b, "batched_keys:%d\r\n", s.tele.batchKeys.Load())
 
 	s.runtimeInfo(func(format string, args ...any) {
+		fmt.Fprintf(&b, format, args...)
+	})
+
+	s.persistInfo(func(format string, args ...any) {
 		fmt.Fprintf(&b, format, args...)
 	})
 

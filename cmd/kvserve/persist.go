@@ -1,0 +1,332 @@
+// Durability wiring for kvserve: -aof turns on the per-shard
+// append-only log (internal/wal), recovering any existing data in
+// -aof-dir before the listener comes up and logging every mutation
+// after it. BGSAVE compacts the logs into snapshot generations in the
+// background (shard by shard, so traffic keeps flowing), LASTSAVE
+// reports the oldest shard's last completed save, and a positive
+// -snapshot-interval runs BGSAVE on a timer. INFO gains a
+// "# persistence" section and /metrics the aof_* series, including the
+// fsync latency histogram the everysec-vs-always tradeoff is judged by.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"addrkv"
+	"addrkv/internal/resp"
+	"addrkv/internal/shard"
+	"addrkv/internal/telemetry"
+	"addrkv/internal/wal"
+)
+
+// persistOpts carries the -aof* flag values.
+type persistOpts struct {
+	dir      string
+	fsync    string
+	interval time.Duration
+	shards   int
+}
+
+// persistState is the server's durability runtime: the recovered
+// summary, the background-save gate, and the periodic snapshotter.
+type persistState struct {
+	dir      string
+	policy   wal.Policy
+	interval time.Duration
+
+	recovered shard.RecoveryApplyStats
+	tornBytes int64
+	tornShard int
+
+	// saving gates BGSAVE: one background save at a time, Redis-style.
+	saving   atomic.Bool
+	saves    atomic.Uint64
+	saveErrs atomic.Uint64
+	saveWG   sync.WaitGroup
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// openPersistence opens (or creates) the per-shard logs in opts.dir,
+// replays any surviving snapshot+tail streams into the cluster, and
+// attaches the logs so subsequent mutations are recorded. Call before
+// preloading and before serving: recovery requires fresh engines.
+func openPersistence(sys *addrkv.System, opts persistOpts) (*persistState, error) {
+	policy, err := wal.ParsePolicy(opts.fsync)
+	if err != nil {
+		return nil, err
+	}
+	existing, err := wal.DetectShards(opts.dir)
+	if err != nil {
+		return nil, fmt.Errorf("aof dir %s: %w", opts.dir, err)
+	}
+	if existing > 0 && existing != opts.shards {
+		return nil, fmt.Errorf("aof dir %s holds %d shard log(s) but -shards is %d; restart with -shards %d or point -aof-dir elsewhere",
+			opts.dir, existing, opts.shards, existing)
+	}
+	ps := &persistState{
+		dir:       opts.dir,
+		policy:    policy,
+		interval:  opts.interval,
+		tornShard: -1,
+		stop:      make(chan struct{}),
+	}
+	c := sys.Cluster()
+	logs := make([]*wal.Log, opts.shards)
+	start := time.Now()
+	for i := 0; i < opts.shards; i++ {
+		l, rec, err := wal.OpenShard(opts.dir, i, policy)
+		if err != nil {
+			closeLogs(logs[:i])
+			return nil, fmt.Errorf("aof shard %d: %w", i, err)
+		}
+		if rec.TornBytes > 0 {
+			log.Printf("kvserve: aof shard %d: dropped %d torn trailing byte(s) (%v) — last write did not survive the crash",
+				i, rec.TornBytes, rec.TornErr)
+			ps.tornBytes += rec.TornBytes
+			ps.tornShard = i
+		}
+		st, err := c.ApplyRecovery(i, rec)
+		if err != nil {
+			l.Close()
+			closeLogs(logs[:i])
+			return nil, fmt.Errorf("aof shard %d replay: %w", i, err)
+		}
+		ps.recovered = ps.recovered.Add(st)
+		logs[i] = l
+	}
+	if err := c.AttachWAL(logs); err != nil {
+		closeLogs(logs)
+		return nil, err
+	}
+	if n := ps.recovered.Ops(); n > 0 {
+		log.Printf("kvserve: recovered %d record(s) from %s in %v (%d snapshot loads, %d sets, %d dels, %d flushes; %d keys live)",
+			n, opts.dir, time.Since(start).Round(time.Millisecond),
+			ps.recovered.Loads, ps.recovered.Sets, ps.recovered.Dels, ps.recovered.Flushes, c.Len())
+	} else {
+		log.Printf("kvserve: aof enabled in %s (fsync %s), no prior data", opts.dir, policy)
+	}
+	return ps, nil
+}
+
+func closeLogs(logs []*wal.Log) {
+	for _, l := range logs {
+		if l != nil {
+			l.Close()
+		}
+	}
+}
+
+// startSnapshotter launches the periodic BGSAVE loop when
+// -snapshot-interval is positive. Call after the server is built.
+func (s *server) startSnapshotter() {
+	ps := s.persist
+	if ps == nil || ps.interval <= 0 {
+		return
+	}
+	ps.wg.Add(1)
+	go func() {
+		defer ps.wg.Done()
+		tick := time.NewTicker(ps.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if !s.beginSave() {
+					continue // previous save still running
+				}
+				s.runSave("periodic")
+			case <-ps.stop:
+				return
+			}
+		}
+	}()
+	log.Printf("kvserve: snapshotting every %v", ps.interval)
+}
+
+// beginSave claims the single background-save slot.
+func (s *server) beginSave() bool {
+	ps := s.persist
+	if ps == nil {
+		return false
+	}
+	if !ps.saving.CompareAndSwap(false, true) {
+		return false
+	}
+	ps.saveWG.Add(1)
+	return true
+}
+
+// runSave compacts every shard's log (the caller holds the save slot).
+func (s *server) runSave(origin string) {
+	ps := s.persist
+	defer ps.saveWG.Done()
+	defer ps.saving.Store(false)
+	start := time.Now()
+	if err := s.sys.Cluster().SnapshotAll(); err != nil {
+		ps.saveErrs.Add(1)
+		log.Printf("kvserve: %s snapshot failed: %v", origin, err)
+		return
+	}
+	ps.saves.Add(1)
+	log.Printf("kvserve: %s snapshot complete in %v", origin, time.Since(start).Round(time.Millisecond))
+}
+
+// closePersistence is the shutdown barrier: stop the snapshotter, wait
+// out any in-flight save, then sync and close every log. Call after
+// drain and stopWorkers — nothing may be appending anymore.
+func (s *server) closePersistence() {
+	ps := s.persist
+	if ps == nil {
+		return
+	}
+	ps.stopOnce.Do(func() { close(ps.stop) })
+	ps.wg.Wait()
+	ps.saveWG.Wait()
+	c := s.sys.Cluster()
+	if err := c.SyncWAL(); err != nil {
+		log.Printf("kvserve: final aof sync: %v", err)
+	}
+	if err := c.CloseWAL(); err != nil {
+		log.Printf("kvserve: aof close: %v", err)
+	}
+}
+
+// lastSaveUnix returns the oldest shard's last completed snapshot time
+// (0 = some shard has never been snapshotted): the conservative answer
+// to "since when is everything compact?".
+func (s *server) lastSaveUnix() int64 {
+	c := s.sys.Cluster()
+	if !c.WALAttached() {
+		return 0
+	}
+	var oldest int64 = -1
+	for i := 0; i < c.NumShards(); i++ {
+		ls := c.WAL(i).Stats().LastSaveUnixNS
+		if oldest < 0 || ls < oldest {
+			oldest = ls
+		}
+	}
+	if oldest <= 0 {
+		return 0
+	}
+	return oldest / int64(time.Second)
+}
+
+// persistCmd handles BGSAVE and LASTSAVE.
+func (s *server) persistCmd(w *resp.Writer, cmd string) (isErr bool) {
+	if s.persist == nil {
+		w.WriteError("ERR persistence is disabled (start kvserve with -aof)")
+		return true
+	}
+	switch cmd {
+	case "bgsave":
+		if !s.beginSave() {
+			w.WriteError("ERR background save already in progress")
+			return true
+		}
+		go s.runSave("bgsave")
+		w.WriteSimple("Background saving started")
+	case "lastsave":
+		w.WriteInt(s.lastSaveUnix())
+	}
+	return false
+}
+
+// persistInfo renders the INFO "# persistence" section.
+func (s *server) persistInfo(emit func(format string, args ...any)) {
+	emit("# persistence\r\n")
+	ps := s.persist
+	if ps == nil {
+		emit("aof_enabled:0\r\n")
+		return
+	}
+	emit("aof_enabled:1\r\n")
+	emit("aof_fsync:%s\r\n", ps.policy)
+	c := s.sys.Cluster()
+	var agg wal.Stats
+	for i := 0; i < c.NumShards(); i++ {
+		st := c.WAL(i).Stats()
+		agg.SizeBytes += st.SizeBytes
+		agg.Appends += st.Appends
+		agg.Commits += st.Commits
+		agg.Fsyncs += st.Fsyncs
+		agg.FsyncNS += st.FsyncNS
+		agg.Rewrites += st.Rewrites
+	}
+	emit("aof_size_bytes:%d\r\n", agg.SizeBytes)
+	emit("aof_appends:%d\r\n", agg.Appends)
+	emit("aof_commits:%d\r\n", agg.Commits)
+	emit("aof_fsyncs:%d\r\n", agg.Fsyncs)
+	if agg.Fsyncs > 0 {
+		emit("aof_fsync_mean_us:%.1f\r\n", float64(agg.FsyncNS)/float64(agg.Fsyncs)/1e3)
+	}
+	emit("aof_rewrites:%d\r\n", agg.Rewrites)
+	emit("bgsave_in_progress:%d\r\n", b2i(ps.saving.Load()))
+	emit("bgsaves_ok:%d\r\n", ps.saves.Load())
+	emit("bgsaves_err:%d\r\n", ps.saveErrs.Load())
+	emit("last_save_unix:%d\r\n", s.lastSaveUnix())
+	emit("recovered_records:%d\r\n", ps.recovered.Ops())
+	emit("recovered_torn_bytes:%d\r\n", ps.tornBytes)
+	for i := 0; i < c.NumShards(); i++ {
+		st := c.WAL(i).Stats()
+		emit("aof_shard%d_gen:%d\r\n", i, st.Gen)
+		emit("aof_shard%d_size_bytes:%d\r\n", i, st.SizeBytes)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// registerPersistMetrics exposes the durability series on /metrics:
+// the fsync latency histogram (fed by the logs' fsync observer) plus
+// per-shard log size/generation gauges and save counters.
+func (t *serverTele) registerPersistMetrics(s *server) {
+	ps := s.persist
+	if ps == nil {
+		return
+	}
+	r := t.reg
+	fsyncHist := r.Histogram("addrkv_aof_fsync_seconds",
+		"Wall-clock latency of AOF fsync barriers.", 1e-9, nil)
+	c := s.sys.Cluster()
+	for i := 0; i < c.NumShards(); i++ {
+		c.WAL(i).SetFsyncObserver(func(ns int64) { fsyncHist.Observe(uint64(ns)) })
+	}
+	walGauge := func(name, help string, f func(wal.Stats) float64) {
+		for i := 0; i < c.NumShards(); i++ {
+			l := c.WAL(i)
+			r.GaugeFunc(name, help, telemetry.Labels{"shard": strconv.Itoa(l.Shard())},
+				func() float64 { return f(l.Stats()) })
+		}
+	}
+	walGauge("addrkv_aof_size_bytes", "Current AOF segment size, by shard.",
+		func(st wal.Stats) float64 { return float64(st.SizeBytes) })
+	walGauge("addrkv_aof_generation", "Current AOF/snapshot generation, by shard.",
+		func(st wal.Stats) float64 { return float64(st.Gen) })
+	walGauge("addrkv_aof_appends_total", "Records appended to the AOF, by shard.",
+		func(st wal.Stats) float64 { return float64(st.Appends) })
+	walGauge("addrkv_aof_fsyncs_total", "AOF fsync barriers, by shard.",
+		func(st wal.Stats) float64 { return float64(st.Fsyncs) })
+	walGauge("addrkv_aof_rewrites_total", "Compacting snapshot rewrites, by shard.",
+		func(st wal.Stats) float64 { return float64(st.Rewrites) })
+	walGauge("addrkv_aof_last_save_timestamp_seconds", "Unix time of the shard's last completed snapshot.",
+		func(st wal.Stats) float64 { return float64(st.LastSaveUnixNS) / 1e9 })
+	r.GaugeFunc("addrkv_bgsave_in_progress", "1 while a background save is running.", nil,
+		func() float64 { return float64(b2i(ps.saving.Load())) })
+	r.GaugeFunc("addrkv_bgsaves_total", "Completed background saves.", nil,
+		func() float64 { return float64(ps.saves.Load()) })
+	r.GaugeFunc("addrkv_bgsave_errors_total", "Failed background saves.", nil,
+		func() float64 { return float64(ps.saveErrs.Load()) })
+}

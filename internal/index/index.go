@@ -37,6 +37,10 @@ type Index interface {
 	Delete(key []byte) bool
 	// Len returns the number of stored keys.
 	Len() int
+	// Range enumerates every stored record's VA functionally (no timed
+	// accesses), stopping early when fn returns false. See range.go for
+	// the ordering contract.
+	Range(fn func(rec arch.Addr) bool)
 }
 
 // PutResult describes the outcome of a Put.

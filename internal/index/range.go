@@ -1,0 +1,143 @@
+// Record iteration: every index can enumerate the records it holds.
+//
+// Range walks run *functionally* — straight address-space reads with no
+// timed accesses — because they serve maintenance paths (durability
+// snapshots, integrity checks) that must observe the engine without
+// perturbing its modeled timing, the same discipline the rehash and
+// free paths already follow. Iteration order is a pure function of the
+// structure's in-memory layout, so two engines in identical states
+// enumerate identically, but the order is otherwise unspecified and
+// differs between structures.
+package index
+
+import (
+	"encoding/binary"
+
+	"addrkv/internal/arch"
+	"addrkv/internal/vm"
+)
+
+// RecordKV reads a record's key and value functionally (untimed),
+// appending them into kbuf[:0] and vbuf[:0] so a warm caller performs
+// zero allocations. The returned slices alias the buffers.
+func RecordKV(as *vm.AddressSpace, rec arch.Addr, kbuf, vbuf []byte) (key, value []byte) {
+	kl, vl := headerFunctional(as, rec)
+	if cap(kbuf) < kl {
+		kbuf = make([]byte, kl)
+	} else {
+		kbuf = kbuf[:kl]
+	}
+	if cap(vbuf) < vl {
+		vbuf = make([]byte, vl)
+	} else {
+		vbuf = vbuf[:vl]
+	}
+	as.ReadAt(rec+RecordHeaderSize, kbuf)
+	as.ReadAt(rec+RecordHeaderSize+arch.Addr(kl), vbuf)
+	return kbuf, vbuf
+}
+
+// Range implements Index: bucket-by-bucket chain walk.
+func (h *ChainHash) Range(fn func(rec arch.Addr) bool) {
+	as := h.ctx.M.AS
+	for i := 0; i < h.nbkts; i++ {
+		eva := arch.Addr(as.ReadU64(h.buckets + arch.Addr(i*8)))
+		for eva != 0 {
+			var b [chainEntrySize]byte
+			as.ReadAt(eva, b[:])
+			rec := arch.Addr(binary.LittleEndian.Uint64(b[0:]))
+			next := arch.Addr(binary.LittleEndian.Uint64(b[8:]))
+			if !fn(rec) {
+				return
+			}
+			eva = next
+		}
+	}
+}
+
+// Range implements Index: flat slot scan skipping empties and
+// tombstones.
+func (d *DenseHash) Range(fn func(rec arch.Addr) bool) {
+	as := d.ctx.M.AS
+	for i := 0; i < d.cap; i++ {
+		rec := arch.Addr(as.ReadU64(d.slotVA(i)))
+		if rec == 0 || rec == denseTombstone {
+			continue
+		}
+		if !fn(rec) {
+			return
+		}
+	}
+}
+
+// Range implements Index: in-order traversal with an explicit stack.
+func (t *RBTree) Range(fn func(rec arch.Addr) bool) {
+	as := t.ctx.M.AS
+	read := func(va arch.Addr) rbNode {
+		var b [rbNodeSize]byte
+		as.ReadAt(va, b[:])
+		return rbNode{
+			left:   arch.Addr(binary.LittleEndian.Uint64(b[0:])),
+			right:  arch.Addr(binary.LittleEndian.Uint64(b[8:])),
+			record: arch.Addr(binary.LittleEndian.Uint64(b[24:])),
+		}
+	}
+	var stack []arch.Addr
+	cur := t.root
+	for cur != t.nilN || len(stack) > 0 {
+		for cur != t.nilN {
+			stack = append(stack, cur)
+			cur = read(cur).left
+		}
+		cur = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := read(cur)
+		if !fn(n.record) {
+			return
+		}
+		cur = n.right
+	}
+}
+
+// Range implements Index: recursive in-order traversal.
+func (t *BTree) Range(fn func(rec arch.Addr) bool) {
+	as := t.ctx.M.AS
+	var walk func(va arch.Addr) bool
+	walk = func(va arch.Addr) bool {
+		var b [btNodeSize]byte
+		as.ReadAt(va, b[:])
+		n := int(binary.LittleEndian.Uint16(b[btOffCount:]))
+		leaf := b[btOffLeaf] != 0
+		for i := 0; i < n; i++ {
+			if !leaf {
+				child := arch.Addr(binary.LittleEndian.Uint64(b[btOffChildren+i*8:]))
+				if !walk(child) {
+					return false
+				}
+			}
+			rec := arch.Addr(binary.LittleEndian.Uint64(b[btOffKeys+i*8:]))
+			if !fn(rec) {
+				return false
+			}
+		}
+		if !leaf {
+			child := arch.Addr(binary.LittleEndian.Uint64(b[btOffChildren+n*8:]))
+			return walk(child)
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// Range implements Index: level-0 forward walk (sorted order).
+func (s *SkipList) Range(fn func(rec arch.Addr) bool) {
+	as := s.ctx.M.AS
+	x := arch.Addr(as.ReadU64(s.forwardVA(s.head, 0)))
+	for x != 0 {
+		rec := arch.Addr(as.ReadU64(x))
+		if !fn(rec) {
+			return
+		}
+		x = arch.Addr(as.ReadU64(s.forwardVA(x, 0)))
+	}
+}

@@ -752,3 +752,19 @@ func (e *Engine) Stats() Stats {
 	}
 	return s
 }
+
+// RangeRecords enumerates every stored key/value pair functionally —
+// straight address-space reads, no timed accesses, no counter changes —
+// so maintenance paths (durability snapshots, integrity checks) can
+// observe the store without perturbing modeled timing. The slices
+// passed to fn alias internal buffers reused across calls; fn must copy
+// anything it keeps. Iteration order is a deterministic function of the
+// index's in-memory layout but otherwise unspecified.
+func (e *Engine) RangeRecords(fn func(key, value []byte) bool) {
+	var kbuf, vbuf []byte
+	e.Idx.Range(func(rec arch.Addr) bool {
+		k, v := index.RecordKV(e.M.AS, rec, kbuf, vbuf)
+		kbuf, vbuf = k, v
+		return fn(k, v)
+	})
+}

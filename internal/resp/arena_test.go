@@ -93,18 +93,17 @@ func TestReadPipelineReuseChunked(t *testing.T) {
 	}
 }
 
-
 // TestReadPipelineReuseMalformed: malformed inputs error identically
 // (modulo message) to the allocating path, and a good prefix is still
 // returned.
 func TestReadPipelineReuseMalformed(t *testing.T) {
 	for _, in := range []string{
-		"*2\r\n$3\r\nGET\r\n$-1\r\n",             // null bulk in command
-		"*-4\r\n",                                // bad array length
-		"*1\r\n$900000000000000000000\r\n",       // overflow bulk length
-		"*1\r\n:5\r\n",                           // not a bulk
-		"*1\r\n$3\r\nGETxx",                      // bad terminator
-		"\r\n",                                   // empty inline
+		"*2\r\n$3\r\nGET\r\n$-1\r\n",       // null bulk in command
+		"*-4\r\n",                          // bad array length
+		"*1\r\n$900000000000000000000\r\n", // overflow bulk length
+		"*1\r\n:5\r\n",                     // not a bulk
+		"*1\r\n$3\r\nGETxx",                // bad terminator
+		"\r\n",                             // empty inline
 		"*1\r\n$4\r\nPING\r\n*1\r\n$bad\r\nx\r\n", // good prefix then bad
 	} {
 		ra := NewReader(strings.NewReader(in))

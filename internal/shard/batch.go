@@ -13,7 +13,10 @@
 // exactly (pinned by the differential tests).
 package shard
 
-import "addrkv/internal/kv"
+import (
+	"addrkv/internal/kv"
+	"addrkv/internal/wal"
+)
 
 // ShardBatchOutcome reports one shard's slice of a batched operation:
 // how many keys landed there and the exact probe delta across the
@@ -184,8 +187,14 @@ func (c *Cluster) SetBatchO(keys, values [][]byte, out *BatchOutcome) {
 			before = s.e.Probe()
 		}
 		s.e.SetBatch(subK, subV)
+		if c.logs != nil {
+			for j := range subK {
+				c.walAppend(si, s.e, wal.RecSet, subK[j], subV[j], nil)
+			}
+		}
 		observeBatch(si, len(idxs), s.e, out, before)
 		s.mu.Unlock()
+		c.walCommit(si, nil, len(idxs))
 	}
 }
 
@@ -212,8 +221,14 @@ func (c *Cluster) DeleteBatchO(keys [][]byte, out *BatchOutcome) int {
 			before = s.e.Probe()
 		}
 		n += s.e.DeleteBatch(sub)
+		if c.logs != nil {
+			for _, k := range sub {
+				c.walAppend(si, s.e, wal.RecDel, k, nil, nil)
+			}
+		}
 		observeBatch(si, len(idxs), s.e, out, before)
 		s.mu.Unlock()
+		c.walCommit(si, nil, len(idxs))
 	}
 	return n
 }

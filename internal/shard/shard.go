@@ -27,6 +27,7 @@ import (
 	"addrkv/internal/hashfn"
 	"addrkv/internal/kv"
 	"addrkv/internal/trace"
+	"addrkv/internal/wal"
 	"addrkv/internal/ycsb"
 )
 
@@ -68,6 +69,11 @@ type Cluster struct {
 	wset    atomic.Pointer[workerSet]
 	wwg     sync.WaitGroup
 	onDrain func(shard, burst int)
+
+	// logs, when non-nil, holds one append-only log per shard
+	// (durability; see durability.go). Installed by AttachWAL before
+	// traffic and read without synchronization on the hot path.
+	logs []*wal.Log
 }
 
 // shardSlot pairs an engine with its serialization lock: each engine
@@ -135,15 +141,25 @@ func (c *Cluster) slot(key []byte) *shardSlot {
 func (c *Cluster) Engine(i int) *kv.Engine { return c.shards[i].e }
 
 // Load bulk-inserts n sequential YCSB keys (untimed), each routed to
-// its home shard — the cluster form of kv.Engine.Load.
+// its home shard — the cluster form of kv.Engine.Load. With a WAL
+// attached, each load is recorded (RecLoad — replayed untimed) so a
+// preloaded server recovers to the same warm state.
 func (c *Cluster) Load(n, valueSize int) {
 	var buf [ycsb.KeyLen]byte
 	for id := uint64(0); id < uint64(n); id++ {
 		key := ycsb.KeyNameInto(buf[:], id)
-		s := c.slot(key)
+		i := c.ShardFor(key)
+		s := c.shards[i]
 		s.mu.Lock()
-		s.e.LoadOne(key, ycsb.Value(id, 0, valueSize))
+		val := ycsb.Value(id, 0, valueSize)
+		s.e.LoadOne(key, val)
+		c.walAppend(i, s.e, wal.RecLoad, key, val, nil)
 		s.mu.Unlock()
+	}
+	if c.logs != nil {
+		for _, l := range c.logs {
+			l.Commit() //nolint:errcheck // sticky; surfaced via WALErr
+		}
 	}
 }
 
@@ -281,8 +297,10 @@ func (c *Cluster) SetO(key, value []byte, out *OpOutcome) {
 		attachTrace(i, s.e, out)
 	}
 	s.e.Set(key, value)
+	c.walAppend(i, s.e, wal.RecSet, key, value, out)
 	detachTrace(s.e, out)
 	observe(i, s.e, out, before)
+	c.walCommit(i, out, 1)
 }
 
 // Delete removes a key with full timing on its home shard.
@@ -300,8 +318,10 @@ func (c *Cluster) DeleteO(key []byte, out *OpOutcome) bool {
 		attachTrace(i, s.e, out)
 	}
 	ok := s.e.Delete(key)
+	c.walAppend(i, s.e, wal.RecDel, key, nil, out)
 	detachTrace(s.e, out)
 	observe(i, s.e, out, before)
+	c.walCommit(i, out, 1)
 	return ok
 }
 
@@ -375,11 +395,17 @@ func (c *Cluster) MarkMeasurement() {
 	}
 }
 
-// Reset returns every shard to its just-built state (FLUSHALL).
+// Reset returns every shard to its just-built state (FLUSHALL). With
+// a WAL attached, each shard logs a flush record at its position in
+// that shard's op order, so replay flushes at the same point.
 func (c *Cluster) Reset() error {
 	for i, s := range c.shards {
 		s.mu.Lock()
 		err := s.e.Reset()
+		if err == nil {
+			c.walAppend(i, s.e, wal.RecFlush, nil, nil, nil)
+			c.walCommit(i, nil, 1)
+		}
 		s.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)

@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"addrkv/internal/trace"
+	"addrkv/internal/wal"
 )
 
 // DefaultQueueCap is the per-shard ring capacity StartWorkers uses
@@ -230,6 +232,7 @@ func (c *Cluster) runWorker(set *workerSet, i int) {
 // never contend with the drain.
 func (c *Cluster) serveBurst(i int, s *shardSlot, w *worker, burst []*Req) {
 	n := len(burst)
+	wrote := false
 	s.mu.Lock()
 	before := s.e.Probe()
 	for bi, r := range burst {
@@ -245,8 +248,12 @@ func (c *Cluster) serveBurst(i int, s *shardSlot, w *worker, burst []*Req) {
 		case OpSet:
 			s.e.Set(r.Key, r.Value)
 			r.OK = true
+			c.walAppend(i, s.e, wal.RecSet, r.Key, r.Value, out)
+			wrote = true
 		case OpDelete:
 			r.OK = s.e.Delete(r.Key)
+			c.walAppend(i, s.e, wal.RecDel, r.Key, nil, out)
+			wrote = true
 		case OpExists:
 			r.OK = s.e.Exists(r.Key)
 		case OpGetTouch:
@@ -258,6 +265,26 @@ func (c *Cluster) serveBurst(i int, s *shardSlot, w *worker, burst []*Req) {
 		before = after
 	}
 	s.mu.Unlock()
+	// Group commit: one write and (under the always policy) one fsync
+	// cover every mutation of the burst. Completions are signalled only
+	// after the barrier, so an acknowledged op is on durable storage.
+	if wrote && c.logs != nil {
+		l := c.logs[i]
+		always := l.Policy() == wal.FsyncAlways
+		var t0 time.Time
+		if always {
+			t0 = time.Now()
+		}
+		l.Commit() //nolint:errcheck // sticky; surfaced via WALErr
+		if always {
+			ns := time.Since(t0).Nanoseconds()
+			for _, r := range burst {
+				if r.Out.Trace != nil {
+					r.Out.Trace.EventRel(trace.EvWALFsync, r.Out.Cycles, ns, int64(n), 0)
+				}
+			}
+		}
+	}
 	w.drains.Add(1)
 	w.drainedOps.Add(uint64(n))
 	if un := uint64(n); un > w.maxBurst.Load() {

@@ -96,16 +96,26 @@ const (
 	EvSTLTScrub
 	// EvReplyFlush marks the reply leaving the server's write buffer.
 	EvReplyFlush
+	// EvWALAppend marks the op's mutation record entering the shard's
+	// append-only log buffer (under the shard lock, after the engine
+	// op); A = encoded frame bytes. Appends charge no modeled cycles —
+	// persistence is front-end work, like routing.
+	EvWALAppend
+	// EvWALFsync marks the group-commit barrier that made the op's
+	// record durable (fsync always policy); A = fsync wall ns,
+	// B = records covered by the barrier. Emitted after the engine
+	// section ends, so its cycle stamp equals the op's total.
+	EvWALFsync
 
 	// NumEventKinds bounds the kind space (for per-kind counters).
-	NumEventKinds = int(EvReplyFlush) + 1
+	NumEventKinds = int(EvWALFsync) + 1
 )
 
 var kindNames = [NumEventKinds]string{
 	"dispatch", "queue.wait", "drain", "shard.lock", "engine.op",
 	"stlt.loadva", "stlt.probe", "ipb.check", "stb.hit", "stb.miss",
 	"tlb.refill", "walk.level", "page.walk", "index.walk", "stlt.insert",
-	"stlt.scrub", "reply.flush",
+	"stlt.scrub", "reply.flush", "wal.append", "wal.fsync",
 }
 
 // String returns the stable wire name of the kind.

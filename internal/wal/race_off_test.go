@@ -1,0 +1,7 @@
+//go:build !race
+
+package wal
+
+// raceEnabled reports whether the race detector is on (it perturbs
+// allocation counts, so the zero-alloc budget test skips itself).
+const raceEnabled = false
