@@ -48,6 +48,9 @@ type benchConfig struct {
 	vsize    int // SET value size
 	getRatio float64
 	seed     uint64
+	// cluster treats addr as a cluster seed node: the slot table is
+	// bootstrapped from CLUSTER SLOTS and ops are routed per key.
+	cluster bool
 }
 
 // depthResult is one measurement point of a sweep.
@@ -61,6 +64,14 @@ type depthResult struct {
 	// RoundtripUS summarizes the per-flush roundtrip (write batch,
 	// flush, read all replies) in microseconds.
 	RoundtripUS telemetry.Quantiles `json:"roundtrip_us"`
+	// LatencyUS approximates per-op latency percentiles: every op in a
+	// depth-D pipelined batch experiences ~the batch's full roundtrip,
+	// so each roundtrip contributes D samples of its duration.
+	LatencyUS telemetry.Quantiles `json:"latency_us"`
+	// Redirect traffic absorbed in cluster mode (zero otherwise).
+	Moved    uint64 `json:"moved,omitempty"`
+	Ask      uint64 `json:"ask,omitempty"`
+	TryAgain uint64 `json:"tryagain,omitempty"`
 }
 
 // traceOverhead compares server throughput with tracing off vs
@@ -97,6 +108,7 @@ func main() {
 		vsize    = flag.Int("vsize", 64, "SET value size")
 		getRatio = flag.Float64("get-ratio", 0.9, "fraction of GETs (rest are SETs)")
 		seed     = flag.Uint64("seed", 42, "workload seed")
+		clus     = flag.Bool("cluster", false, "treat -addr as a cluster seed node: route per key via CLUSTER SLOTS, follow MOVED/ASK")
 		jsonPath = flag.String("json", "", "write the sweep artifact to this file")
 
 		ovhd       = flag.Bool("trace-overhead", false, "measure tracing overhead: throughput with TRACE OFF vs TRACE ON <sample> (best of 3 each)")
@@ -116,6 +128,11 @@ func main() {
 	}
 	if *addr != "" {
 		cfg.network, cfg.addr = "tcp", *addr
+	}
+	cfg.cluster = *clus
+	if cfg.cluster && *addr == "" {
+		fmt.Fprintln(os.Stderr, "kvbench: -cluster requires -addr (cluster nodes redirect to TCP addresses)")
+		os.Exit(2)
 	}
 	if cfg.conns < 1 || *depth < 1 || cfg.ops < 1 || cfg.keys < 1 {
 		fmt.Fprintln(os.Stderr, "kvbench: -conns, -depth, -ops and -keys must be >= 1")
@@ -274,8 +291,11 @@ func run(cfg benchConfig, depths []int, out io.Writer) ([]depthResult, error) {
 		if err != nil {
 			return results, err
 		}
-		fmt.Fprintf(out, "depth %3d: %9.0f ops/sec  (%d ops, %d conns, %d errors, rt p50 %dus p99 %dus)\n",
-			d, r.OpsPerSec, r.Ops, r.Conns, r.Errors, r.RoundtripUS.P50, r.RoundtripUS.P99)
+		fmt.Fprintf(out, "depth %3d: %9.0f ops/sec  (%d ops, %d conns, %d errors, lat p50 %dus p99 %dus p999 %dus)\n",
+			d, r.OpsPerSec, r.Ops, r.Conns, r.Errors, r.LatencyUS.P50, r.LatencyUS.P99, r.LatencyUS.P999)
+		if r.Moved+r.Ask+r.TryAgain > 0 {
+			fmt.Fprintf(out, "           redirects: %d moved, %d ask, %d tryagain\n", r.Moved, r.Ask, r.TryAgain)
+		}
 		results = append(results, r)
 	}
 	return results, nil
@@ -292,16 +312,29 @@ func runDepth(cfg benchConfig, depth int) (depthResult, error) {
 		wg       sync.WaitGroup
 		done     uint64
 		errCount uint64
-		rt       telemetry.Histogram
+		rt, lat  telemetry.Histogram
+		cc       clusterCounters
+		st       slotTable
 		firstErr error
 		errOnce  sync.Once
 	)
+	if cfg.cluster {
+		if err := st.refresh(cfg.network, cfg.addr); err != nil {
+			return depthResult{}, fmt.Errorf("slot table bootstrap: %w", err)
+		}
+	}
 	start := time.Now()
 	for c := 0; c < cfg.conns; c++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			n, errs, err := benchConn(cfg, depth, perConn, cfg.seed+uint64(id)*7919, &rt)
+			var n, errs uint64
+			var err error
+			if cfg.cluster {
+				n, errs, err = benchClusterConn(cfg, depth, perConn, cfg.seed+uint64(id)*7919, &rt, &lat, &st, &cc)
+			} else {
+				n, errs, err = benchConn(cfg, depth, perConn, cfg.seed+uint64(id)*7919, &rt, &lat)
+			}
 			atomic.AddUint64(&done, n)
 			atomic.AddUint64(&errCount, errs)
 			if err != nil {
@@ -322,13 +355,17 @@ func runDepth(cfg benchConfig, depth int) (depthResult, error) {
 		ElapsedNS:   elapsed.Nanoseconds(),
 		OpsPerSec:   float64(done) / elapsed.Seconds(),
 		RoundtripUS: telemetry.QuantilesOf(rt.Snapshot()),
+		LatencyUS:   telemetry.QuantilesOf(lat.Snapshot()),
+		Moved:       cc.moved.Load(),
+		Ask:         cc.ask.Load(),
+		TryAgain:    cc.tryagain.Load(),
 	}, nil
 }
 
 // benchConn runs one connection's closed loop: batches of up to depth
 // commands, one flush per batch, then all replies. Returns ops
 // completed and error replies seen (protocol or dial errors abort).
-func benchConn(cfg benchConfig, depth, ops int, seed uint64, rt *telemetry.Histogram) (uint64, uint64, error) {
+func benchConn(cfg benchConfig, depth, ops int, seed uint64, rt, lat *telemetry.Histogram) (uint64, uint64, error) {
 	conn, err := net.Dial(cfg.network, cfg.addr)
 	if err != nil {
 		return 0, 0, err
@@ -383,7 +420,9 @@ func benchConn(cfg benchConfig, depth, ops int, seed uint64, rt *telemetry.Histo
 		if rerr != nil {
 			return sent, errs, rerr
 		}
-		rt.Observe(uint64(time.Since(t0).Microseconds()))
+		us := uint64(time.Since(t0).Microseconds())
+		rt.Observe(us)
+		lat.ObserveN(us, uint64(batch))
 		remaining -= batch
 	}
 	return sent, errs, nil
@@ -406,6 +445,7 @@ func writeArtifact(path string, cfg benchConfig, depths []int, results []depthRe
 			"vsize":     cfg.vsize,
 			"get_ratio": cfg.getRatio,
 			"seed":      cfg.seed,
+			"cluster":   cfg.cluster,
 			"depths":    depths,
 		},
 		Sweep:         results,

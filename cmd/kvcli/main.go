@@ -100,7 +100,11 @@ func printReply(v any) {
 			printReply(e)
 		}
 	case error:
-		fmt.Println("(error)", x)
+		if hint := redirectHint(x.Error()); hint != "" {
+			fmt.Println("(error)", x, hint)
+		} else {
+			fmt.Println("(error)", x)
+		}
 	default:
 		fmt.Println(x)
 	}

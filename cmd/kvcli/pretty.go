@@ -12,6 +12,23 @@ import (
 	"strings"
 )
 
+// redirectHint decodes a cluster redirect error ("MOVED 123 host:port",
+// "ASK 123 host:port") into a human-readable hint for the error line;
+// empty for every other error.
+func redirectHint(msg string) string {
+	fields := strings.Fields(msg)
+	if len(fields) != 3 {
+		return ""
+	}
+	switch fields[0] {
+	case "MOVED":
+		return fmt.Sprintf("-> slot %s lives on %s; reconnect there", fields[1], fields[2])
+	case "ASK":
+		return fmt.Sprintf("-> slot %s is migrating; retry on %s after ASKING", fields[1], fields[2])
+	}
+	return ""
+}
+
 // infoFields holds one parsed INFO payload: flat keys plus the
 // per-shard "shardN_*" keys split out by shard index.
 type infoFields struct {
@@ -105,6 +122,27 @@ func prettyInfo(payload string) string {
 		fmt.Fprintf(&b, "  bgsaves ok %s / err %s, last save unix %s; recovered %s record(s), %s torn byte(s)\n",
 			f.get("bgsaves_ok"), f.get("bgsaves_err"), f.get("last_save_unix"),
 			f.get("recovered_records"), f.get("recovered_torn_bytes"))
+	}
+
+	if f.get("cluster_enabled") == "1" {
+		fmt.Fprintf(&b, "cluster\n")
+		fmt.Fprintf(&b, "  node %s of %s (%s), slot map v%s\n",
+			f.get("cluster_node_index"), f.get("cluster_known_nodes"),
+			f.get("cluster_addr"), f.get("cluster_map_version"))
+		fmt.Fprintf(&b, "  slots: %s owned, %s migrating out, %s importing\n",
+			f.get("cluster_slots_owned"), f.get("cluster_slots_migrating"),
+			f.get("cluster_slots_importing"))
+		fmt.Fprintf(&b, "  redirects: %s moved, %s ask (%s asking), %s tryagain\n",
+			f.get("cluster_moved_total"), f.get("cluster_ask_total"),
+			f.get("cluster_asking_total"), f.get("cluster_tryagain_total"))
+		fmt.Fprintf(&b, "  migrations: %s done / %s failed, %s keys %s bytes out; imported %s record(s), %s STLT rewarm(s)\n",
+			f.get("cluster_migrations_completed"), f.get("cluster_migrations_failed"),
+			f.get("cluster_migrated_keys"), f.get("cluster_migrated_bytes"),
+			f.get("cluster_import_records"), f.get("cluster_import_rewarmed"))
+		if us := f.get("cluster_last_migration_us"); us != "" && us != "0" {
+			fmt.Fprintf(&b, "  last migration: slot %s in %s µs\n",
+				f.get("cluster_last_migration_slot"), us)
+		}
 	}
 
 	if len(f.shards) > 0 {

@@ -111,3 +111,60 @@ func TestPrettyInfoTolerant(t *testing.T) {
 		t.Fatalf("latency section rendered without data:\n%s", out)
 	}
 }
+
+// clusterInfoLines is the "# cluster" section a cluster-mode server
+// appends to INFO.
+const clusterInfoLines = "# cluster\r\n" +
+	"cluster_enabled:1\r\n" +
+	"cluster_node_index:0\r\n" +
+	"cluster_known_nodes:3\r\n" +
+	"cluster_addr:127.0.0.1:7000\r\n" +
+	"cluster_map_version:4\r\n" +
+	"cluster_slots_owned:5462\r\n" +
+	"cluster_slots_migrating:1\r\n" +
+	"cluster_slots_importing:0\r\n" +
+	"cluster_moved_total:12\r\n" +
+	"cluster_ask_total:3\r\n" +
+	"cluster_asking_total:3\r\n" +
+	"cluster_tryagain_total:1\r\n" +
+	"cluster_migrations_completed:2\r\n" +
+	"cluster_migrations_failed:0\r\n" +
+	"cluster_migrated_keys:81\r\n" +
+	"cluster_migrated_bytes:9200\r\n" +
+	"cluster_import_records:40\r\n" +
+	"cluster_import_rewarmed:40\r\n" +
+	"cluster_last_migration_slot:42\r\n" +
+	"cluster_last_migration_us:1730\r\n"
+
+func TestPrettyInfoCluster(t *testing.T) {
+	out := prettyInfo(sampleInfo + clusterInfoLines)
+	for _, want := range []string{
+		"node 0 of 3 (127.0.0.1:7000), slot map v4",
+		"slots: 5462 owned, 1 migrating out, 0 importing",
+		"redirects: 12 moved, 3 ask (3 asking), 1 tryagain",
+		"migrations: 2 done / 0 failed, 81 keys 9200 bytes out; imported 40 record(s), 40 STLT rewarm(s)",
+		"last migration: slot 42 in 1730 µs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pretty cluster INFO missing %q:\n%s", want, out)
+		}
+	}
+	// Standalone payloads get no cluster block.
+	if strings.Contains(prettyInfo(sampleInfo), "cluster\n") {
+		t.Error("standalone INFO rendered a cluster block")
+	}
+}
+
+func TestRedirectHint(t *testing.T) {
+	if got := redirectHint("MOVED 123 10.0.0.2:7001"); !strings.Contains(got, "slot 123 lives on 10.0.0.2:7001") {
+		t.Errorf("MOVED hint = %q", got)
+	}
+	if got := redirectHint("ASK 99 10.0.0.3:7002"); !strings.Contains(got, "retry on 10.0.0.3:7002 after ASKING") {
+		t.Errorf("ASK hint = %q", got)
+	}
+	for _, msg := range []string{"ERR unknown command 'frob'", "TRYAGAIN slot is migrating, retry", "MOVED 1"} {
+		if got := redirectHint(msg); got != "" {
+			t.Errorf("redirectHint(%q) = %q, want empty", msg, got)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Cluster mode for kvserve (-cluster-nodes): this node joins an
+// N-member hash-slot cluster. Keys hash to one of 16384 slots (the
+// same xxh64 route hash that picks the home shard, so a slot's keys
+// never split across shards); each node owns a contiguous share and
+// answers -MOVED/-ASK redirects for the rest, Redis-cluster style.
+// Nodes exchange the versioned slot map and migration streams over a
+// small node-to-node bus (internal/cluster); the client data path
+// never crosses the bus.
+//
+// Correctness is anchored in the shard op gate, not in classify-time
+// routing: every single-key op consults the node's slot view UNDER its
+// shard lock (shard.SetOpGate), so a migration can never race a
+// buffered op into serving a key that already left the node. Denied
+// ops surface as OpOutcome.Denied and are rewritten into redirects
+// here — in execute() for the mutex path and flushPending() for the
+// worker path. ASKING arms a one-shot gate bypass for the next
+// command, honored only while the key's slot is actually importing.
+//
+// CLUSTER MIGRATE <slot> <node> runs a live migration: records stream
+// to the destination in CRC'd batches while the slot dual-serves,
+// ownership flips atomically at commit, and the destination re-warms
+// its STLT from the migrated records (the paper's insertSTLT step) —
+// each installed batch emits an stlt.rewarm trace span so the warm-up
+// cliff is measurable.
+package main
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"addrkv"
+	"addrkv/internal/cluster"
+	"addrkv/internal/resp"
+	"addrkv/internal/trace"
+	"addrkv/internal/wal"
+)
+
+// clusterState is the server's cluster runtime: the node's slot view,
+// the bus it serves, and its handles to every peer's bus.
+type clusterState struct {
+	node   *cluster.Node
+	bus    *cluster.BusServer
+	peers  []*cluster.Peer // node index -> bus handle, nil at self
+	rewarm bool
+	batch  int
+
+	// migMu serializes operator-issued CLUSTER MIGRATE commands: one
+	// migration at a time is the supported regime (concurrent sources
+	// would race the map epoch — see internal/cluster/migrate.go).
+	migMu sync.Mutex
+}
+
+// parseClusterNodes parses the -cluster-nodes spec: comma-separated
+// clientAddr@busAddr pairs, ordered by node index.
+func parseClusterNodes(spec string) ([]cluster.NodeInfo, error) {
+	var nodes []cluster.NodeInfo
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		client, bus, ok := strings.Cut(part, "@")
+		if !ok || client == "" || bus == "" {
+			return nil, fmt.Errorf("cluster node %q: want clientAddr@busAddr", part)
+		}
+		nodes = append(nodes, cluster.NodeInfo{Addr: client, Bus: bus})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-cluster-nodes is empty")
+	}
+	return nodes, nil
+}
+
+// setupCluster brings the cluster runtime up: the initial slot map
+// (even split unless assign overrides it), the bus listener, peer
+// handles, the shard op gate, and the cluster metrics.
+func (s *server) setupCluster(nodes []cluster.NodeInfo, self int, assign string, rewarm bool, batch int) error {
+	if self < 0 || self >= len(nodes) {
+		return fmt.Errorf("cluster: -cluster-self %d out of range (%d nodes)", self, len(nodes))
+	}
+	m := cluster.NewSlotMap(nodes)
+	if assign != "" {
+		if err := cluster.ParseAssignment(m, assign); err != nil {
+			return err
+		}
+	}
+	ln, err := net.Listen("tcp", nodes[self].Bus)
+	if err != nil {
+		return fmt.Errorf("cluster: bus listen: %w", err)
+	}
+	cl := &clusterState{
+		node:   cluster.NewNode(self, m),
+		peers:  make([]*cluster.Peer, len(nodes)),
+		rewarm: rewarm,
+		batch:  batch,
+	}
+	for i, n := range nodes {
+		if i != self {
+			cl.peers[i] = cluster.NewPeer(n.Bus)
+		}
+	}
+	s.clus = cl
+	cl.bus = cluster.ServeBus(ln, s.busHandler)
+	s.sys.Cluster().SetOpGate(cl.node.Gate)
+	s.tele.registerClusterMetrics(s)
+	return nil
+}
+
+// closeCluster tears the bus and peer connections down (after the
+// client connections drained).
+func (s *server) closeCluster() {
+	if s.clus == nil {
+		return
+	}
+	s.clus.bus.Close()
+	for _, p := range s.clus.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+}
+
+// busHandler answers one bus request. It mirrors the protocol the
+// migration runner speaks (internal/cluster): map exchange, import
+// announcements, record batches, and the commit that flips ownership.
+func (s *server) busHandler(m cluster.Msg) (cluster.MsgType, []byte) {
+	n := s.clus.node
+	switch m.Type {
+	case cluster.MsgHello, cluster.MsgMapGet:
+		return cluster.MsgMap, n.Map().Encode(nil)
+	case cluster.MsgMapUpdate:
+		sm, err := cluster.DecodeSlotMap(m.Payload)
+		if err != nil {
+			return cluster.MsgErr, []byte(err.Error())
+		}
+		n.AdoptMap(sm)
+		return cluster.MsgAck, cluster.EncodeU64(n.Version())
+	case cluster.MsgMigStart:
+		slot, src, err := cluster.DecodeSlotNode(m.Payload)
+		if err != nil {
+			return cluster.MsgErr, []byte(err.Error())
+		}
+		if err := n.BeginImport(slot, src); err != nil {
+			return cluster.MsgErr, []byte(err.Error())
+		}
+		return cluster.MsgAck, nil
+	case cluster.MsgMigBatch:
+		slot, rewarm, frames, err := cluster.DecodeMigBatch(m.Payload)
+		if err != nil {
+			return cluster.MsgErr, []byte(err.Error())
+		}
+		res := wal.Scan(frames)
+		if res.Torn {
+			return cluster.MsgErr, []byte("torn migration batch")
+		}
+		// One stlt.rewarm span per installed batch: how many records
+		// landed and how many STLT rows were warmed, so TRACE DUMP shows
+		// the destination's warm-up (or, with rewarm off, its absence).
+		sp := s.tracer.BeginSampled("stlt.rewarm", nil)
+		installed, rewarmed := s.sys.Cluster().InstallRecords(res.Records, rewarm)
+		sp.EventRel(trace.EvSTLTRewarm, 0, int64(installed), int64(rewarmed), int64(slot))
+		s.tracer.Finish(sp, -1, false, false)
+		n.Metrics.ImpBatches.Add(1)
+		n.Metrics.ImpRecords.Add(uint64(installed))
+		n.Metrics.ImpRewarmed.Add(uint64(rewarmed))
+		return cluster.MsgAck, cluster.EncodeU64(uint64(installed))
+	case cluster.MsgMigCommit:
+		slot, sm, err := cluster.DecodeMigCommit(m.Payload)
+		if err != nil {
+			return cluster.MsgErr, []byte(err.Error())
+		}
+		n.CommitImport(slot, sm)
+		return cluster.MsgAck, cluster.EncodeU64(n.Version())
+	}
+	return cluster.MsgErr, []byte(fmt.Sprintf("unhandled bus message type %d", m.Type))
+}
+
+// clusterConsumeAsking consumes the connection's one-shot ASKING flag
+// (it covers exactly the next command, Redis semantics) and reports
+// whether that command may bypass the op gate — only when its key's
+// slot is actually importing here; ASKING toward a slot this node has
+// no claim on still answers MOVED.
+func (s *server) clusterConsumeAsking(cs *connState, args [][]byte) bool {
+	if !cs.asking {
+		return false
+	}
+	cs.asking = false
+	if len(args) < 2 {
+		return false
+	}
+	_, act, _ := s.clus.node.RouteKey(args[1], true)
+	return act == cluster.RouteServeBypass
+}
+
+// clusterRedirectMsg renders the redirect for a key the op gate
+// denied, resolved against the node's CURRENT slot view.
+func (s *server) clusterRedirectMsg(key []byte) string {
+	slot, kind, addr := s.clus.node.RedirectFor(key)
+	met := &s.clus.node.Metrics
+	switch kind {
+	case cluster.RedirectMoved:
+		met.Moved.Add(1)
+		return fmt.Sprintf("MOVED %d %s", slot, addr)
+	case cluster.RedirectAsk:
+		met.Asked.Add(1)
+		return fmt.Sprintf("ASK %d %s", slot, addr)
+	default:
+		met.TryAgain.Add(1)
+		return "TRYAGAIN slot state changed, retry"
+	}
+}
+
+// clusterRedirect writes the redirect reply for a denied single-key op
+// (the synchronous execute path; the worker path writes the same
+// message from flushPending).
+func (s *server) clusterRedirect(w *resp.Writer, key []byte) (quit, monitor, isErr bool) {
+	w.WriteError(s.clusterRedirectMsg(key))
+	return false, false, true
+}
+
+// clusterBatchCheck classifies a multi-key command: every key must
+// hash to ONE slot (CROSSSLOT otherwise), the slot must be owned here
+// (MOVED otherwise) and stable (TRYAGAIN while migrating or importing
+// — batches get no per-key dual-serve split). Returns true when it
+// wrote a reply.
+func (s *server) clusterBatchCheck(w *resp.Writer, keys [][]byte) bool {
+	slot := cluster.SlotOf(keys[0])
+	for _, k := range keys[1:] {
+		if cluster.SlotOf(k) != slot {
+			w.WriteError("CROSSSLOT Keys in request don't hash to the same slot")
+			return true
+		}
+	}
+	owner, ownerAddr, migrating, importing := s.clus.node.SlotInfo(slot)
+	if owner != s.clus.node.Self() {
+		s.clus.node.Metrics.Moved.Add(1)
+		w.WriteError(fmt.Sprintf("MOVED %d %s", slot, ownerAddr))
+		return true
+	}
+	if migrating || importing {
+		s.clus.node.Metrics.TryAgain.Add(1)
+		w.WriteError("TRYAGAIN slot is migrating, retry")
+		return true
+	}
+	return false
+}
+
+// clusterTryAgain answers a batch the op gate denied mid-flight: the
+// slot started migrating between the classify check and execution.
+func (s *server) clusterTryAgain(w *resp.Writer) (quit, monitor, isErr bool) {
+	s.clus.node.Metrics.TryAgain.Add(1)
+	w.WriteError("TRYAGAIN slot is migrating, retry")
+	return false, false, true
+}
+
+// clusterCmd handles CLUSTER SLOTS | INFO | MIGRATE <slot> <node>.
+func (s *server) clusterCmd(w *resp.Writer, args [][]byte) (quit, monitor, isErr bool) {
+	fail := func(msg string) (bool, bool, bool) {
+		w.WriteError(msg)
+		return false, false, true
+	}
+	if s.clus == nil {
+		return fail("ERR This instance has cluster support disabled")
+	}
+	if len(args) < 2 {
+		return fail("ERR wrong number of arguments for 'cluster'")
+	}
+	switch strings.ToLower(string(args[1])) {
+	case "slots":
+		// One entry per contiguous owned range: start, end, then the
+		// owning node as [clientAddr, nodeIndex].
+		m := s.clus.node.Map()
+		ranges := m.Ranges()
+		w.WriteArrayHeader(len(ranges))
+		for _, r := range ranges {
+			w.WriteArrayHeader(3)
+			w.WriteInt(int64(r.Start))
+			w.WriteInt(int64(r.End))
+			w.WriteArrayHeader(2)
+			w.WriteBulkString(m.Nodes[r.Node].Addr)
+			w.WriteInt(int64(r.Node))
+		}
+	case "info":
+		s.statsMu.RLock()
+		rep := s.sys.Report()
+		s.statsMu.RUnlock()
+		var b strings.Builder
+		fmt.Fprintf(&b, "cluster_state:ok\r\n")
+		s.clusterInfo(func(format string, args ...any) {
+			fmt.Fprintf(&b, format, args...)
+		}, rep)
+		w.WriteBulk([]byte(b.String()))
+	case "migrate":
+		if len(args) != 4 {
+			return fail("ERR usage: CLUSTER MIGRATE <slot> <dest-node>")
+		}
+		slot, err1 := strconv.Atoi(string(args[2]))
+		dest, err2 := strconv.Atoi(string(args[3]))
+		if err1 != nil || err2 != nil || slot < 0 || slot >= cluster.NumSlots {
+			return fail("ERR invalid slot or node index")
+		}
+		res, err := s.clusterMigrate(uint16(slot), dest)
+		if err != nil {
+			return fail(fmt.Sprintf("ERR migrate: %v", err))
+		}
+		w.WriteSimple(fmt.Sprintf("OK slot=%d dest=%d keys=%d bytes=%d batches=%d rewarm=%v us=%d",
+			res.Slot, res.Dest, res.Keys, res.Bytes, res.Batches, res.Rewarm,
+			res.Duration.Microseconds()))
+	default:
+		return fail(fmt.Sprintf("ERR unknown CLUSTER subcommand '%s'", args[1]))
+	}
+	return false, false, false
+}
+
+// clusterMigrate runs one operator-issued slot migration. It blocks
+// the issuing connection until committed or failed; every other
+// connection keeps being served throughout (dual-serve via the gate).
+func (s *server) clusterMigrate(slot uint16, dest int) (cluster.MigrationResult, error) {
+	cl := s.clus
+	cl.migMu.Lock()
+	defer cl.migMu.Unlock()
+	return cl.node.Migrate(s.sys.Cluster(), func(i int) *cluster.Peer {
+		if i < 0 || i >= len(cl.peers) {
+			return nil
+		}
+		return cl.peers[i]
+	}, slot, dest, cluster.MigrateOpts{BatchKeys: cl.batch, Rewarm: cl.rewarm})
+}
+
+// clusterInfo renders the INFO "# cluster" section. Emits nothing in
+// standalone mode, keeping standalone INFO byte-identical to earlier
+// releases. cluster_gets_total/cluster_fast_hits_total sum the
+// per-shard counters so clients can sample the STLT hit rate over a
+// window (the migration warm-up cliff measurement).
+func (s *server) clusterInfo(add func(format string, args ...any), rep addrkv.Report) {
+	if s.clus == nil {
+		return
+	}
+	n := s.clus.node
+	m := n.Map()
+	met := &n.Metrics
+	add("# cluster\r\n")
+	add("cluster_enabled:1\r\n")
+	add("cluster_node_index:%d\r\n", n.Self())
+	add("cluster_known_nodes:%d\r\n", len(m.Nodes))
+	add("cluster_addr:%s\r\n", m.Nodes[n.Self()].Addr)
+	add("cluster_bus_addr:%s\r\n", s.clus.bus.Addr())
+	add("cluster_map_version:%d\r\n", m.Version)
+	add("cluster_slots_owned:%d\r\n", n.OwnedSlots())
+	add("cluster_slots_migrating:%d\r\n", len(n.MigratingSlots()))
+	add("cluster_slots_importing:%d\r\n", len(n.ImportingSlots()))
+	add("cluster_moved_total:%d\r\n", met.Moved.Load())
+	add("cluster_ask_total:%d\r\n", met.Asked.Load())
+	add("cluster_asking_total:%d\r\n", met.Asking.Load())
+	add("cluster_tryagain_total:%d\r\n", met.TryAgain.Load())
+	add("cluster_migrations_started:%d\r\n", met.MigStarted.Load())
+	add("cluster_migrations_completed:%d\r\n", met.MigCompleted.Load())
+	add("cluster_migrations_failed:%d\r\n", met.MigFailed.Load())
+	add("cluster_migrated_keys:%d\r\n", met.MigKeys.Load())
+	add("cluster_migrated_bytes:%d\r\n", met.MigBytes.Load())
+	add("cluster_import_batches:%d\r\n", met.ImpBatches.Load())
+	add("cluster_import_records:%d\r\n", met.ImpRecords.Load())
+	add("cluster_import_rewarmed:%d\r\n", met.ImpRewarmed.Load())
+	add("cluster_last_migration_slot:%d\r\n", met.LastMigSlot.Load())
+	add("cluster_last_migration_us:%d\r\n", met.LastMigUS.Load())
+	add("cluster_bus_requests:%d\r\n", s.clus.bus.Served())
+	var gets, fastHits uint64
+	for _, st := range rep.PerShard {
+		gets += st.Gets
+		fastHits += st.FastHits
+	}
+	add("cluster_gets_total:%d\r\n", gets)
+	add("cluster_fast_hits_total:%d\r\n", fastHits)
+}
+
+// registerClusterMetrics exposes the node's cluster counters on
+// /metrics, read at scrape time like registerTraceMetrics.
+func (t *serverTele) registerClusterMetrics(s *server) {
+	n := s.clus.node
+	met := &n.Metrics
+	g := func(name, help string, f func() float64) {
+		t.reg.GaugeFunc(name, help, nil, f)
+	}
+	g("addrkv_cluster_map_version", "Installed slot map epoch.",
+		func() float64 { return float64(n.Version()) })
+	g("addrkv_cluster_slots_owned", "Hash slots owned by this node.",
+		func() float64 { return float64(n.OwnedSlots()) })
+	g("addrkv_cluster_slots_migrating", "Slots currently leaving this node.",
+		func() float64 { return float64(len(n.MigratingSlots())) })
+	g("addrkv_cluster_slots_importing", "Slots currently arriving at this node.",
+		func() float64 { return float64(len(n.ImportingSlots())) })
+	g("addrkv_cluster_moved_total", "MOVED redirects answered.",
+		func() float64 { return float64(met.Moved.Load()) })
+	g("addrkv_cluster_ask_total", "ASK redirects answered.",
+		func() float64 { return float64(met.Asked.Load()) })
+	g("addrkv_cluster_asking_total", "ASKING commands accepted.",
+		func() float64 { return float64(met.Asking.Load()) })
+	g("addrkv_cluster_tryagain_total", "TRYAGAIN answers.",
+		func() float64 { return float64(met.TryAgain.Load()) })
+	g("addrkv_cluster_migrations_completed_total", "Slot migrations committed from this node.",
+		func() float64 { return float64(met.MigCompleted.Load()) })
+	g("addrkv_cluster_migrated_keys_total", "Records shipped out by slot migrations.",
+		func() float64 { return float64(met.MigKeys.Load()) })
+	g("addrkv_cluster_migrated_bytes_total", "Frame bytes shipped out by slot migrations.",
+		func() float64 { return float64(met.MigBytes.Load()) })
+	g("addrkv_cluster_import_records_total", "Records installed by slot imports.",
+		func() float64 { return float64(met.ImpRecords.Load()) })
+	g("addrkv_cluster_import_rewarmed_total", "STLT rows re-warmed during slot imports.",
+		func() float64 { return float64(met.ImpRewarmed.Load()) })
+	g("addrkv_cluster_bus_requests_total", "Node-to-node bus requests served.",
+		func() float64 { return float64(s.clus.bus.Served()) })
+}

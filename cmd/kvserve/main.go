@@ -22,7 +22,13 @@
 //
 // Commands: PING, ECHO, GET, SET, DEL, EXISTS, MGET, MSET, DBSIZE,
 // INFO, RESETSTATS, FLUSHALL, SLOWLOG GET/RESET/LEN, MONITOR,
-// TRACE ON/OFF/STATUS/DUMP, BGSAVE, LASTSAVE, QUIT.
+// TRACE ON/OFF/STATUS/DUMP, BGSAVE, LASTSAVE, QUIT, and in cluster
+// mode CLUSTER SLOTS/INFO/MIGRATE plus ASKING.
+//
+// With -cluster-nodes the server joins a hash-slot cluster: keys map
+// to 16384 slots, each node owns a share and redirects the rest with
+// -MOVED/-ASK, and CLUSTER MIGRATE moves a live slot between nodes
+// while both keep serving it (see cluster.go).
 //
 // With -aof every mutation is appended to a per-shard append-only log
 // (group-committed at the dispatch mode's batch boundary, fsynced per
@@ -123,6 +129,10 @@ type server struct {
 	// persist is the durability runtime (nil without -aof).
 	persist *persistState
 
+	// clus is the cluster runtime (nil in standalone mode — every
+	// cluster hook checks it, so standalone behavior is untouched).
+	clus *clusterState
+
 	// Span tracing: the sampling tracer shared with every shard engine,
 	// the flight-recorder dump sink (nil without -trace-dir), and a
 	// connection sequence so spans name the connection they came from.
@@ -178,6 +188,12 @@ func main() {
 		aofFsync  = flag.String("aof-fsync", "everysec", "fsync policy: always|everysec|no")
 		snapEvery = flag.Duration("snapshot-interval", 0, "run a compacting BGSAVE this often (0 = only on demand)")
 
+		clusterNodes  = flag.String("cluster-nodes", "", "join a cluster: comma-separated clientAddr@busAddr per node, ordered by node index")
+		clusterSelf   = flag.Int("cluster-self", 0, "this node's index into -cluster-nodes")
+		clusterSlots  = flag.String("cluster-slots", "", "initial slot assignment overrides, e.g. '0:0-8191,1:8192-16383' (default: even split)")
+		clusterRewarm = flag.Bool("cluster-rewarm", true, "re-warm the STLT for records arriving via slot migration")
+		clusterBatch  = flag.Int("cluster-batch", 0, "keys per migration batch (0 = default)")
+
 		traceSample = flag.Uint64("trace-sample", 0, "trace 1 in N single-key ops (1 = every op, 0 = off; TRACE ON/OFF adjusts at runtime)")
 		traceDir    = flag.String("trace-dir", "", "directory for flight-recorder dump bundles (TRACE DUMP, anomaly auto-dumps, final dump on shutdown)")
 		traceRing   = flag.Int("trace-ring", defaultTraceRing, "completed traces the flight recorder keeps per shard")
@@ -197,6 +213,19 @@ func main() {
 	if *dispatch != "worker" && *dispatch != "mutex" {
 		fmt.Fprintln(os.Stderr, "kvserve: -dispatch must be worker or mutex")
 		os.Exit(2)
+	}
+	if *clusterNodes != "" {
+		// Cluster nodes advertise TCP client addresses in the slot map,
+		// and slot migration would bypass the AOF (migrated-away keys
+		// would replay on restart) — keep the two features apart.
+		if *addr == "" {
+			fmt.Fprintln(os.Stderr, "kvserve: cluster mode requires -addr (peers redirect clients to TCP addresses)")
+			os.Exit(2)
+		}
+		if *aof {
+			fmt.Fprintln(os.Stderr, "kvserve: cluster mode does not compose with -aof yet")
+			os.Exit(2)
+		}
 	}
 
 	sys, err := addrkv.New(addrkv.Options{
@@ -253,6 +282,17 @@ func main() {
 	if *traceSample > 0 {
 		log.Printf("kvserve: tracing 1 in %d ops (ring %d/shard, dir %q)",
 			*traceSample, *traceRing, *traceDir)
+	}
+	if *clusterNodes != "" {
+		nodes, err := parseClusterNodes(*clusterNodes)
+		if err != nil {
+			log.Fatalf("kvserve: %v", err)
+		}
+		if err := s.setupCluster(nodes, *clusterSelf, *clusterSlots, *clusterRewarm, *clusterBatch); err != nil {
+			log.Fatalf("kvserve: %v", err)
+		}
+		log.Printf("kvserve: cluster node %d/%d, bus on %s, owning %d slots",
+			*clusterSelf, len(nodes), s.clus.bus.Addr(), s.clus.node.OwnedSlots())
 	}
 	if *dispatch == "worker" {
 		if err := s.startWorkers(*queueCap); err != nil {
@@ -317,6 +357,7 @@ func main() {
 	s.drain()
 	s.stopWorkers()      // after drain: no connection is producing anymore
 	s.closePersistence() // after workers: nothing appends; sync + close the logs
+	s.closeCluster()     // last: peers may still be mid-call into the bus while draining
 	s.finalTraceDump()
 	if *sock != "" {
 		_ = os.Remove(*sock)
@@ -488,6 +529,10 @@ type connState struct {
 	id  int64
 	ops uint64
 
+	// asking is the one-shot ASKING flag (cluster mode): the next
+	// command may bypass the op gate if its slot is importing here.
+	asking bool
+
 	// Worker-dispatch state: a slab of reusable request slots (pointer
 	// slice — addresses stay stable while it grows, and each slot's Val
 	// buffer stays warm) and the pending window of enqueued commands
@@ -508,6 +553,9 @@ func (s *server) dispatch(w *resp.Writer, args [][]byte, cs *connState) (quit, m
 	cmd := strings.ToLower(string(args[0]))
 	oc := addrkv.OpOutcome{Shard: -1}
 	var bo addrkv.BatchOutcome
+	if s.clus != nil && cmd != "asking" {
+		oc.Bypass = s.clusterConsumeAsking(cs, args)
+	}
 	// Span lifecycle for sampled single-key ops: dispatch here, the
 	// cluster anchors the cycle base and emits shard.lock/engine-level
 	// events while the op runs under its shard lock (via oc.Trace), and
@@ -527,7 +575,7 @@ func (s *server) dispatch(w *resp.Writer, args [][]byte, cs *connState) (quit, m
 			}
 		}
 	}
-	quit, monitor, isErr := s.execute(w, cmd, args, &oc, &bo)
+	quit, monitor, isErr := s.execute(w, cmd, args, &oc, &bo, cs)
 	if sp != nil {
 		sp.EventRel(trace.EvReplyFlush, sp.Cycles, 0, 0, 0)
 		s.tracer.Finish(sp, oc.Shard, oc.FastHit, oc.Missed)
@@ -554,7 +602,9 @@ func (s *server) dispatch(w *resp.Writer, args [][]byte, cs *connState) (quit, m
 // multi-key commands (MGET/MSET/DEL) fill bo with one exact probe
 // delta per shard touched. PING and ECHO are pure protocol fast
 // paths: no engine, no keys, a reply straight into the write buffer.
-func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.OpOutcome, bo *addrkv.BatchOutcome) (quit, monitor, isErr bool) {
+// In cluster mode an op the shard gate denied (slot not served here)
+// is rewritten into its redirect instead of a normal reply.
+func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.OpOutcome, bo *addrkv.BatchOutcome, cs *connState) (quit, monitor, isErr bool) {
 	fail := func(msg string) (bool, bool, bool) {
 		w.WriteError(msg)
 		return false, false, true
@@ -575,7 +625,11 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 			return fail("ERR wrong number of arguments for 'get'")
 		}
 		s.opsSinceMark.Add(1)
-		if v, ok := s.sys.GetO(args[1], oc); ok {
+		v, ok := s.sys.GetO(args[1], oc)
+		if oc.Denied {
+			return s.clusterRedirect(w, args[1])
+		}
+		if ok {
 			w.WriteBulk(v)
 		} else {
 			w.WriteBulk(nil)
@@ -586,6 +640,9 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 		}
 		s.opsSinceMark.Add(1)
 		s.sys.SetO(args[1], args[2], oc)
+		if oc.Denied {
+			return s.clusterRedirect(w, args[1])
+		}
 		w.WriteSimple("OK")
 	case "del":
 		if len(args) < 2 {
@@ -595,20 +652,37 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 		if len(args) == 2 {
 			// Single-key DEL takes the per-op path so it fills oc (and
 			// carries a span when sampled) instead of a one-shard batch.
-			if s.sys.DeleteO(args[1], oc) {
+			deleted := s.sys.DeleteO(args[1], oc)
+			if oc.Denied {
+				return s.clusterRedirect(w, args[1])
+			}
+			if deleted {
 				w.WriteInt(1)
 			} else {
 				w.WriteInt(0)
 			}
 			break
 		}
-		w.WriteInt(int64(s.sys.DeleteBatchO(args[1:], bo)))
+		if s.clus != nil && s.clusterBatchCheck(w, args[1:]) {
+			return false, false, true
+		}
+		n := s.sys.DeleteBatchO(args[1:], bo)
+		if bo.Denied {
+			return s.clusterTryAgain(w)
+		}
+		w.WriteInt(int64(n))
 	case "mget":
 		if len(args) < 2 {
 			return fail("ERR wrong number of arguments for 'mget'")
 		}
+		if s.clus != nil && s.clusterBatchCheck(w, args[1:]) {
+			return false, false, true
+		}
 		s.opsSinceMark.Add(uint64(len(args) - 1))
 		vals, oks := s.sys.GetBatchO(args[1:], bo)
+		if bo.Denied {
+			return s.clusterTryAgain(w)
+		}
 		for i := range vals {
 			if !oks[i] {
 				vals[i] = nil // null bulk, matching single-key GET misses
@@ -625,15 +699,25 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 		for i := 0; i < n; i++ {
 			keys[i], vals[i] = args[1+2*i], args[2+2*i]
 		}
+		if s.clus != nil && s.clusterBatchCheck(w, keys) {
+			return false, false, true
+		}
 		s.opsSinceMark.Add(uint64(n))
 		s.sys.SetBatchO(keys, vals, bo)
+		if bo.Denied {
+			return s.clusterTryAgain(w)
+		}
 		w.WriteSimple("OK")
 	case "exists":
 		if len(args) != 2 {
 			return fail("ERR wrong number of arguments for 'exists'")
 		}
 		s.opsSinceMark.Add(1)
-		if s.sys.ExistsO(args[1], oc) {
+		present := s.sys.ExistsO(args[1], oc)
+		if oc.Denied {
+			return s.clusterRedirect(w, args[1])
+		}
+		if present {
 			w.WriteInt(1)
 		} else {
 			w.WriteInt(0)
@@ -673,6 +757,15 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 			return fail(fmt.Sprintf("ERR wrong number of arguments for '%s'", cmd))
 		}
 		return false, false, s.persistCmd(w, cmd)
+	case "cluster":
+		return s.clusterCmd(w, args)
+	case "asking":
+		if s.clus == nil {
+			return fail("ERR This instance has cluster support disabled")
+		}
+		cs.asking = true
+		s.clus.node.Metrics.Asking.Add(1)
+		w.WriteSimple("OK")
 	case "slowlog":
 		return s.slowlogCmd(w, args)
 	case "trace":
@@ -824,6 +917,10 @@ func (s *server) info() string {
 	s.persistInfo(func(format string, args ...any) {
 		fmt.Fprintf(&b, format, args...)
 	})
+
+	s.clusterInfo(func(format string, args ...any) {
+		fmt.Fprintf(&b, format, args...)
+	}, rep)
 
 	fmt.Fprintf(&b, "# tracing\r\n")
 	fmt.Fprintf(&b, "trace_sample_every:%d\r\n", s.tracer.Sample())

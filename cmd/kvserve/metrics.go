@@ -30,7 +30,7 @@ import (
 var knownCmds = []string{
 	"get", "set", "del", "exists", "mget", "mset", "dbsize", "info",
 	"ping", "echo", "resetstats", "flushall", "slowlog", "monitor",
-	"bgsave", "lastsave", "quit", "other",
+	"bgsave", "lastsave", "cluster", "asking", "quit", "other",
 }
 
 // serverTele bundles the server's telemetry state.

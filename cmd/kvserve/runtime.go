@@ -111,6 +111,9 @@ func (s *server) enqueueAsync(cs *connState, kind shard.OpKind, cmd string, args
 		}
 	}
 	req.Out = addrkv.OpOutcome{Shard: -1, Trace: sp}
+	if s.clus != nil {
+		req.Out.Bypass = s.clusterConsumeAsking(cs, args)
+	}
 	s.opsSinceMark.Add(1)
 	s.sys.Cluster().Enqueue(req)
 	cs.pend = append(cs.pend, pending{req: req, cmd: cmd, args: args, start: start, sp: sp})
@@ -136,16 +139,21 @@ func (s *server) flushPending(w *resp.Writer, cs *connState) error {
 			s.tracer.Finish(p.sp, r.Out.Shard, r.Out.FastHit, r.Out.Missed)
 		}
 		if werr == nil {
-			switch r.Kind {
-			case shard.OpGet:
+			switch {
+			case r.Out.Denied:
+				// Cluster mode: the shard gate refused the op (slot not
+				// served here as of execution time) — the reply is the
+				// redirect, resolved against the current slot view.
+				werr = w.WriteError(s.clusterRedirectMsg(r.Key))
+			case r.Kind == shard.OpGet:
 				if r.OK {
 					werr = w.WriteBulk(r.Val)
 				} else {
 					werr = w.WriteBulk(nil)
 				}
-			case shard.OpSet:
+			case r.Kind == shard.OpSet:
 				werr = w.WriteSimple("OK")
-			case shard.OpDelete, shard.OpExists:
+			case r.Kind == shard.OpDelete, r.Kind == shard.OpExists:
 				if r.OK {
 					werr = w.WriteInt(1)
 				} else {
@@ -157,7 +165,7 @@ func (s *server) flushPending(w *resp.Writer, cs *connState) error {
 				werr = w.Flush()
 			}
 		}
-		s.tele.observeCmd(p.cmd, p.args, &r.Out, nil, time.Since(p.start), false)
+		s.tele.observeCmd(p.cmd, p.args, &r.Out, nil, time.Since(p.start), r.Out.Denied)
 		if s.tele.feed.Active() {
 			s.tele.feed.Publish(monitorLine(p.args, r.Out.Shard))
 		}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"testing"
+)
+
+func startBus(t *testing.T, h Handler) (*BusServer, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ServeBus(ln, h)
+	t.Cleanup(b.Close)
+	return b, ln.Addr().String()
+}
+
+func TestBusCallRoundtrip(t *testing.T) {
+	m := NewSlotMap([]NodeInfo{{Addr: "a:1", Bus: "a:2"}})
+	_, addr := startBus(t, func(req Msg) (MsgType, []byte) {
+		switch req.Type {
+		case MsgMapGet, MsgHello:
+			return MsgMap, m.Encode(nil)
+		case MsgMigStart:
+			return MsgErr, []byte("refused")
+		default:
+			return MsgAck, EncodeU64(uint64(len(req.Payload)))
+		}
+	})
+	p := NewPeer(addr)
+	defer p.Close()
+
+	reply, err := p.Call(MsgMapGet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSlotMap(reply.Payload)
+	if err != nil || got.Version != 1 {
+		t.Fatalf("map reply: %v %v", got, err)
+	}
+	if _, err := p.Call(MsgMigStart, EncodeSlotNode(1, 0)); err == nil {
+		t.Fatal("MsgErr reply not surfaced as error")
+	}
+	reply, err = p.Call(MsgMapUpdate, []byte{1, 2, 3})
+	if err != nil || DecodeU64(reply.Payload) != 3 {
+		t.Fatalf("ack: %v %v", reply, err)
+	}
+}
+
+func TestBusConcurrentPeers(t *testing.T) {
+	var served sync.Map
+	_, addr := startBus(t, func(req Msg) (MsgType, []byte) {
+		served.Store(string(req.Payload), true)
+		return MsgAck, req.Payload
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			p := NewPeer(addr)
+			defer p.Close()
+			for j := 0; j < 50; j++ {
+				body := []byte{id, byte(j)}
+				reply, err := p.Call(MsgAck, body)
+				if err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+				if string(reply.Payload) != string(body) {
+					t.Errorf("echo mismatch")
+					return
+				}
+			}
+		}(byte(i))
+	}
+	wg.Wait()
+}
+
+func TestPeerReconnects(t *testing.T) {
+	b, addr := startBus(t, func(req Msg) (MsgType, []byte) { return MsgAck, nil })
+	p := NewPeer(addr)
+	defer p.Close()
+	if _, err := p.Call(MsgMapGet, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the peer's connection out from under it; the next call must
+	// redial transparently.
+	p.mu.Lock()
+	p.conn.Close()
+	p.mu.Unlock()
+	if _, err := p.Call(MsgMapGet, nil); err != nil {
+		t.Fatalf("call after drop: %v", err)
+	}
+	b.Close()
+	if _, err := p.Call(MsgMapGet, nil); err == nil {
+		t.Fatal("call against closed bus succeeded")
+	}
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	bodies := map[MsgType][]byte{
+		MsgHello:     EncodeSlotNode(0, 2),
+		MsgMapGet:    nil,
+		MsgMap:       NewSlotMap([]NodeInfo{{Addr: "a:1", Bus: "a:2"}}).Encode(nil),
+		MsgMapUpdate: {1, 2, 3},
+		MsgMigStart:  EncodeSlotNode(512, 1),
+		MsgMigBatch:  EncodeMigBatch(512, true, []byte("frames")),
+		MsgMigCommit: {9, 9},
+		MsgAck:       EncodeU64(42),
+		MsgErr:       []byte("nope"),
+	}
+	var buf []byte
+	var order []MsgType
+	for ty, body := range bodies {
+		buf = AppendFrame(buf, ty, body)
+		order = append(order, ty)
+	}
+	for _, want := range order {
+		m, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", want, err)
+		}
+		if m.Type != want {
+			t.Fatalf("type %v, want %v", m.Type, want)
+		}
+		if !bytes.Equal(m.Payload, bodies[want]) {
+			t.Fatalf("payload %q, want %q", m.Payload, bodies[want])
+		}
+		buf = buf[n:]
+	}
+	if m, n, err := DecodeFrame(buf); err != nil || n != 0 {
+		t.Fatalf("clean end: %v %d %v", m, n, err)
+	}
+}
+
+func TestFrameTornAndCorrupt(t *testing.T) {
+	full := AppendFrame(nil, MsgAck, EncodeU64(7))
+	for cut := 1; cut < len(full); cut++ {
+		if _, n, err := DecodeFrame(full[:cut]); err != ErrTorn || n != 0 {
+			t.Fatalf("cut %d: n=%d err=%v, want torn", cut, n, err)
+		}
+	}
+	flip := append([]byte(nil), full...)
+	flip[len(flip)-1] ^= 0x40
+	if _, n, err := DecodeFrame(flip); err == nil || n != 0 {
+		t.Fatalf("bit flip accepted: n=%d err=%v", n, err)
+	}
+	// Unknown type with a valid CRC must still be rejected.
+	bad := AppendFrame(nil, MsgType(200), nil)
+	if _, _, err := DecodeFrame(bad); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	// Hostile length prefix.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0, 1}
+	if _, _, err := DecodeFrame(huge); err == nil {
+		t.Fatal("hostile length accepted")
+	}
+}
+
+func TestReadWriteMsgStream(t *testing.T) {
+	var stream bytes.Buffer
+	if err := WriteMsg(&stream, MsgMigBatch, EncodeMigBatch(3, false, []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMsg(&stream, MsgAck, EncodeU64(1)); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	m, buf, err := ReadMsg(&stream, buf)
+	if err != nil || m.Type != MsgMigBatch {
+		t.Fatalf("first: %v %v", m.Type, err)
+	}
+	slot, rewarm, frames, err := DecodeMigBatch(m.Payload)
+	if err != nil || slot != 3 || rewarm || string(frames) != "x" {
+		t.Fatalf("batch body: %d %v %q %v", slot, rewarm, frames, err)
+	}
+	m, buf, err = ReadMsg(&stream, buf)
+	if err != nil || m.Type != MsgAck || DecodeU64(m.Payload) != 1 {
+		t.Fatalf("second: %v %v", m, err)
+	}
+	if _, _, err = ReadMsg(&stream, buf); err != io.EOF {
+		t.Fatalf("eof: %v", err)
+	}
+	// A stream that dies mid-frame is a tear, not EOF.
+	stream.Reset()
+	full := AppendFrame(nil, MsgErr, []byte("boom"))
+	stream.Write(full[:len(full)-2])
+	if _, _, err := ReadMsg(&stream, nil); err != ErrTorn {
+		t.Fatalf("tear: %v", err)
+	}
+}
+
+func TestMigCommitRoundtrip(t *testing.T) {
+	m := NewSlotMap([]NodeInfo{{Addr: "h:1", Bus: "h:2"}, {Addr: "h:3", Bus: "h:4"}})
+	m.Version = 7
+	m.SetOwner(100, 1)
+	body := EncodeMigCommit(100, m)
+	slot, got, err := DecodeMigCommit(body)
+	if err != nil || slot != 100 {
+		t.Fatalf("decode: %d %v", slot, err)
+	}
+	if got.Version != 7 || got.Owner(100) != 1 || got.Owner(99) != 0 {
+		t.Fatalf("map mismatch: %+v", got)
+	}
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame throws corrupt bytes, truncations, and hostile
+// length prefixes at the bus frame decoder — the same invariants
+// internal/wal's frame fuzzer pins: never panic, never over-read,
+// accept exactly the canonical encoding (a decoded frame re-encodes
+// to the same bytes), and consume nothing on error so a torn stream
+// is rejected cleanly rather than resynchronized into garbage.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, MsgHello, EncodeSlotNode(0, 1)))
+	f.Add(AppendFrame(nil, MsgMapGet, nil))
+	f.Add(AppendFrame(nil, MsgMap, NewSlotMap([]NodeInfo{{Addr: "a", Bus: "b"}}).Encode(nil)))
+	f.Add(AppendFrame(nil, MsgMigBatch, EncodeMigBatch(16383, true, bytes.Repeat([]byte{'r'}, 500))))
+	two := AppendFrame(AppendFrame(nil, MsgAck, EncodeU64(9)), MsgErr, []byte("reason"))
+	f.Add(two)
+	f.Add(two[:len(two)-3])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})                 // giant length prefix
+	f.Add([]byte{0x05, 0x00, 0x00, 0x00, 0, 0, 0, 0, 99, 0, 0, 0, 0}) // bad type
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, n, err := DecodeFrame(b)
+		switch {
+		case err != nil:
+			if n != 0 {
+				t.Fatalf("error %v with n=%d", err, n)
+			}
+		case n == 0:
+			if len(b) != 0 {
+				t.Fatal("clean end on non-empty input")
+			}
+		default:
+			if n > len(b) {
+				t.Fatalf("decoder over-read: n=%d len=%d", n, len(b))
+			}
+			re := AppendFrame(nil, m.Type, m.Payload)
+			if !bytes.Equal(re, b[:n]) {
+				t.Fatalf("non-canonical accept:\n got %x\nfrom %x", re, b[:n])
+			}
+		}
+		// The slot-map decoder shares the bus's trust boundary: any
+		// bytes, never a panic.
+		if sm, err := DecodeSlotMap(b); err == nil {
+			if _, err2 := DecodeSlotMap(sm.Encode(nil)); err2 != nil {
+				t.Fatalf("re-encode of accepted map rejected: %v", err2)
+			}
+		}
+	})
+}

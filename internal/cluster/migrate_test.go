@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"addrkv/internal/kv"
+	"addrkv/internal/shard"
+	"addrkv/internal/wal"
+)
+
+// testNode is a minimal in-process cluster member: a shard cluster, a
+// node state, and a bus handler mirroring the serving layer's wiring
+// (kvserve composes the same pieces).
+type testNode struct {
+	idx  int
+	c    *shard.Cluster
+	n    *Node
+	bus  *BusServer
+	peer *Peer // dialed by others
+}
+
+func newTestCluster(t *testing.T, nodes int) []*testNode {
+	t.Helper()
+	infos := make([]NodeInfo, nodes)
+	lns := make([]net.Listener, nodes)
+	for i := range infos {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		infos[i] = NodeInfo{
+			Addr: fmt.Sprintf("127.0.0.1:%d", 7000+i), // advertised only
+			Bus:  ln.Addr().String(),
+		}
+	}
+	tns := make([]*testNode, nodes)
+	for i := range tns {
+		c, err := shard.New(shard.Config{Shards: 2, Engine: kv.Config{Keys: 8000, Mode: kv.ModeSTLT, Seed: 42}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := NewNode(i, NewSlotMap(infos))
+		c.SetOpGate(n.Gate)
+		tn := &testNode{idx: i, c: c, n: n}
+		tn.bus = ServeBus(lns[i], tn.handle)
+		tn.peer = NewPeer(infos[i].Bus)
+		t.Cleanup(tn.bus.Close)
+		t.Cleanup(tn.peer.Close)
+		tns[i] = tn
+	}
+	return tns
+}
+
+func (tn *testNode) handle(m Msg) (MsgType, []byte) {
+	switch m.Type {
+	case MsgHello, MsgMapGet:
+		return MsgMap, tn.n.Map().Encode(nil)
+	case MsgMapUpdate:
+		sm, err := DecodeSlotMap(m.Payload)
+		if err != nil {
+			return MsgErr, []byte(err.Error())
+		}
+		tn.n.AdoptMap(sm)
+		return MsgAck, EncodeU64(tn.n.Version())
+	case MsgMigStart:
+		slot, src, err := DecodeSlotNode(m.Payload)
+		if err != nil {
+			return MsgErr, []byte(err.Error())
+		}
+		if err := tn.n.BeginImport(slot, src); err != nil {
+			return MsgErr, []byte(err.Error())
+		}
+		return MsgAck, nil
+	case MsgMigBatch:
+		_, rewarm, frames, err := DecodeMigBatch(m.Payload)
+		if err != nil {
+			return MsgErr, []byte(err.Error())
+		}
+		res := wal.Scan(frames)
+		if res.Torn {
+			return MsgErr, []byte("torn batch")
+		}
+		installed, _ := tn.c.InstallRecords(res.Records, rewarm)
+		tn.n.Metrics.ImpBatches.Add(1)
+		tn.n.Metrics.ImpRecords.Add(uint64(installed))
+		return MsgAck, EncodeU64(uint64(installed))
+	case MsgMigCommit:
+		slot, sm, err := DecodeMigCommit(m.Payload)
+		if err != nil {
+			return MsgErr, []byte(err.Error())
+		}
+		tn.n.CommitImport(slot, sm)
+		return MsgAck, EncodeU64(tn.n.Version())
+	}
+	return MsgErr, []byte("unhandled")
+}
+
+func peersOf(tns []*testNode, self int) func(int) *Peer {
+	return func(i int) *Peer {
+		if i < 0 || i >= len(tns) || i == self {
+			return nil
+		}
+		return tns[i].peer
+	}
+}
+
+// keysInSlotOwnedBy fabricates distinct keys landing in slots owned
+// by node `own` under map m, at least count of them.
+func keysOwnedBy(m *SlotMap, own, count int) [][]byte {
+	var keys [][]byte
+	for i := 0; len(keys) < count; i++ {
+		k := []byte(fmt.Sprintf("mig:%d", i))
+		if m.Owner(SlotOf(k)) == own {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestMigrateMovesSlotByteIdentical(t *testing.T) {
+	tns := newTestCluster(t, 2)
+	src, dst := tns[0], tns[1]
+
+	// Populate node 0 with keys, remember those in one chosen slot.
+	keys := keysOwnedBy(src.n.Map(), 0, 500)
+	vals := map[string][]byte{}
+	for i, k := range keys {
+		v := []byte(fmt.Sprintf("value-%d-%s", i, k))
+		src.c.Set(k, v)
+		vals[string(k)] = v
+	}
+	slot := SlotOf(keys[0])
+	var slotKeys [][]byte
+	for _, k := range keys {
+		if SlotOf(k) == slot {
+			slotKeys = append(slotKeys, k)
+		}
+	}
+
+	res, err := src.n.Migrate(src.c, peersOf(tns, 0), slot, 1, MigrateOpts{Rewarm: true, BatchKeys: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Keys != len(slotKeys) {
+		t.Fatalf("moved %d keys, want %d", res.Keys, len(slotKeys))
+	}
+	if src.n.Map().Owner(slot) != 1 || dst.n.Map().Owner(slot) != 1 {
+		t.Fatalf("ownership not flipped: src=%d dst=%d",
+			src.n.Map().Owner(slot), dst.n.Map().Owner(slot))
+	}
+	if src.n.Map().Version != 2 || dst.n.Map().Version != 2 {
+		t.Fatalf("version not bumped: %d/%d", src.n.Map().Version, dst.n.Map().Version)
+	}
+	for _, k := range slotKeys {
+		if src.c.ContainsKey(k) {
+			t.Fatalf("key %q still on source", k)
+		}
+		got, ok := dst.c.PeekValue(k)
+		if !ok || !bytes.Equal(got, vals[string(k)]) {
+			t.Fatalf("key %q on destination: ok=%v val=%q want %q", k, ok, got, vals[string(k)])
+		}
+	}
+	// Keys of other slots stayed put.
+	stay := 0
+	for _, k := range keys {
+		if SlotOf(k) != slot {
+			if !src.c.ContainsKey(k) {
+				t.Fatalf("unmigrated key %q vanished", k)
+			}
+			stay++
+		}
+	}
+	if stay+len(slotKeys) != len(keys) {
+		t.Fatal("key accounting broken")
+	}
+	if got := dst.n.Metrics.ImpRecords.Load(); got != uint64(len(slotKeys)) {
+		t.Fatalf("destination installed %d, want %d", got, len(slotKeys))
+	}
+	if res.Batches == 0 || res.Bytes == 0 || res.Duration <= 0 {
+		t.Fatalf("result not filled: %+v", res)
+	}
+}
+
+// TestMigrateRewarmWarmsDestinationSTLT pins the insertSTLT analog:
+// with Rewarm the destination's first GET of a migrated key is a
+// fast-path hit; without it, the first GET takes the slow path (the
+// warm-up cliff the benchmark measures).
+func TestMigrateRewarmWarmsDestinationSTLT(t *testing.T) {
+	for _, rewarm := range []bool{true, false} {
+		tns := newTestCluster(t, 2)
+		src, dst := tns[0], tns[1]
+		keys := keysOwnedBy(src.n.Map(), 0, 200)
+		for _, k := range keys {
+			src.c.Set(k, []byte("v"))
+		}
+		slot := SlotOf(keys[0])
+		if _, err := src.n.Migrate(src.c, peersOf(tns, 0), slot, 1, MigrateOpts{Rewarm: rewarm}); err != nil {
+			t.Fatal(err)
+		}
+		var first *shard.OpOutcome
+		for _, k := range keys {
+			if SlotOf(k) != slot {
+				continue
+			}
+			var out shard.OpOutcome
+			if _, ok := dst.c.GetO(k, &out); !ok {
+				t.Fatalf("migrated key %q missing", k)
+			}
+			first = &out
+			break
+		}
+		if first == nil {
+			t.Fatal("no key in slot")
+		}
+		if first.FastHit != rewarm {
+			t.Fatalf("rewarm=%v: first GET fastHit=%v", rewarm, first.FastHit)
+		}
+	}
+}
+
+// TestMigrateUnderTraffic runs a mixed GET/SET stream against the
+// moving slot while the migration is in flight, following redirects
+// the way a cluster client would, and verifies zero lost, stale, or
+// duplicated acknowledged writes.
+func TestMigrateUnderTraffic(t *testing.T) {
+	tns := newTestCluster(t, 2)
+	src, dst := tns[0], tns[1]
+	keys := keysOwnedBy(src.n.Map(), 0, 100)
+	slot := SlotOf(keys[0])
+	// Pack a meaningful population into the moving slot so the stream
+	// and the migration genuinely interleave.
+	var slotKeys [][]byte
+	for i := 0; len(slotKeys) < 32; i++ {
+		k := []byte(fmt.Sprintf("hot:%d", i))
+		if SlotOf(k) == slot {
+			slotKeys = append(slotKeys, k)
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		src.c.Set(k, []byte("v0"))
+	}
+
+	// clientOp mimics the serving path: route on the owner's node
+	// state, run the gated op, follow ASK/MOVED on denial.
+	ackVal := func(k []byte, seq int) []byte { return []byte(fmt.Sprintf("v%d", seq)) }
+	nodeOf := func(i int) *testNode { return tns[i] }
+	doSet := func(k, v []byte) {
+		node := src
+		for hop := 0; hop < 8; hop++ {
+			var out shard.OpOutcome
+			if node.n.Map().Owner(SlotOf(k)) != node.idx && !node.n.Importing(SlotOf(k)) {
+				node = nodeOf(node.n.Map().Owner(SlotOf(k)))
+				continue
+			}
+			if node.n.Importing(SlotOf(k)) && node.n.Map().Owner(SlotOf(k)) != node.idx {
+				out.Bypass = true // the ASKING path
+			}
+			node.c.SetO(k, v, &out)
+			if !out.Denied {
+				return
+			}
+			_, kind, _ := node.n.RedirectFor(k)
+			switch kind {
+			case RedirectAsk:
+				node = nodeOf(1) // dest of the only migration
+			case RedirectMoved:
+				node = nodeOf(node.n.Map().Owner(SlotOf(k)))
+			}
+		}
+		t.Error("SET did not settle within 8 hops")
+	}
+	doGet := func(k []byte) ([]byte, bool) {
+		node := src
+		for hop := 0; hop < 8; hop++ {
+			var out shard.OpOutcome
+			if node.n.Map().Owner(SlotOf(k)) != node.idx && !node.n.Importing(SlotOf(k)) {
+				node = nodeOf(node.n.Map().Owner(SlotOf(k)))
+				continue
+			}
+			if node.n.Importing(SlotOf(k)) && node.n.Map().Owner(SlotOf(k)) != node.idx {
+				out.Bypass = true
+			}
+			v, ok := node.c.GetO(k, &out)
+			if !out.Denied {
+				return append([]byte(nil), v...), ok
+			}
+			_, kind, _ := node.n.RedirectFor(k)
+			switch kind {
+			case RedirectAsk:
+				node = nodeOf(1)
+			case RedirectMoved:
+				node = nodeOf(node.n.Map().Owner(SlotOf(k)))
+			}
+		}
+		t.Error("GET did not settle within 8 hops")
+		return nil, false
+	}
+
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	lastAcked := map[string]int{} // key -> last acknowledged seq
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seq := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := slotKeys[seq%len(slotKeys)]
+			doSet(k, ackVal(k, seq))
+			mu.Lock()
+			lastAcked[string(k)] = seq
+			mu.Unlock()
+			if v, ok := doGet(k); !ok || len(v) == 0 {
+				t.Errorf("read-your-write failed for %q", k)
+				return
+			}
+			seq++
+		}
+	}()
+
+	if _, err := src.n.Migrate(src.c, peersOf(tns, 0), slot, 1, MigrateOpts{Rewarm: true, BatchKeys: 2}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Post-migration: every acknowledged write's latest value must be
+	// on the destination (and only there).
+	mu.Lock()
+	defer mu.Unlock()
+	for _, k := range slotKeys {
+		want := []byte("v0")
+		if seq, ok := lastAcked[string(k)]; ok {
+			want = ackVal(k, seq)
+		}
+		if src.c.ContainsKey(k) {
+			t.Fatalf("key %q duplicated on source after migration", k)
+		}
+		got, ok := dst.c.PeekValue(k)
+		if !ok {
+			t.Fatalf("acknowledged key %q lost", k)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("stale value for %q: got %q want %q", k, got, want)
+		}
+	}
+}
+
+func TestMigrateRefusals(t *testing.T) {
+	tns := newTestCluster(t, 3)
+	src := tns[0]
+	// Slot not owned here.
+	foreign := uint16(0)
+	for s := uint16(0); ; s++ {
+		if src.n.Map().Owner(s) != 0 {
+			foreign = s
+			break
+		}
+	}
+	if _, err := src.n.Migrate(src.c, peersOf(tns, 0), foreign, 1, MigrateOpts{}); err == nil {
+		t.Fatal("migrated unowned slot")
+	}
+	// Destination == self.
+	if _, err := src.n.Migrate(src.c, peersOf(tns, 0), 0, 0, MigrateOpts{}); err == nil {
+		t.Fatal("migrated slot to itself")
+	}
+	// Unknown destination.
+	if _, err := src.n.Migrate(src.c, peersOf(tns, 0), 0, 9, MigrateOpts{}); err == nil {
+		t.Fatal("migrated to unknown node")
+	}
+	// Destination refuses an import of a slot it owns.
+	owned1 := uint16(0)
+	for s := uint16(0); ; s++ {
+		if src.n.Map().Owner(s) == 1 {
+			owned1 = s
+			break
+		}
+	}
+	if err := tns[1].n.BeginImport(owned1, 0); err == nil {
+		t.Fatal("imported an owned slot")
+	}
+}

@@ -46,6 +46,13 @@ type ShardBatchOutcome struct {
 // ones.
 type BatchOutcome struct {
 	PerShard []ShardBatchOutcome
+	// Denied reports that the cluster op gate rejected the batch under
+	// a shard lock before any of that shard's ops ran; remaining shard
+	// groups are skipped. In cluster mode a multi-key command is
+	// restricted to one hash slot (hence one shard group), so a denied
+	// batch applied nothing at all — the front-end answers TRYAGAIN
+	// and the client retries against fresh routing.
+	Denied bool
 }
 
 // TotalOps sums ops over the touched shards.
@@ -151,6 +158,13 @@ func (c *Cluster) GetBatchO(keys [][]byte, out *BatchOutcome) (vals [][]byte, ok
 		}
 		s := c.shards[si]
 		s.mu.Lock()
+		if c.gateDeniesBatch(s.e, sub) {
+			s.mu.Unlock()
+			if out != nil {
+				out.Denied = true
+			}
+			break
+		}
 		var before kv.OpProbe
 		if out != nil {
 			before = s.e.Probe()
@@ -182,6 +196,13 @@ func (c *Cluster) SetBatchO(keys, values [][]byte, out *BatchOutcome) {
 		}
 		s := c.shards[si]
 		s.mu.Lock()
+		if c.gateDeniesBatch(s.e, subK) {
+			s.mu.Unlock()
+			if out != nil {
+				out.Denied = true
+			}
+			break
+		}
 		var before kv.OpProbe
 		if out != nil {
 			before = s.e.Probe()
@@ -216,6 +237,13 @@ func (c *Cluster) DeleteBatchO(keys [][]byte, out *BatchOutcome) int {
 		}
 		s := c.shards[si]
 		s.mu.Lock()
+		if c.gateDeniesBatch(s.e, sub) {
+			s.mu.Unlock()
+			if out != nil {
+				out.Denied = true
+			}
+			break
+		}
 		var before kv.OpProbe
 		if out != nil {
 			before = s.e.Probe()

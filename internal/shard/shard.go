@@ -31,10 +31,20 @@ import (
 	"addrkv/internal/ycsb"
 )
 
-// routeSeed is the fixed seed of the shard-routing hash. It is
+// RouteSeed is the fixed seed of the shard-routing hash. It is
 // deliberately distinct from the engines' fast-path hash seed so that
-// shard placement and STLT row placement are uncorrelated.
-const routeSeed = 0x5A4DC0DE
+// shard placement and STLT row placement are uncorrelated. Exported
+// because cluster mode derives hash slots from the same function
+// (internal/cluster.SlotOf), so slot placement and shard placement
+// stay consistent views of one hash.
+const RouteSeed = 0x5A4DC0DE
+
+// RouteValue returns the default routing-hash value of key — xxh64
+// with RouteSeed, the 64-bit value ShardFor reduces to a shard index
+// and cluster mode reduces to a hash slot. Cluster-aware clients use
+// it for slot prediction so client and server always agree on
+// placement.
+func RouteValue(key []byte) uint64 { return hashfn.XXH64.Hash(key, RouteSeed) }
 
 // Config shapes a Cluster.
 type Config struct {
@@ -74,6 +84,11 @@ type Cluster struct {
 	// (durability; see durability.go). Installed by AttachWAL before
 	// traffic and read without synchronization on the hot path.
 	logs []*wal.Log
+
+	// gate, when non-nil, is the cluster-mode op gate consulted under
+	// the shard lock before every single-key data op (see migrate.go).
+	// Atomic so migrations can install/clear it against live traffic.
+	gate atomic.Pointer[Gate]
 }
 
 // shardSlot pairs an engine with its serialization lock: each engine
@@ -124,7 +139,7 @@ func (c *Cluster) ShardFor(key []byte) int {
 	if len(c.shards) == 1 {
 		return 0
 	}
-	h := c.route.Hash(key, routeSeed)
+	h := c.route.Hash(key, RouteSeed)
 	if c.mask != 0 {
 		// h & (2^k - 1) == h % 2^k: bit-identical routing, no divide.
 		return int(h & c.mask)
@@ -191,6 +206,14 @@ type OpOutcome struct {
 	// cost stamped. The caller finishes the span (reply events,
 	// Tracer.Finish) after the outcome returns.
 	Trace *trace.Op
+	// Bypass, when set by the caller BEFORE the op, exempts it from
+	// the cluster op gate — used for ASK-redirected commands the
+	// client has already re-routed to this node (see SetOpGate).
+	Bypass bool
+	// Denied reports that the op gate rejected the operation under the
+	// shard lock: no engine call ran, no cycles were charged, and the
+	// front-end must answer with a redirect instead of a reply.
+	Denied bool
 }
 
 // observe fills out (when non-nil) from the probe delta across an op.
@@ -215,6 +238,7 @@ func observeDelta(i int, out *OpOutcome, before, after kv.OpProbe) {
 		STBHits:   after.Machine.STBHits - before.Machine.STBHits,
 		PageWalks: after.Machine.PageWalks - before.Machine.PageWalks,
 		Trace:     out.Trace,
+		Bypass:    out.Bypass,
 	}
 }
 
@@ -250,6 +274,9 @@ func (c *Cluster) GetO(key []byte, out *OpOutcome) ([]byte, bool) {
 	s := c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !c.gateAllows(s.e, key, out) {
+		return nil, false
+	}
 	var before kv.OpProbe
 	if out != nil {
 		before = s.e.Probe()
@@ -271,6 +298,9 @@ func (c *Cluster) GetTouchO(key []byte, out *OpOutcome) bool {
 	s := c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !c.gateAllows(s.e, key, out) {
+		return false
+	}
 	var before kv.OpProbe
 	if out != nil {
 		before = s.e.Probe()
@@ -291,6 +321,9 @@ func (c *Cluster) SetO(key, value []byte, out *OpOutcome) {
 	s := c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !c.gateAllows(s.e, key, out) {
+		return
+	}
 	var before kv.OpProbe
 	if out != nil {
 		before = s.e.Probe()
@@ -312,6 +345,9 @@ func (c *Cluster) DeleteO(key []byte, out *OpOutcome) bool {
 	s := c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !c.gateAllows(s.e, key, out) {
+		return false
+	}
 	var before kv.OpProbe
 	if out != nil {
 		before = s.e.Probe()
@@ -334,6 +370,9 @@ func (c *Cluster) ExistsO(key []byte, out *OpOutcome) bool {
 	s := c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !c.gateAllows(s.e, key, out) {
+		return false
+	}
 	var before kv.OpProbe
 	if out != nil {
 		before = s.e.Probe()

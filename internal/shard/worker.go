@@ -237,6 +237,13 @@ func (c *Cluster) serveBurst(i int, s *shardSlot, w *worker, burst []*Req) {
 	before := s.e.Probe()
 	for bi, r := range burst {
 		out := &r.Out
+		if !c.gateAllows(s.e, r.Key, out) {
+			// Denied by the cluster op gate: no engine call, no probe
+			// movement (before stays chained). The front-end rewrites
+			// the reply as a redirect from out.Denied.
+			r.OK = false
+			continue
+		}
 		if out.Trace != nil {
 			out.Trace.EventRel(trace.EvQueueWait, 0, int64(i), int64(bi), int64(n))
 			attachTrace(i, s.e, out)

@@ -398,7 +398,7 @@ func TestShardForMaskMatchesModulo(t *testing.T) {
 		}
 		for id := uint64(0); id < 5000; id++ {
 			key := []byte(ycsb.KeyName(id))
-			want := int(c.route.Hash(key, routeSeed) % uint64(n))
+			want := int(c.route.Hash(key, RouteSeed) % uint64(n))
 			if got := c.ShardFor(key); got != want {
 				t.Fatalf("shards=%d key %s: ShardFor = %d, want %d", n, key, got, want)
 			}

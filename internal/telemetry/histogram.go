@@ -60,6 +60,19 @@ func (h *Histogram) Observe(v uint64) {
 	h.count.Add(1)
 }
 
+// ObserveN records n samples of value v in one shot — three atomic
+// adds total instead of 3n. Pipelined clients use it to attribute one
+// measured batch round-trip to every op the batch carried without
+// per-op atomics on the hot path.
+func (h *Histogram) ObserveN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(n)
+	h.sum.Add(v * n)
+	h.count.Add(n)
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

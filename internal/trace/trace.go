@@ -106,16 +106,24 @@ const (
 	// B = records covered by the barrier. Emitted after the engine
 	// section ends, so its cycle stamp equals the op's total.
 	EvWALFsync
+	// EvSTLTRewarm marks a migration batch re-warming the destination
+	// node's STLT from freshly installed records (the paper's
+	// insertSTLT() step of the record-move protocol, replayed per
+	// migrated record); A = records installed, B = STLT rows warmed,
+	// C = the hash slot being migrated. Installation is functional, so
+	// the cycle stamp is always 0 — the span's wall time is the
+	// re-warm cost.
+	EvSTLTRewarm
 
 	// NumEventKinds bounds the kind space (for per-kind counters).
-	NumEventKinds = int(EvWALFsync) + 1
+	NumEventKinds = int(EvSTLTRewarm) + 1
 )
 
 var kindNames = [NumEventKinds]string{
 	"dispatch", "queue.wait", "drain", "shard.lock", "engine.op",
 	"stlt.loadva", "stlt.probe", "ipb.check", "stb.hit", "stb.miss",
 	"tlb.refill", "walk.level", "page.walk", "index.walk", "stlt.insert",
-	"stlt.scrub", "reply.flush", "wal.append", "wal.fsync",
+	"stlt.scrub", "reply.flush", "wal.append", "wal.fsync", "stlt.rewarm",
 }
 
 // String returns the stable wire name of the kind.

@@ -1,0 +1,613 @@
+// Command cluster orchestrates multi-node kvserve clusters on
+// loopback and merges three experiments into one BENCH_cluster.json:
+//
+//  1. a throughput/latency sweep over nodes × conns × pipeline depth,
+//     driven by kvbench -cluster (slot-routed, redirect-following);
+//  2. a live slot migration under concurrent read/write traffic, with
+//     a zero-lost / zero-stale / zero-duplicated key audit — every
+//     acked write must be readable at the new owner byte-for-byte,
+//     and the old owner must answer MOVED for every migrated key;
+//  3. the STLT warm-up cliff: the same migration with -cluster-rewarm
+//     on vs off, sampling the destination's windowed fast-path hit
+//     rate after the ownership flip. With rewarm on the destination's
+//     STLT is warmed while records install (the paper's insertSTLT
+//     applied at migration time), so the first window already hits;
+//     with it off the first window pays the cliff and later windows
+//     recover as demand GETs refill the table.
+//
+// Usage (from the repo root):
+//
+//	go build -o /tmp/kvserve ./cmd/kvserve
+//	go build -o /tmp/kvbench ./cmd/kvbench
+//	go run ./scripts/cluster -kvserve /tmp/kvserve -kvbench /tmp/kvbench \
+//	    -json results/BENCH_cluster.json
+//
+// The audit failing (any lost, stale, or duplicated key) exits 1, so
+// CI can gate on it directly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"addrkv/internal/cluster"
+	"addrkv/internal/resp"
+)
+
+// depthPoint mirrors the kvbench depthResult fields this tool keeps.
+type depthPoint struct {
+	Depth     int     `json:"depth"`
+	Ops       uint64  `json:"ops"`
+	Errors    uint64  `json:"errors"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	LatencyUS struct {
+		P50  uint64 `json:"p50"`
+		P99  uint64 `json:"p99"`
+		P999 uint64 `json:"p999"`
+	} `json:"latency_us"`
+	Moved    uint64 `json:"moved,omitempty"`
+	Ask      uint64 `json:"ask,omitempty"`
+	TryAgain uint64 `json:"tryagain,omitempty"`
+}
+
+type benchArtifact struct {
+	Sweep []depthPoint `json:"sweep"`
+}
+
+// sweepResult is one cell of the nodes × conns matrix.
+type sweepResult struct {
+	Nodes int          `json:"nodes"`
+	Conns int          `json:"conns"`
+	Sweep []depthPoint `json:"sweep"`
+}
+
+// migrationAudit records the under-load migration and its key audit.
+type migrationAudit struct {
+	Slot         int    `json:"slot"`
+	Keys         int    `json:"keys"`
+	AckedWrites  uint64 `json:"acked_writes"`
+	MigrationUS  uint64 `json:"migration_us"`
+	MigratedKeys uint64 `json:"migrated_keys"`
+	Lost         int    `json:"lost"`
+	Stale        int    `json:"stale"`
+	Duplicated   int    `json:"duplicated"`
+	MovedSeen    uint64 `json:"moved_seen"`
+	AskSeen      uint64 `json:"ask_seen"`
+	TryAgainSeen uint64 `json:"tryagain_seen"`
+}
+
+// rewarmWindow is one post-migration sampling window at the
+// destination: GETs issued and the fast-path hits they scored.
+type rewarmWindow struct {
+	Window   int     `json:"window"`
+	Gets     uint64  `json:"gets"`
+	FastHits uint64  `json:"fast_hits"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+type rewarmResult struct {
+	Rewarm      bool           `json:"rewarm"`
+	Rewarmed    uint64         `json:"stlt_rows_rewarmed"`
+	MigrationUS uint64         `json:"migration_us"`
+	Timeline    []rewarmWindow `json:"timeline"`
+}
+
+type clusterReport struct {
+	Name      string         `json:"name"`
+	Kind      string         `json:"kind"`
+	Params    map[string]any `json:"params"`
+	Sweeps    []sweepResult  `json:"sweeps"`
+	Migration migrationAudit `json:"migration"`
+	Rewarm    []rewarmResult `json:"rewarm"`
+}
+
+func main() {
+	var (
+		kvserve  = flag.String("kvserve", "", "path to a built kvserve binary (required)")
+		kvbench  = flag.String("kvbench", "", "path to a built kvbench binary (required)")
+		out      = flag.String("json", "results/BENCH_cluster.json", "merged artifact path")
+		ops      = flag.Int("ops", 40_000, "operations per sweep depth point")
+		keys     = flag.Int("keys", 10_000, "key-space size for the sweep workload")
+		vsize    = flag.Int("vsize", 64, "value size")
+		depths   = flag.String("depths", "1,8,32", "pipeline depths swept per cell")
+		nodesArg = flag.String("nodes", "1,3", "cluster sizes swept")
+		connsArg = flag.String("conns", "2,8", "connection counts swept")
+		migKeys  = flag.Int("mig-keys", 200, "keys in the migrated slot")
+		windows  = flag.Int("windows", 6, "post-migration hit-rate sampling windows")
+		winGets  = flag.Int("window-gets", 400, "GETs per sampling window")
+	)
+	flag.Parse()
+	if *kvserve == "" || *kvbench == "" {
+		fmt.Fprintln(os.Stderr, "cluster: -kvserve and -kvbench are required")
+		os.Exit(2)
+	}
+	tmp, err := os.MkdirTemp("", "cluster-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	report := clusterReport{
+		Name: "cluster",
+		Kind: "kvbench-cluster-matrix",
+		Params: map[string]any{
+			"ops": *ops, "keys": *keys, "vsize": *vsize, "depths": *depths,
+			"mig_keys": *migKeys, "windows": *windows, "window_gets": *winGets,
+			"cpus": runtime.NumCPU(),
+		},
+	}
+
+	for _, n := range parseInts(*nodesArg) {
+		cl := boot(*kvserve, n, true)
+		for _, conns := range parseInts(*connsArg) {
+			fmt.Printf("== sweep: %d node(s), %d conn(s), depths %s ==\n", n, conns, *depths)
+			art := filepath.Join(tmp, fmt.Sprintf("sweep-%d-%d.json", n, conns))
+			bench := exec.Command(*kvbench,
+				"-addr", cl.addrs[0], "-cluster",
+				"-sweep", *depths,
+				"-ops", fmt.Sprint(*ops), "-conns", fmt.Sprint(conns),
+				"-keys", fmt.Sprint(*keys), "-vsize", fmt.Sprint(*vsize),
+				"-json", art,
+			)
+			bench.Stdout = os.Stdout
+			bench.Stderr = os.Stderr
+			if err := bench.Run(); err != nil {
+				cl.stop()
+				fatal(fmt.Errorf("kvbench nodes=%d conns=%d: %w", n, conns, err))
+			}
+			raw, err := os.ReadFile(art)
+			if err != nil {
+				cl.stop()
+				fatal(err)
+			}
+			var parsed benchArtifact
+			if err := json.Unmarshal(raw, &parsed); err != nil {
+				cl.stop()
+				fatal(err)
+			}
+			for _, p := range parsed.Sweep {
+				if p.Errors > 0 {
+					cl.stop()
+					fatal(fmt.Errorf("nodes=%d conns=%d depth=%d: %d error replies", n, conns, p.Depth, p.Errors))
+				}
+			}
+			report.Sweeps = append(report.Sweeps, sweepResult{Nodes: n, Conns: conns, Sweep: parsed.Sweep})
+		}
+		cl.stop()
+	}
+
+	report.Migration = migrationUnderLoad(*kvserve, *migKeys)
+	for _, rewarm := range []bool{true, false} {
+		report.Rewarm = append(report.Rewarm, rewarmCliff(*kvserve, rewarm, *migKeys, *windows, *winGets))
+	}
+
+	if err := writeJSON(*out, report); err != nil {
+		fatal(err)
+	}
+	m := report.Migration
+	fmt.Printf("migration audit: %d keys, %d acked writes, %d lost, %d stale, %d duplicated (%d moved, %d ask seen)\n",
+		m.Keys, m.AckedWrites, m.Lost, m.Stale, m.Duplicated, m.MovedSeen, m.AskSeen)
+	for _, r := range report.Rewarm {
+		first, last := r.Timeline[0], r.Timeline[len(r.Timeline)-1]
+		fmt.Printf("rewarm=%v: %d rows warmed at install, window-1 hit rate %.3f, window-%d %.3f\n",
+			r.Rewarm, r.Rewarmed, first.HitRate, last.Window, last.HitRate)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	if m.Lost+m.Stale+m.Duplicated > 0 {
+		fmt.Fprintln(os.Stderr, "cluster: migration audit failed")
+		os.Exit(1)
+	}
+}
+
+// procCluster is one booted N-node kvserve cluster.
+type procCluster struct {
+	addrs []string
+	procs []*exec.Cmd
+}
+
+// boot starts n kvserve cluster nodes on reserved loopback ports and
+// waits until every client listener answers.
+func boot(kvserve string, n int, rewarm bool) *procCluster {
+	addrs := make([]string, n)
+	buses := make([]string, n)
+	var spec []string
+	for i := 0; i < n; i++ {
+		addrs[i], buses[i] = reservePort(), reservePort()
+		spec = append(spec, addrs[i]+"@"+buses[i])
+	}
+	cl := &procCluster{addrs: addrs}
+	for i := 0; i < n; i++ {
+		srv := exec.Command(kvserve,
+			"-addr", addrs[i],
+			"-cluster-nodes", strings.Join(spec, ","),
+			"-cluster-self", fmt.Sprint(i),
+			fmt.Sprintf("-cluster-rewarm=%v", rewarm),
+			"-shards", "2",
+		)
+		srv.Stderr = os.Stderr
+		if err := srv.Start(); err != nil {
+			cl.stop()
+			fatal(fmt.Errorf("start node %d: %w", i, err))
+		}
+		cl.procs = append(cl.procs, srv)
+	}
+	for _, a := range addrs {
+		if err := waitTCP(a, 15*time.Second); err != nil {
+			cl.stop()
+			fatal(err)
+		}
+	}
+	return cl
+}
+
+func (cl *procCluster) stop() {
+	for _, p := range cl.procs {
+		if p.Process != nil {
+			p.Process.Signal(os.Interrupt)
+		}
+	}
+	for _, p := range cl.procs {
+		if p.Process == nil {
+			continue
+		}
+		done := make(chan struct{})
+		go func(p *exec.Cmd) { p.Wait(); close(done) }(p)
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			p.Process.Kill()
+			<-done
+		}
+	}
+}
+
+// rclient is a minimal redirect-following cluster client: one
+// persistent connection per node, commands issued one at a time.
+type rclient struct {
+	conns                map[string]*nodeConn
+	moved, ask, tryagain uint64
+}
+
+type nodeConn struct {
+	c net.Conn
+	r *resp.Reader
+	w *resp.Writer
+}
+
+func newClient() *rclient { return &rclient{conns: map[string]*nodeConn{}} }
+
+func (rc *rclient) close() {
+	for _, nc := range rc.conns {
+		nc.c.Close()
+	}
+}
+
+func (rc *rclient) conn(addr string) (*nodeConn, error) {
+	if nc, ok := rc.conns[addr]; ok {
+		return nc, nil
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	nc := &nodeConn{c: c, r: resp.NewReader(c), w: resp.NewWriter(c)}
+	rc.conns[addr] = nc
+	return nc, nil
+}
+
+// cmd runs one command against one node and returns the decoded reply.
+func (rc *rclient) cmd(addr string, args ...string) (any, error) {
+	nc, err := rc.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	ba := make([][]byte, len(args))
+	for i, a := range args {
+		ba[i] = []byte(a)
+	}
+	if err := nc.w.WriteCommand(ba...); err != nil {
+		return nil, err
+	}
+	if err := nc.w.Flush(); err != nil {
+		return nil, err
+	}
+	return nc.r.ReadReply()
+}
+
+// do runs one command starting at addr and follows MOVED/ASK/TRYAGAIN
+// until it lands, like a real cluster client.
+func (rc *rclient) do(addr string, args ...string) (any, error) {
+	for attempt := 0; attempt < 32; attempt++ {
+		v, err := rc.cmd(addr, args...)
+		if err != nil {
+			return nil, err
+		}
+		e, isErr := v.(error)
+		if !isErr {
+			return v, nil
+		}
+		f := strings.Fields(e.Error())
+		switch {
+		case len(f) == 3 && f[0] == "MOVED":
+			rc.moved++
+			addr = f[2]
+		case len(f) == 3 && f[0] == "ASK":
+			rc.ask++
+			// ASKING arms the next command on that connection; the two
+			// sequential roundtrips below stay on one conn.
+			if _, err := rc.cmd(f[2], "ASKING"); err != nil {
+				return nil, err
+			}
+			if v, err = rc.cmd(f[2], args...); err != nil {
+				return nil, err
+			}
+			if _, stillErr := v.(error); !stillErr {
+				return v, nil
+			}
+		case len(f) > 0 && f[0] == "TRYAGAIN":
+			rc.tryagain++
+			time.Sleep(time.Millisecond)
+		default:
+			return v, nil // a genuine error reply
+		}
+	}
+	return nil, fmt.Errorf("redirects did not settle for %v", args)
+}
+
+// slotKeys generates count distinct keys hashing to slot.
+func slotKeys(slot uint16, count int) []string {
+	var out []string
+	for i := 0; len(out) < count; i++ {
+		k := fmt.Sprintf("hot:%d", i)
+		if cluster.SlotOf([]byte(k)) == slot {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// migrationUnderLoad boots a 2-node cluster, keeps a writer hammering
+// one slot while that slot migrates, and audits every acked write.
+func migrationUnderLoad(kvserve string, nkeys int) migrationAudit {
+	const slot = 42 // owned by node 0 under the even split
+	cl := boot(kvserve, 2, true)
+	defer cl.stop()
+	keys := slotKeys(slot, nkeys)
+
+	// Seed every key so the audit's "lost" check covers the full set.
+	seedc := newClient()
+	for i, k := range keys {
+		if v, err := seedc.do(cl.addrs[0], "SET", k, fmt.Sprintf("seed-%d", i)); err != nil || v != "OK" {
+			fatal(fmt.Errorf("seed %s: %v %v", k, v, err))
+		}
+	}
+	seedc.close()
+
+	// Writer: rounds of SET over the slot's keys with round-stamped
+	// values, each acked before the next; acked[] is therefore exactly
+	// the last value the server confirmed for every key.
+	acked := make(map[string]string, nkeys)
+	for i, k := range keys {
+		acked[k] = fmt.Sprintf("seed-%d", i)
+	}
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var writes uint64
+	wc := newClient()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; ; round++ {
+			for i, k := range keys {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				val := fmt.Sprintf("r%d-%d", round, i)
+				v, err := wc.do(cl.addrs[0], "SET", k, val)
+				if err != nil {
+					fatal(fmt.Errorf("writer: %w", err))
+				}
+				if v == "OK" {
+					mu.Lock()
+					acked[k] = val
+					writes++
+					mu.Unlock()
+				}
+			}
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond) // migrate mid-traffic
+	migc := newClient()
+	rep, err := migc.cmd(cl.addrs[0], "CLUSTER", "MIGRATE", fmt.Sprint(slot), "1")
+	if err != nil {
+		fatal(fmt.Errorf("CLUSTER MIGRATE: %w", err))
+	}
+	if s, ok := rep.(string); !ok || !strings.HasPrefix(s, "OK slot=42") {
+		fatal(fmt.Errorf("CLUSTER MIGRATE reply: %v", rep))
+	}
+	time.Sleep(150 * time.Millisecond) // keep writing against the new owner
+	close(stop)
+	wg.Wait()
+
+	// Audit: every acked value must be served (by redirect) exactly as
+	// written, and the old owner must redirect — a value served from
+	// node 0 after commit would be a duplicate/stale copy.
+	audit := migrationAudit{
+		Slot: slot, Keys: nkeys, AckedWrites: writes,
+		MovedSeen: wc.moved, AskSeen: wc.ask, TryAgainSeen: wc.tryagain,
+	}
+	ac := newClient()
+	for _, k := range keys {
+		v, err := ac.do(cl.addrs[0], "GET", k)
+		if err != nil {
+			fatal(err)
+		}
+		b, ok := v.([]byte)
+		if !ok || b == nil {
+			audit.Lost++
+			continue
+		}
+		if string(b) != acked[k] {
+			audit.Stale++
+		}
+		direct, err := ac.cmd(cl.addrs[0], "GET", k)
+		if err != nil {
+			fatal(err)
+		}
+		if _, isErr := direct.(error); !isErr {
+			audit.Duplicated++
+		}
+	}
+	info := fetchInfo(ac, cl.addrs[0])
+	audit.MigrationUS = infoField(info, "cluster_last_migration_us")
+	audit.MigratedKeys = infoField(info, "cluster_migrated_keys")
+	wc.close()
+	migc.close()
+	ac.close()
+	return audit
+}
+
+// rewarmCliff migrates a warm slot and samples the destination's
+// windowed fast-path hit rate, with STLT re-warm on or off.
+func rewarmCliff(kvserve string, rewarm bool, nkeys, windows, winGets int) rewarmResult {
+	const slot = 42
+	cl := boot(kvserve, 2, rewarm)
+	defer cl.stop()
+	keys := slotKeys(slot, nkeys)
+	c := newClient()
+	defer c.close()
+	for i, k := range keys {
+		if v, err := c.do(cl.addrs[0], "SET", k, fmt.Sprintf("w-%d", i)); err != nil || v != "OK" {
+			fatal(fmt.Errorf("seed %s: %v %v", k, v, err))
+		}
+	}
+	// Warm the SOURCE fast path so the migration moves a hot slot.
+	for _, k := range keys {
+		if _, err := c.do(cl.addrs[0], "GET", k); err != nil {
+			fatal(err)
+		}
+	}
+	if _, err := c.cmd(cl.addrs[0], "CLUSTER", "MIGRATE", fmt.Sprint(slot), "1"); err != nil {
+		fatal(fmt.Errorf("CLUSTER MIGRATE: %w", err))
+	}
+
+	res := rewarmResult{Rewarm: rewarm}
+	info := fetchInfo(c, cl.addrs[1])
+	res.Rewarmed = infoField(info, "cluster_import_rewarmed")
+	res.MigrationUS = infoField(fetchInfo(c, cl.addrs[0]), "cluster_last_migration_us")
+	// Timeline: windows of GETs against the new owner; the per-window
+	// hit-rate delta exposes (or rules out) the warm-up cliff.
+	prevGets := infoField(info, "cluster_gets_total")
+	prevHits := infoField(info, "cluster_fast_hits_total")
+	for w := 0; w < windows; w++ {
+		for g := 0; g < winGets; g++ {
+			k := keys[g%len(keys)]
+			if _, err := c.do(cl.addrs[1], "GET", k); err != nil {
+				fatal(err)
+			}
+		}
+		info := fetchInfo(c, cl.addrs[1])
+		gets := infoField(info, "cluster_gets_total")
+		hits := infoField(info, "cluster_fast_hits_total")
+		win := rewarmWindow{Window: w + 1, Gets: gets - prevGets, FastHits: hits - prevHits}
+		if win.Gets > 0 {
+			win.HitRate = float64(win.FastHits) / float64(win.Gets)
+		}
+		res.Timeline = append(res.Timeline, win)
+		prevGets, prevHits = gets, hits
+	}
+	return res
+}
+
+// fetchInfo pulls one INFO payload.
+func fetchInfo(rc *rclient, addr string) string {
+	v, err := rc.cmd(addr, "INFO")
+	if err != nil {
+		fatal(err)
+	}
+	b, ok := v.([]byte)
+	if !ok {
+		fatal(fmt.Errorf("INFO reply %T", v))
+	}
+	return string(b)
+}
+
+// infoField extracts one numeric "key:value" INFO field (0 if absent).
+func infoField(payload, key string) uint64 {
+	for _, line := range strings.Split(payload, "\n") {
+		line = strings.TrimSuffix(line, "\r")
+		if v, ok := strings.CutPrefix(line, key+":"); ok {
+			n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+			if err == nil {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad list entry %q", part))
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// reservePort grabs a free loopback port and releases it for the node
+// to re-bind (benign race on a loopback test host).
+func reservePort() string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitTCP(addr string, limit time.Duration) error {
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		if conn, err := net.Dial("tcp", addr); err == nil {
+			conn.Close()
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("kvserve %s not ready after %s", addr, limit)
+}
+
+func writeJSON(path string, v any) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cluster:", err)
+	os.Exit(1)
+}
