@@ -148,9 +148,17 @@ func (s *server) busHandler(m cluster.Msg) (cluster.MsgType, []byte) {
 		}
 		return cluster.MsgAck, nil
 	case cluster.MsgMigBatch:
-		slot, rewarm, frames, err := cluster.DecodeMigBatch(m.Payload)
+		slot, src, rewarm, frames, err := cluster.DecodeMigBatch(m.Payload)
 		if err != nil {
 			return cluster.MsgErr, []byte(err.Error())
+		}
+		// Only install while the slot is importing from exactly this
+		// source: a late duplicate batch (retried copy raced by the
+		// original on a broken connection) arriving after the commit —
+		// and after ASK-written client updates — must not re-install
+		// stale records over newer acknowledged writes.
+		if from, ok := n.ImportingFrom(slot); !ok || from != src {
+			return cluster.MsgErr, []byte(fmt.Sprintf("slot %d not importing from node %d", slot, src))
 		}
 		res := wal.Scan(frames)
 		if res.Torn {
@@ -313,6 +321,30 @@ func (s *server) clusterCmd(w *resp.Writer, args [][]byte) (quit, monitor, isErr
 		return fail(fmt.Sprintf("ERR unknown CLUSTER subcommand '%s'", args[1]))
 	}
 	return false, false, false
+}
+
+// clusterFlushGuard refuses FLUSHALL while any slot migration
+// involves this node: records already shipped to a destination would
+// survive a local flush and resurface once ownership commits, making
+// the flush silently partial. On success it holds migMu — so no new
+// source-side migration can start mid-flush — until the caller runs
+// release. (An import announced over the bus during the flush is not
+// excluded; FLUSHALL remains node-local and the importing source is
+// unaffected either way.) Standalone mode passes trivially.
+func (s *server) clusterFlushGuard() (release func(), err error) {
+	cl := s.clus
+	if cl == nil {
+		return func() {}, nil
+	}
+	if !cl.migMu.TryLock() {
+		return nil, fmt.Errorf("slot migration in progress; retry after it commits")
+	}
+	n := cl.node
+	if len(n.MigratingSlots()) > 0 || len(n.ImportingSlots()) > 0 {
+		cl.migMu.Unlock()
+		return nil, fmt.Errorf("slots migrating or importing; retry after the migration commits")
+	}
+	return cl.migMu.Unlock, nil
 }
 
 // clusterMigrate runs one operator-issued slot migration. It blocks

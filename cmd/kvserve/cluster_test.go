@@ -10,6 +10,7 @@ import (
 
 	"addrkv/internal/cluster"
 	"addrkv/internal/resp"
+	"addrkv/internal/wal"
 )
 
 // reserveAddr grabs a free loopback port and releases it for the bus
@@ -311,6 +312,81 @@ func TestClusterAskingBypass(t *testing.T) {
 	got = callCS(t, s1, cs, "GET", key)
 	if err, ok := got.(error); !ok || !strings.HasPrefix(err.Error(), "MOVED") {
 		t.Fatalf("ASKING leaked past one command: %v", got)
+	}
+}
+
+// TestClusterBusBatchGate pins the destination-side install gate at
+// the serving layer: busHandler must refuse a MigBatch unless the
+// slot is importing here from exactly the batch's source, so a late
+// duplicate batch after the commit cannot re-install stale records.
+func TestClusterBusBatchGate(t *testing.T) {
+	srvs := newTestCluster(t, 3, false)
+	s1 := srvs[1]
+	const slot = 100 // owned by node 0 under the even split
+	key := keysInSlot(t, slot, 1)[0]
+	frames := wal.AppendFrame(nil, wal.RecLoad, []byte(key), []byte("stale"))
+	batch := func(src int) cluster.Msg {
+		return cluster.Msg{Type: cluster.MsgMigBatch, Payload: cluster.EncodeMigBatch(slot, src, false, frames)}
+	}
+
+	if typ, _ := s1.busHandler(batch(0)); typ != cluster.MsgErr {
+		t.Fatal("batch for a non-importing slot installed")
+	}
+	if err := s1.clus.node.BeginImport(slot, 0); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _ := s1.busHandler(batch(2)); typ != cluster.MsgErr {
+		t.Fatal("batch from the wrong source installed")
+	}
+	typ, body := s1.busHandler(batch(0))
+	if typ != cluster.MsgAck || cluster.DecodeU64(body) != 1 {
+		t.Fatalf("legitimate batch: type=%d installed=%d", typ, cluster.DecodeU64(body))
+	}
+	// Commit clears the importing mark; a duplicate is now refused.
+	next := s1.clus.node.Map().Clone()
+	next.Version++
+	next.SetOwner(slot, 1)
+	s1.clus.node.CommitImport(slot, next)
+	if typ, _ := s1.busHandler(batch(0)); typ != cluster.MsgErr {
+		t.Fatal("post-commit duplicate batch installed")
+	}
+}
+
+// TestClusterFlushallGuard: FLUSHALL is refused while any slot is
+// migrating or importing on this node — records already shipped to a
+// destination would survive a local flush and resurface at commit,
+// making the flush silently partial.
+func TestClusterFlushallGuard(t *testing.T) {
+	srvs := newTestCluster(t, 2, false)
+	s0, s1 := srvs[0], srvs[1]
+	cs := &connState{id: 1}
+
+	// Importing destination refuses.
+	if err := s1.clus.node.BeginImport(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := callCS(t, s1, cs, "FLUSHALL")
+	if err, ok := got.(error); !ok || !strings.Contains(err.Error(), "migrating or importing") {
+		t.Fatalf("FLUSHALL while importing = %v, want refusal", got)
+	}
+
+	// Migrating source refuses.
+	ownedBy0 := uint16(0)
+	if s0.clus.node.Map().Owner(ownedBy0) != 0 {
+		t.Fatal("slot 0 not owned by node 0 under the even split")
+	}
+	if _, err := s0.clus.node.BeginMigrate(ownedBy0, 1); err != nil {
+		t.Fatal(err)
+	}
+	got = callCS(t, s0, cs, "FLUSHALL")
+	if err, ok := got.(error); !ok || !strings.Contains(err.Error(), "migrating or importing") {
+		t.Fatalf("FLUSHALL while migrating = %v, want refusal", got)
+	}
+
+	// Stable nodes flush fine.
+	s0.clus.node.AbortMigrate(ownedBy0)
+	if got := callCS(t, s0, cs, "FLUSHALL"); got != "OK" {
+		t.Fatalf("FLUSHALL on a stable node = %v", got)
 	}
 }
 

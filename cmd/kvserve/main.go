@@ -740,6 +740,10 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 		s.tracer.SetWarm(true)
 		w.WriteSimple("OK")
 	case "flushall":
+		release, gerr := s.clusterFlushGuard()
+		if gerr != nil {
+			return fail(fmt.Sprintf("ERR flushall: %v", gerr))
+		}
 		s.statsMu.Lock()
 		err := s.sys.Reset()
 		if err == nil {
@@ -747,6 +751,7 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 			s.tele.resetWindow()
 		}
 		s.statsMu.Unlock()
+		release()
 		if err != nil {
 			return fail(fmt.Sprintf("ERR flushall: %v", err))
 		}

@@ -73,12 +73,18 @@ func (b *BusServer) acceptLoop() {
 				return
 			}
 			b.errs.Add(1)
+			// Persistent Accept errors (EMFILE and friends) would
+			// otherwise busy-spin a core; back off briefly.
+			time.Sleep(acceptBackoff)
 			continue
 		}
 		b.wg.Add(1)
 		go b.serveConn(conn)
 	}
 }
+
+// acceptBackoff spaces retries after an Accept error.
+const acceptBackoff = 10 * time.Millisecond
 
 func (b *BusServer) serveConn(conn net.Conn) {
 	defer b.wg.Done()
@@ -99,6 +105,10 @@ func (b *BusServer) serveConn(conn net.Conn) {
 		}
 		t, body := b.h(m)
 		b.served.Add(1)
+		// Bound the reply write: a peer that stops draining must not
+		// pin this goroutine (reads may block indefinitely — an idle
+		// peer connection is normal).
+		conn.SetWriteDeadline(time.Now().Add(CallTimeout)) //nolint:errcheck
 		if err := WriteMsg(bw, t, body); err != nil {
 			return
 		}
@@ -128,6 +138,10 @@ func (b *BusServer) Close() {
 type Peer struct {
 	addr string
 
+	// Timeout bounds one call's write+read round trip (0 means
+	// CallTimeout). Set before the first Call; not synchronized.
+	Timeout time.Duration
+
 	mu   sync.Mutex
 	conn net.Conn
 	br   *bufio.Reader
@@ -138,6 +152,13 @@ type Peer struct {
 
 // DialTimeout bounds one bus connect attempt.
 const DialTimeout = 2 * time.Second
+
+// CallTimeout bounds one bus call's write+read round trip. Batches
+// ship while a shard lock is held (see internal/shard.ExtractBatch),
+// so a hung or black-holed peer must surface as a call error — which
+// aborts or retries the migration — rather than wedging the shard's
+// client traffic indefinitely.
+const CallTimeout = 10 * time.Second
 
 // NewPeer returns a lazy handle; the connection is established on
 // first Call.
@@ -190,6 +211,13 @@ func (p *Peer) Call(t MsgType, body []byte) (Msg, error) {
 }
 
 func (p *Peer) call(t MsgType, body []byte) (Msg, error) {
+	to := p.Timeout
+	if to <= 0 {
+		to = CallTimeout
+	}
+	if err := p.conn.SetDeadline(time.Now().Add(to)); err != nil {
+		return Msg{}, err
+	}
 	if err := WriteMsg(p.conn, t, body); err != nil {
 		return Msg{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 func startBus(t *testing.T, h Handler) (*BusServer, string) {
@@ -77,6 +78,55 @@ func TestBusConcurrentPeers(t *testing.T) {
 		}(byte(i))
 	}
 	wg.Wait()
+}
+
+// TestPeerCallTimeout pins the deadline discipline: a peer whose
+// remote accepts but never answers must surface a call error within
+// the configured timeout, not block forever — batches ship while a
+// shard lock is held, so a black-holed destination that wedged Call
+// would wedge that shard's client traffic with it.
+func TestPeerCallTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) { // swallow requests, never reply
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(conn)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	p := NewPeer(ln.Addr().String())
+	p.Timeout = 100 * time.Millisecond
+	defer p.Close()
+	start := time.Now()
+	if _, err := p.Call(MsgMapGet, nil); err == nil {
+		t.Fatal("call against a mute peer succeeded")
+	}
+	// Two attempts (initial + one redial), each bounded by Timeout.
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("call took %v, deadline not applied", el)
+	}
 }
 
 func TestPeerReconnects(t *testing.T) {

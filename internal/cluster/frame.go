@@ -38,7 +38,10 @@ const (
 	// already owns the slot, or is importing it from someone else).
 	MsgMigStart MsgType = 5
 	// MsgMigBatch carries one extracted batch; body: u16 slot,
-	// u8 rewarm flag, then wal RecLoad frames back to back.
+	// u16 source node index, u8 rewarm flag, then wal RecLoad frames
+	// back to back. The receiver must refuse (MsgErr) unless the slot
+	// is importing from exactly that source — a duplicate batch
+	// arriving after the commit must not re-install stale records.
 	// Reply: MsgAck with the number of records installed.
 	MsgMigBatch MsgType = 6
 	// MsgMigCommit flips ownership; body: u16 slot, then the encoded
@@ -176,11 +179,12 @@ func DecodeSlotNode(b []byte) (slot uint16, node int, err error) {
 	return binary.LittleEndian.Uint16(b), int(binary.LittleEndian.Uint16(b[2:])), nil
 }
 
-// EncodeMigBatch prefixes a run of wal RecLoad frames with the slot
-// and re-warm flag — the MigBatch body.
-func EncodeMigBatch(slot uint16, rewarm bool, frames []byte) []byte {
-	b := make([]byte, 0, 3+len(frames))
+// EncodeMigBatch prefixes a run of wal RecLoad frames with the slot,
+// the sending node and the re-warm flag — the MigBatch body.
+func EncodeMigBatch(slot uint16, src int, rewarm bool, frames []byte) []byte {
+	b := make([]byte, 0, 5+len(frames))
 	b = binary.LittleEndian.AppendUint16(b, slot)
+	b = binary.LittleEndian.AppendUint16(b, uint16(src))
 	if rewarm {
 		b = append(b, 1)
 	} else {
@@ -190,11 +194,11 @@ func EncodeMigBatch(slot uint16, rewarm bool, frames []byte) []byte {
 }
 
 // DecodeMigBatch splits a MigBatch body; frames aliases b.
-func DecodeMigBatch(b []byte) (slot uint16, rewarm bool, frames []byte, err error) {
-	if len(b) < 3 {
-		return 0, false, nil, fmt.Errorf("%w: mig batch body %d bytes", ErrCorrupt, len(b))
+func DecodeMigBatch(b []byte) (slot uint16, src int, rewarm bool, frames []byte, err error) {
+	if len(b) < 5 {
+		return 0, 0, false, nil, fmt.Errorf("%w: mig batch body %d bytes", ErrCorrupt, len(b))
 	}
-	return binary.LittleEndian.Uint16(b), b[2] == 1, b[3:], nil
+	return binary.LittleEndian.Uint16(b), int(binary.LittleEndian.Uint16(b[2:])), b[4] == 1, b[5:], nil
 }
 
 // EncodeMigCommit prefixes an encoded slot map with the committed

@@ -13,7 +13,7 @@ func TestFrameRoundtrip(t *testing.T) {
 		MsgMap:       NewSlotMap([]NodeInfo{{Addr: "a:1", Bus: "a:2"}}).Encode(nil),
 		MsgMapUpdate: {1, 2, 3},
 		MsgMigStart:  EncodeSlotNode(512, 1),
-		MsgMigBatch:  EncodeMigBatch(512, true, []byte("frames")),
+		MsgMigBatch:  EncodeMigBatch(512, 1, true, []byte("frames")),
 		MsgMigCommit: {9, 9},
 		MsgAck:       EncodeU64(42),
 		MsgErr:       []byte("nope"),
@@ -68,7 +68,7 @@ func TestFrameTornAndCorrupt(t *testing.T) {
 
 func TestReadWriteMsgStream(t *testing.T) {
 	var stream bytes.Buffer
-	if err := WriteMsg(&stream, MsgMigBatch, EncodeMigBatch(3, false, []byte("x"))); err != nil {
+	if err := WriteMsg(&stream, MsgMigBatch, EncodeMigBatch(3, 2, false, []byte("x"))); err != nil {
 		t.Fatal(err)
 	}
 	if err := WriteMsg(&stream, MsgAck, EncodeU64(1)); err != nil {
@@ -79,9 +79,9 @@ func TestReadWriteMsgStream(t *testing.T) {
 	if err != nil || m.Type != MsgMigBatch {
 		t.Fatalf("first: %v %v", m.Type, err)
 	}
-	slot, rewarm, frames, err := DecodeMigBatch(m.Payload)
-	if err != nil || slot != 3 || rewarm || string(frames) != "x" {
-		t.Fatalf("batch body: %d %v %q %v", slot, rewarm, frames, err)
+	slot, src, rewarm, frames, err := DecodeMigBatch(m.Payload)
+	if err != nil || slot != 3 || src != 2 || rewarm || string(frames) != "x" {
+		t.Fatalf("batch body: %d %d %v %q %v", slot, src, rewarm, frames, err)
 	}
 	m, buf, err = ReadMsg(&stream, buf)
 	if err != nil || m.Type != MsgAck || DecodeU64(m.Payload) != 1 {

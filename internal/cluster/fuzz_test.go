@@ -16,7 +16,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, MsgHello, EncodeSlotNode(0, 1)))
 	f.Add(AppendFrame(nil, MsgMapGet, nil))
 	f.Add(AppendFrame(nil, MsgMap, NewSlotMap([]NodeInfo{{Addr: "a", Bus: "b"}}).Encode(nil)))
-	f.Add(AppendFrame(nil, MsgMigBatch, EncodeMigBatch(16383, true, bytes.Repeat([]byte{'r'}, 500))))
+	f.Add(AppendFrame(nil, MsgMigBatch, EncodeMigBatch(16383, 3, true, bytes.Repeat([]byte{'r'}, 500))))
 	two := AppendFrame(AppendFrame(nil, MsgAck, EncodeU64(9)), MsgErr, []byte("reason"))
 	f.Add(two)
 	f.Add(two[:len(two)-3])

@@ -18,7 +18,10 @@
 // has shipped, the slot STAYS migrating — shipped records live only
 // at the destination, which serves them through the ASK window — and
 // the operator re-issues the migration, which resumes idempotently
-// (extraction skips absent keys; installation upserts). Rolling back
+// (extraction skips absent keys; installation upserts). A resume
+// whose MigStart the destination refuses because it already owns the
+// slot — the commit landed but its ack was lost — completes by
+// adopting the destination's newer map instead. Rolling back
 // shipped batches is never attempted: pulling records back while the
 // destination may be serving ASK traffic for them is exactly the
 // lost-update hazard this protocol exists to avoid.
@@ -78,17 +81,36 @@ func (n *Node) Migrate(c *shard.Cluster, peers func(int) *Peer, slot uint16, des
 		batch = DefaultBatchKeys
 	}
 	start := time.Now()
-	if err := n.BeginMigrate(slot, dest); err != nil {
+	resumed, err := n.BeginMigrate(slot, dest)
+	if err != nil {
 		return res, err
 	}
 	n.Metrics.MigStarted.Add(1)
 	p := peers(dest)
 	if p == nil {
-		n.AbortMigrate(slot)
+		// A resumed migration's earlier batches may have shipped: the
+		// mark must survive so the slot keeps ASK-ing toward dest.
+		if !resumed {
+			n.AbortMigrate(slot)
+		}
 		n.Metrics.MigFailed.Add(1)
 		return res, fmt.Errorf("cluster: no bus peer for node %d", dest)
 	}
 	if _, err := p.Call(MsgMigStart, EncodeSlotNode(slot, n.self)); err != nil {
+		if resumed {
+			// The interrupted attempt may have committed at the
+			// destination with the ack lost — it then owns the slot and
+			// refuses BeginImport. Probe its map: if it already shows
+			// dest owning the slot at a newer epoch, adopt it and the
+			// migration is complete.
+			if sm := n.adoptCommitted(p, slot, dest); sm != nil {
+				return n.finishCommitted(res, sm, peers, start)
+			}
+			// Still interrupted: keep the migrating mark (shipped
+			// records live only at the destination) and report.
+			n.Metrics.MigFailed.Add(1)
+			return res, err
+		}
 		n.AbortMigrate(slot)
 		n.Metrics.MigFailed.Add(1)
 		return res, err
@@ -106,7 +128,7 @@ func (n *Node) Migrate(c *shard.Cluster, peers func(int) *Peer, slot uint16, des
 			hi = len(keys)
 		}
 		moved, bytes, err := c.ExtractBatch(keys[lo:hi], func(frames []byte, count int) error {
-			_, cerr := p.Call(MsgMigBatch, EncodeMigBatch(slot, o.Rewarm, frames))
+			_, cerr := p.Call(MsgMigBatch, EncodeMigBatch(slot, n.self, o.Rewarm, frames))
 			return cerr
 		})
 		res.Keys += moved
@@ -132,25 +154,51 @@ func (n *Node) Migrate(c *shard.Cluster, peers func(int) *Peer, slot uint16, des
 	if _, err := p.Call(MsgMigCommit, EncodeMigCommit(slot, next)); err != nil {
 		// Records are all at the destination; the slot stays migrating
 		// here so every key ASKs its way there. Re-issuing the
-		// migration retries the (idempotent) commit.
+		// migration retries the (idempotent) commit — or, if this
+		// commit landed and only its ack was lost, resumes through the
+		// adoptCommitted probe above.
 		n.Metrics.MigFailed.Add(1)
 		return res, err
 	}
 	n.FinishMigrate(slot, next)
-	n.Metrics.MigCompleted.Add(1)
 	n.Metrics.MigKeys.Add(uint64(res.Keys))
 	n.Metrics.MigBytes.Add(uint64(res.Bytes))
-	res.Duration = time.Since(start)
-	n.Metrics.LastMigSlot.Store(int64(slot))
-	n.Metrics.LastMigUS.Store(res.Duration.Microseconds())
+	return n.finishCommitted(res, next, peers, start)
+}
 
-	// Gossip the new map to the remaining peers, best effort: a peer
-	// that misses it keeps redirecting through the old owner (us),
-	// which now answers MOVED toward the destination — two hops, not
-	// wrong answers.
+// adoptCommitted probes the destination for evidence that an
+// interrupted migration's commit already landed there: a map strictly
+// newer than ours under which dest owns the slot. If found, install
+// it (clearing the migrating mark) and return it; nil means no such
+// evidence — the interruption stands.
+func (n *Node) adoptCommitted(p *Peer, slot uint16, dest int) *SlotMap {
+	m, err := p.Call(MsgMapGet, nil)
+	if err != nil {
+		return nil
+	}
+	sm, err := DecodeSlotMap(m.Payload)
+	if err != nil {
+		return nil
+	}
+	if sm.Version <= n.Version() || sm.Owner(slot) != dest {
+		return nil
+	}
+	n.FinishMigrate(slot, sm)
+	return sm
+}
+
+// finishCommitted records a committed migration's metrics and gossips
+// the new map to the remaining peers, best effort: a peer that misses
+// it keeps redirecting through the old owner (us), which now answers
+// MOVED toward the destination — two hops, not wrong answers.
+func (n *Node) finishCommitted(res MigrationResult, next *SlotMap, peers func(int) *Peer, start time.Time) (MigrationResult, error) {
+	n.Metrics.MigCompleted.Add(1)
+	res.Duration = time.Since(start)
+	n.Metrics.LastMigSlot.Store(int64(res.Slot))
+	n.Metrics.LastMigUS.Store(res.Duration.Microseconds())
 	enc := next.Encode(nil)
 	for i := range next.Nodes {
-		if i == n.self || i == dest {
+		if i == n.self || i == res.Dest {
 			continue
 		}
 		if pp := peers(i); pp != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"addrkv/internal/kv"
@@ -21,6 +22,19 @@ type testNode struct {
 	n    *Node
 	bus  *BusServer
 	peer *Peer // dialed by others
+
+	// intercept, when set, sees every bus request first;
+	// handled=true short-circuits the normal handler — the
+	// failure-injection hook for interruption tests.
+	intercept atomic.Pointer[func(m Msg) (t MsgType, body []byte, handled bool)]
+}
+
+func (tn *testNode) setIntercept(f func(m Msg) (MsgType, []byte, bool)) {
+	if f == nil {
+		tn.intercept.Store(nil)
+		return
+	}
+	tn.intercept.Store(&f)
 }
 
 func newTestCluster(t *testing.T, nodes int) []*testNode {
@@ -57,6 +71,11 @@ func newTestCluster(t *testing.T, nodes int) []*testNode {
 }
 
 func (tn *testNode) handle(m Msg) (MsgType, []byte) {
+	if f := tn.intercept.Load(); f != nil {
+		if t, body, handled := (*f)(m); handled {
+			return t, body
+		}
+	}
 	switch m.Type {
 	case MsgHello, MsgMapGet:
 		return MsgMap, tn.n.Map().Encode(nil)
@@ -77,9 +96,12 @@ func (tn *testNode) handle(m Msg) (MsgType, []byte) {
 		}
 		return MsgAck, nil
 	case MsgMigBatch:
-		_, rewarm, frames, err := DecodeMigBatch(m.Payload)
+		slot, src, rewarm, frames, err := DecodeMigBatch(m.Payload)
 		if err != nil {
 			return MsgErr, []byte(err.Error())
+		}
+		if from, ok := tn.n.ImportingFrom(slot); !ok || from != src {
+			return MsgErr, []byte(fmt.Sprintf("slot %d not importing from node %d", slot, src))
 		}
 		res := wal.Scan(frames)
 		if res.Torn {
@@ -354,6 +376,196 @@ func TestMigrateUnderTraffic(t *testing.T) {
 		if !bytes.Equal(got, want) {
 			t.Fatalf("stale value for %q: got %q want %q", k, got, want)
 		}
+	}
+}
+
+// TestMigrateInterruptedKeepsMarkAndResumes pins the failure
+// discipline around shipped batches: once any batch has left the
+// node, neither the original failure nor a failed RESUME may clear
+// the migrating mark (records live only at the destination, which
+// serves them through the ASK window); a later successful resume
+// completes the move with nothing lost.
+func TestMigrateInterruptedKeepsMarkAndResumes(t *testing.T) {
+	tns := newTestCluster(t, 2)
+	src, dst := tns[0], tns[1]
+	keys := keysOwnedBy(src.n.Map(), 0, 300)
+	vals := map[string][]byte{}
+	for i, k := range keys {
+		v := []byte(fmt.Sprintf("v%d", i))
+		src.c.Set(k, v)
+		vals[string(k)] = v
+	}
+	slot := SlotOf(keys[0])
+	var slotKeys [][]byte
+	for _, k := range keys {
+		if SlotOf(k) == slot {
+			slotKeys = append(slotKeys, k)
+		}
+	}
+	// Pack the moving slot so the stream has several one-key batches
+	// to interrupt between.
+	for i := 0; len(slotKeys) < 8; i++ {
+		k := []byte(fmt.Sprintf("pad:%d", i))
+		if SlotOf(k) == slot {
+			v := []byte(fmt.Sprintf("pv%d", i))
+			src.c.Set(k, v)
+			vals[string(k)] = v
+			slotKeys = append(slotKeys, k)
+		}
+	}
+
+	// Fail the second batch: one batch ships, then the bus "breaks".
+	var batches atomic.Int32
+	dst.setIntercept(func(m Msg) (MsgType, []byte, bool) {
+		if m.Type == MsgMigBatch && batches.Add(1) == 2 {
+			return MsgErr, []byte("injected: bus broke"), true
+		}
+		return 0, nil, false
+	})
+	if _, err := src.n.Migrate(src.c, peersOf(tns, 0), slot, 1, MigrateOpts{BatchKeys: 1}); err == nil {
+		t.Fatal("interrupted migration reported success")
+	}
+	if len(src.n.MigratingSlots()) != 1 {
+		t.Fatal("migrating mark cleared after a batch shipped")
+	}
+
+	// Resume against a dead MigStart: the mark must STILL survive —
+	// clearing it would make the source serve the slot as sole owner
+	// while shipped records live only at the destination.
+	dst.setIntercept(func(m Msg) (MsgType, []byte, bool) {
+		if m.Type == MsgMigStart {
+			return MsgErr, []byte("injected: start refused"), true
+		}
+		return 0, nil, false
+	})
+	if _, err := src.n.Migrate(src.c, peersOf(tns, 0), slot, 1, MigrateOpts{BatchKeys: 1}); err == nil {
+		t.Fatal("resume with refused MigStart reported success")
+	}
+	if len(src.n.MigratingSlots()) != 1 {
+		t.Fatal("migrating mark cleared by a failed resume")
+	}
+	if src.n.Map().Owner(slot) != 0 {
+		t.Fatal("ownership moved without a commit")
+	}
+
+	// Clean resume: completes, every record byte-identical at dest.
+	dst.setIntercept(nil)
+	if _, err := src.n.Migrate(src.c, peersOf(tns, 0), slot, 1, MigrateOpts{BatchKeys: 1}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if len(src.n.MigratingSlots()) != 0 || src.n.Map().Owner(slot) != 1 {
+		t.Fatal("resume did not complete")
+	}
+	for _, k := range slotKeys {
+		if src.c.ContainsKey(k) {
+			t.Fatalf("key %q still on source", k)
+		}
+		got, ok := dst.c.PeekValue(k)
+		if !ok || !bytes.Equal(got, vals[string(k)]) {
+			t.Fatalf("key %q at destination: ok=%v got=%q want %q", k, ok, got, vals[string(k)])
+		}
+	}
+}
+
+// TestMigrateLostCommitAckResumes pins the lost-ack recovery: the
+// destination applies the commit but its ack never reaches the
+// source. The re-issued migration finds the destination refusing
+// MigStart ("already owned here"), probes its map, adopts the newer
+// epoch and completes — instead of failing forever or, worse,
+// clearing the mark.
+func TestMigrateLostCommitAckResumes(t *testing.T) {
+	tns := newTestCluster(t, 2)
+	src, dst := tns[0], tns[1]
+	keys := keysOwnedBy(src.n.Map(), 0, 200)
+	for _, k := range keys {
+		src.c.Set(k, []byte("v"))
+	}
+	slot := SlotOf(keys[0])
+
+	// Apply the commit at the destination, then eat the ack.
+	dst.setIntercept(func(m Msg) (MsgType, []byte, bool) {
+		if m.Type == MsgMigCommit {
+			s, sm, err := DecodeMigCommit(m.Payload)
+			if err != nil {
+				return MsgErr, []byte(err.Error()), true
+			}
+			dst.n.CommitImport(s, sm)
+			return MsgErr, []byte("injected: ack lost"), true
+		}
+		return 0, nil, false
+	})
+	if _, err := src.n.Migrate(src.c, peersOf(tns, 0), slot, 1, MigrateOpts{}); err == nil {
+		t.Fatal("migration with a lost commit ack reported success")
+	}
+	if len(src.n.MigratingSlots()) != 1 || src.n.Map().Version != 1 {
+		t.Fatal("source state wrong after lost ack")
+	}
+	if dst.n.Map().Owner(slot) != 1 || dst.n.Map().Version != 2 {
+		t.Fatal("destination did not commit")
+	}
+
+	dst.setIntercept(nil)
+	res, err := src.n.Migrate(src.c, peersOf(tns, 0), slot, 1, MigrateOpts{})
+	if err != nil {
+		t.Fatalf("resume after lost ack: %v", err)
+	}
+	if res.Keys != 0 {
+		t.Fatalf("resume re-shipped %d keys", res.Keys)
+	}
+	if src.n.Map().Version != 2 || src.n.Map().Owner(slot) != 1 {
+		t.Fatal("source did not adopt the committed map")
+	}
+	if len(src.n.MigratingSlots()) != 0 {
+		t.Fatal("migrating mark survived the adopted commit")
+	}
+	if got := src.n.Metrics.MigCompleted.Load(); got != 1 {
+		t.Fatalf("MigCompleted=%d, want 1", got)
+	}
+}
+
+// TestMigrateStaleBatchRefused pins the destination-side install
+// gate: a MigBatch for a slot that is not importing (or importing
+// from a different source) must be refused, so a duplicate batch
+// surfacing after the commit cannot clobber newer acknowledged
+// writes.
+func TestMigrateStaleBatchRefused(t *testing.T) {
+	tns := newTestCluster(t, 3)
+	src, dst := tns[0], tns[1]
+	keys := keysOwnedBy(src.n.Map(), 0, 100)
+	for _, k := range keys {
+		src.c.Set(k, []byte("v"))
+	}
+	slot := SlotOf(keys[0])
+	frames := wal.AppendFrame(nil, wal.RecLoad, keys[0], []byte("stale"))
+
+	// Not importing at all: refused.
+	if _, err := dst.peer.Call(MsgMigBatch, EncodeMigBatch(slot, 0, false, frames)); err == nil {
+		t.Fatal("batch for a non-importing slot installed")
+	}
+	// Importing, but from another source: refused.
+	if _, err := dst.peer.Call(MsgMigStart, EncodeSlotNode(slot, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.peer.Call(MsgMigBatch, EncodeMigBatch(slot, 2, false, frames)); err == nil {
+		t.Fatal("batch from the wrong source installed")
+	}
+	// Matching source: installed.
+	reply, err := dst.peer.Call(MsgMigBatch, EncodeMigBatch(slot, 0, false, frames))
+	if err != nil {
+		t.Fatalf("legitimate batch refused: %v", err)
+	}
+	if DecodeU64(reply.Payload) != 1 {
+		t.Fatalf("installed %d records, want 1", DecodeU64(reply.Payload))
+	}
+	// After the commit clears the importing mark, a late duplicate of
+	// the same batch is refused — acknowledged post-commit writes
+	// cannot be clobbered.
+	next := dst.n.Map().Clone()
+	next.Version++
+	next.SetOwner(slot, 1)
+	dst.n.CommitImport(slot, next)
+	if _, err := dst.peer.Call(MsgMigBatch, EncodeMigBatch(slot, 0, false, frames)); err == nil {
+		t.Fatal("post-commit duplicate batch installed")
 	}
 }
 

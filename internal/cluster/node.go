@@ -213,27 +213,30 @@ func (n *Node) ImportingSlots() []uint16 {
 }
 
 // BeginMigrate marks a slot as leaving toward dest. The slot must be
-// owned here, stable, and dest must be another known node.
-func (n *Node) BeginMigrate(slot uint16, dest int) error {
+// owned here, stable, and dest must be another known node. resumed
+// reports that the slot was ALREADY migrating toward dest — an
+// interrupted migration being re-issued, whose earlier batches may
+// have shipped; the caller must then never clear the mark on failure.
+func (n *Node) BeginMigrate(slot uint16, dest int) (resumed bool, err error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if dest < 0 || dest >= len(n.smap.Nodes) {
-		return fmt.Errorf("cluster: unknown destination node %d", dest)
+		return false, fmt.Errorf("cluster: unknown destination node %d", dest)
 	}
 	if dest == n.self {
-		return fmt.Errorf("cluster: slot %d already on node %d", slot, dest)
+		return false, fmt.Errorf("cluster: slot %d already on node %d", slot, dest)
 	}
 	if n.smap.Owner(slot) != n.self {
-		return fmt.Errorf("cluster: slot %d not owned here (owner %d)", slot, n.smap.Owner(slot))
+		return false, fmt.Errorf("cluster: slot %d not owned here (owner %d)", slot, n.smap.Owner(slot))
 	}
 	if d, ok := n.migrating[slot]; ok {
 		if d == dest {
-			return nil // resume of an interrupted migration
+			return true, nil // resume of an interrupted migration
 		}
-		return fmt.Errorf("cluster: slot %d already migrating to %d", slot, d)
+		return false, fmt.Errorf("cluster: slot %d already migrating to %d", slot, d)
 	}
 	n.migrating[slot] = dest
-	return nil
+	return false, nil
 }
 
 // AbortMigrate clears a slot's migrating mark (only safe when no
@@ -278,6 +281,18 @@ func (n *Node) Importing(slot uint16) bool {
 	defer n.mu.RUnlock()
 	_, ok := n.importing[slot]
 	return ok
+}
+
+// ImportingFrom returns the source node a slot is arriving from, if
+// any. Batch installs gate on this: a MigBatch for a slot that is not
+// importing here (or importing from someone else) must be refused, so
+// a duplicate batch surfacing after the commit cannot re-install
+// stale records over newer acknowledged writes.
+func (n *Node) ImportingFrom(slot uint16) (src int, ok bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	src, ok = n.importing[slot]
+	return src, ok
 }
 
 // CommitImport installs the committed map (version-gated) and clears
