@@ -115,6 +115,11 @@ type Options struct {
 	// MachineParams overrides the simulated architecture (defaults to
 	// Table III via arch.DefaultMachineParams).
 	MachineParams *arch.MachineParams
+	// MaxMemory, when positive, caps the PER-SHARD record bytes: once a
+	// SET pushes a shard past the cap, keys are evicted by the STLT's
+	// in-set LFU rule (4-bit probabilistic counters, first-minimum
+	// victim) until it fits. 0 disables eviction.
+	MaxMemory int64
 	// Seed makes runs deterministic (default 42).
 	Seed uint64
 }
@@ -140,6 +145,7 @@ func New(o Options) (*System, error) {
 		AutoTune:       o.AutoTune,
 		DataPrefetcher: o.DataPrefetcher,
 		TLBPrefetch:    o.TLBPrefetch,
+		MaxMemory:      o.MaxMemory,
 		Seed:           o.Seed,
 	}
 	if cfg.Seed == 0 {
@@ -245,6 +251,96 @@ func (s *System) DeleteBatchO(keys [][]byte, out *BatchOutcome) int {
 	return s.c.DeleteBatchO(keys, out)
 }
 
+// ErrUnordered reports a SCAN/RANGE against a hash index (no key
+// order to iterate); the server surfaces it as a typed RESP error.
+var ErrUnordered = kv.ErrUnordered
+
+// ErrBadCursor reports a malformed SCAN cursor.
+var ErrBadCursor = kv.ErrBadCursor
+
+// ParseCursor decodes a SCAN cursor: "0" starts a walk, "k"+hex resumes
+// strictly after the encoded key. See AppendCursor for the encoder.
+func ParseCursor(cur, buf []byte) (after []byte, resume bool, err error) {
+	return kv.ParseCursor(cur, buf)
+}
+
+// AppendCursor appends the continuation cursor for a scan page that
+// last emitted key, reusing dst's capacity.
+func AppendCursor(dst, key []byte) []byte { return kv.AppendCursor(dst, key) }
+
+// ScanStart converts a parsed cursor into the inclusive Scan start key
+// (strictly after the cursor's key), appended into buf's capacity.
+func ScanStart(after []byte, resume bool, buf []byte) []byte {
+	return kv.ScanStart(after, resume, buf)
+}
+
+// Ordered reports whether the configured index supports SCAN/RANGE
+// (rbtree and btree do; the hash indexes do not).
+func (s *System) Ordered() bool { return s.c.Ordered() }
+
+// Scan visits up to limit stored keys >= start in ascending order with
+// full timing (limit <= 0 = unbounded), calling fn with a copy of each
+// key. Returns keys emitted, or ErrUnordered for a hash index.
+func (s *System) Scan(start []byte, limit int, fn func(key []byte) bool) (int, error) {
+	return s.c.Scan(start, limit, fn)
+}
+
+// ScanO is Scan with a per-shard outcome report (out may be nil).
+func (s *System) ScanO(start []byte, limit int, fn func(key []byte) bool, out *BatchOutcome) (int, error) {
+	return s.c.ScanO(start, limit, fn, out)
+}
+
+// Range visits up to limit stored pairs with start <= key <= end in
+// ascending key order with full timing (end nil = unbounded). Returns
+// pairs emitted, or ErrUnordered for a hash index.
+func (s *System) Range(start, end []byte, limit int, fn func(key, value []byte) bool) (int, error) {
+	return s.c.Range(start, end, limit, fn)
+}
+
+// RangeO is Range with a per-shard outcome report (out may be nil).
+func (s *System) RangeO(start, end []byte, limit int, fn func(key, value []byte) bool, out *BatchOutcome) (int, error) {
+	return s.c.RangeO(start, end, limit, fn, out)
+}
+
+// ExpireAt arms an absolute TTL deadline (unix ns) on a key with full
+// timing, returning 1 when armed and 0 when the key is absent. Expired
+// keys are reaped lazily on access plus by the active sweep; recovery
+// replays both the arm and the reap, so TTL state survives restarts.
+func (s *System) ExpireAt(key []byte, deadline int64) int { return s.c.ExpireAt(key, deadline) }
+
+// ExpireAtO is ExpireAt with a per-op outcome report (out may be nil).
+func (s *System) ExpireAtO(key []byte, deadline int64, out *OpOutcome) int {
+	return s.c.ExpireAtO(key, deadline, out)
+}
+
+// TTL reports a key's remaining TTL in nanoseconds with full timing
+// (-2 absent, -1 present without deadline).
+func (s *System) TTL(key []byte) int64 { return s.c.TTL(key) }
+
+// TTLO is TTL with a per-op outcome report (out may be nil).
+func (s *System) TTLO(key []byte, out *OpOutcome) int64 { return s.c.TTLO(key, out) }
+
+// Now reads the TTL clock (shard 0's time source) — the base servers
+// use to turn relative EXPIRE/PEXPIRE into absolute deadlines.
+func (s *System) Now() int64 { return s.c.Now() }
+
+// SetClock installs a deterministic TTL time source on every shard
+// (tests, differential harnesses); nil restores real time.
+func (s *System) SetClock(fn func() int64) { s.c.SetClock(fn) }
+
+// SweepExpired runs one active-expiry cycle over every shard, sampling
+// up to limit armed deadlines per shard; returns keys reaped. Servers
+// call this off a ticker (mutex dispatch) — the worker runtime sweeps
+// off its own drain loop.
+func (s *System) SweepExpired(limit int) int { return s.c.SweepExpired(limit) }
+
+// UsedBytes reports the record bytes tracked by the eviction policy (0
+// unless MaxMemory is set).
+func (s *System) UsedBytes() int64 { return s.c.UsedBytes() }
+
+// ExpiresArmed reports how many keys currently carry a TTL deadline.
+func (s *System) ExpiresArmed() int { return s.c.ExpiresArmed() }
+
 // Len returns the number of stored keys across all shards.
 func (s *System) Len() int { return s.c.Len() }
 
@@ -300,6 +396,11 @@ type Report struct {
 	FastPathHitRate float64
 	// TableMissRate is the STLT (or SLB) table miss ratio.
 	TableMissRate float64
+	// Scans counts SCAN/RANGE ops, Expired TTL reaps, and Evicted
+	// maxmemory evictions inside the measured window.
+	Scans   uint64
+	Expired uint64
+	Evicted uint64
 	// CategoryShare maps cost-category names ("hash", "traverse",
 	// "translate", "data", "stlt", "other") to their fraction of total
 	// cycles — the Figure 1 breakdown for this run.
@@ -373,6 +474,9 @@ func (s *System) Report() Report {
 	r := Report{
 		Ops:            st.Ops,
 		Cycles:         uint64(st.Machine.Cycles),
+		Scans:          st.Scans,
+		Expired:        st.Expired,
+		Evicted:        st.Evicted,
 		Stats:          st,
 		Shards:         s.c.NumShards(),
 		MaxShardCycles: cs.MaxShardCycles,

@@ -256,6 +256,23 @@ func (s *server) clusterBatchCheck(w *resp.Writer, keys [][]byte) bool {
 	return false
 }
 
+// clusterScanCheck refuses SCAN/RANGE while any slot is migrating or
+// importing here. Scans have no single home key for the shard gate to
+// rule on — mid-migration, a key can legitimately live on either node,
+// so an ordered page would silently skip or duplicate records crossing
+// nodes. TRYAGAIN until the slot map is stable is the honest answer
+// (batches over a migrating slot get the same treatment). Returns true
+// when it wrote the reply.
+func (s *server) clusterScanCheck(w *resp.Writer) bool {
+	n := s.clus.node
+	if len(n.MigratingSlots()) == 0 && len(n.ImportingSlots()) == 0 {
+		return false
+	}
+	n.Metrics.TryAgain.Add(1)
+	w.WriteError("TRYAGAIN slot is migrating, retry")
+	return true
+}
+
 // clusterTryAgain answers a batch the op gate denied mid-flight: the
 // slot started migrating between the classify check and execution.
 func (s *server) clusterTryAgain(w *resp.Writer) (quit, monitor, isErr bool) {

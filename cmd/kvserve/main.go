@@ -21,9 +21,21 @@
 // an error reply.
 //
 // Commands: PING, ECHO, GET, SET, DEL, EXISTS, MGET, MSET, DBSIZE,
-// INFO, RESETSTATS, FLUSHALL, SLOWLOG GET/RESET/LEN, MONITOR,
-// TRACE ON/OFF/STATUS/DUMP, BGSAVE, LASTSAVE, QUIT, and in cluster
-// mode CLUSTER SLOTS/INFO/MIGRATE plus ASKING.
+// SCAN cursor [COUNT n], RANGE start end [limit], EXPIRE, PEXPIRE,
+// TTL, PTTL, INFO, RESETSTATS, FLUSHALL, SLOWLOG GET/RESET/LEN,
+// MONITOR, TRACE ON/OFF/STATUS/DUMP, BGSAVE, LASTSAVE, QUIT, and in
+// cluster mode CLUSTER SLOTS/INFO/MIGRATE plus ASKING.
+//
+// SCAN and RANGE need an ordered index (-index rbtree or btree); on a
+// hash index they answer a typed error instead of a silent empty
+// result. Cursors are stateless ("0" starts, "k"+hex resumes strictly
+// after the last key), so a cursor walk under concurrent writes never
+// duplicates a key and covers every key present for the whole walk.
+// EXPIRE/PEXPIRE arm per-key TTLs: expired keys are reaped lazily on
+// access plus by an active sweep (-sweep-interval for -dispatch mutex;
+// the worker runtime sweeps off its own drain bursts). -maxmemory caps
+// each shard's record bytes, evicting by the STLT's in-set LFU rule
+// once a SET crosses the cap.
 //
 // With -cluster-nodes the server joins a hash-slot cluster: keys map
 // to 16384 slots, each node owns a share and redirects the rest with
@@ -88,6 +100,13 @@ const (
 	defaultWriteBufCap = 256 << 10
 )
 
+// defaultScanCount is SCAN's page size without an explicit COUNT.
+const defaultScanCount = 10
+
+// defaultSweepLimit is how many armed deadlines each shard samples per
+// active-expiry sweep when -sweep-limit is unset.
+const defaultSweepLimit = 20
+
 // netConfig bundles the connection-path backpressure knobs.
 type netConfig struct {
 	// maxPipeline caps commands drained (and thus replies buffered)
@@ -128,6 +147,11 @@ type server struct {
 
 	// persist is the durability runtime (nil without -aof).
 	persist *persistState
+
+	// Active-expiry sweeper for -dispatch mutex (the worker runtime
+	// sweeps off its own drain bursts instead — see SetSweepLimit).
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 
 	// clus is the cluster runtime (nil in standalone mode — every
 	// cluster hook checks it, so standalone behavior is untouched).
@@ -183,6 +207,11 @@ func main() {
 		dispatch = flag.String("dispatch", "worker", "worker: per-shard owning goroutines drain request rings; mutex: lock-per-op dispatch")
 		queueCap = flag.Int("queue", 0, "per-shard request ring capacity for -dispatch worker (0 = default, rounded up to a power of two)")
 
+		maxMem     = flag.Int64("maxmemory", 0, "per-shard record-byte cap; past it SETs evict keys by the STLT's in-set LFU rule (0 = unlimited)")
+		fastHash   = flag.String("fast-hash", "", "STLT/SLB fast-path hash: sipHash|murmurHash|xxh64|djb2|xxh3 (default xxh3)")
+		sweepEvery = flag.Duration("sweep-interval", 100*time.Millisecond, "active TTL sweep period (-dispatch mutex; worker mode sweeps on drain bursts; 0 = lazy expiry only)")
+		sweepLimit = flag.Int("sweep-limit", 0, "armed deadlines sampled per shard per sweep (0 = default)")
+
 		aof       = flag.Bool("aof", false, "enable the per-shard append-only log (durability)")
 		aofDir    = flag.String("aof-dir", "aof", "directory for AOF segments and snapshots")
 		aofFsync  = flag.String("aof-fsync", "everysec", "fsync policy: always|everysec|no")
@@ -229,11 +258,13 @@ func main() {
 	}
 
 	sys, err := addrkv.New(addrkv.Options{
-		Keys:       *keys,
-		Shards:     *shards,
-		Index:      addrkv.IndexKind(*index),
-		Mode:       addrkv.Mode(*mode),
-		RedisLayer: true,
+		Keys:         *keys,
+		Shards:       *shards,
+		Index:        addrkv.IndexKind(*index),
+		Mode:         addrkv.Mode(*mode),
+		RedisLayer:   true,
+		MaxMemory:    *maxMem,
+		FastHashName: *fastHash,
 	})
 	if err != nil {
 		log.Fatalf("kvserve: %v", err)
@@ -294,12 +325,22 @@ func main() {
 		log.Printf("kvserve: cluster node %d/%d, bus on %s, owning %d slots",
 			*clusterSelf, len(nodes), s.clus.bus.Addr(), s.clus.node.OwnedSlots())
 	}
+	sweepLim := *sweepLimit
+	if sweepLim <= 0 {
+		sweepLim = defaultSweepLimit
+	}
 	if *dispatch == "worker" {
+		if *sweepEvery > 0 {
+			// Must land before StartWorkers: workers read the limit once.
+			sys.Cluster().SetSweepLimit(sweepLim)
+		}
 		if err := s.startWorkers(*queueCap); err != nil {
 			log.Fatalf("kvserve: %v", err)
 		}
 		log.Printf("kvserve: worker runtime up (%d shard workers, ring cap %d)",
 			*shards, s.queueCap)
+	} else if *sweepEvery > 0 {
+		s.startSweeper(*sweepEvery, sweepLim)
 	}
 
 	if *maddr != "" {
@@ -355,6 +396,7 @@ func main() {
 	}
 
 	s.drain()
+	s.stopSweeper()      // before the logs close: sweeps append expiry records
 	s.stopWorkers()      // after drain: no connection is producing anymore
 	s.closePersistence() // after workers: nothing appends; sync + close the logs
 	s.closeCluster()     // last: peers may still be mid-call into the bus while draining
@@ -428,6 +470,37 @@ func (s *server) drain() {
 		s.connMu.Unlock()
 		log.Printf("kvserve: drain timeout, force-closed %d connection(s)", n)
 		<-done
+	}
+}
+
+// startSweeper runs the mutex-mode active-expiry loop: every period,
+// each shard samples up to limit armed deadlines and reaps the dead
+// ones (Redis's activeExpireCycle, driven by a real ticker here since
+// the mutex path has no worker loop to ride).
+func (s *server) startSweeper(every time.Duration, limit int) {
+	s.sweepStop = make(chan struct{})
+	s.sweepDone = make(chan struct{})
+	go func() {
+		defer close(s.sweepDone)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.sys.SweepExpired(limit)
+			case <-s.sweepStop:
+				return
+			}
+		}
+	}()
+}
+
+// stopSweeper stops the active-expiry loop and waits for an in-flight
+// sweep to finish (it may be appending to the AOF).
+func (s *server) stopSweeper() {
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		<-s.sweepDone
 	}
 }
 
@@ -722,6 +795,127 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 		} else {
 			w.WriteInt(0)
 		}
+	case "scan":
+		// SCAN cursor [COUNT n]: one stateless page of an ordered cursor
+		// walk. Worker mode runs it as an ordering barrier (not an async
+		// kind), so pipelined replies stay in command order.
+		if len(args) != 2 && len(args) != 4 {
+			return fail("ERR wrong number of arguments for 'scan'")
+		}
+		count := defaultScanCount
+		if len(args) == 4 {
+			if !asciiLowerEq(args[2], "count") {
+				return fail("ERR syntax error")
+			}
+			v, err := strconv.Atoi(string(args[3]))
+			if err != nil || v < 1 {
+				return fail("ERR COUNT must be a positive integer")
+			}
+			count = v
+		}
+		if s.clus != nil && s.clusterScanCheck(w) {
+			return false, false, true
+		}
+		after, resume, err := addrkv.ParseCursor(args[1], nil)
+		if err != nil {
+			return fail("ERR invalid cursor")
+		}
+		s.opsSinceMark.Add(1)
+		var keys [][]byte
+		n, err := s.sys.ScanO(addrkv.ScanStart(after, resume, nil), count, func(k []byte) bool {
+			keys = append(keys, k)
+			return true
+		}, bo)
+		if err != nil {
+			return fail("ERR SCAN requires an ordered index (-index rbtree or btree)")
+		}
+		w.WriteArrayHeader(2)
+		if n == count {
+			w.WriteBulk(addrkv.AppendCursor(nil, keys[n-1]))
+		} else {
+			// A short page proves the walk reached the end of the
+			// keyspace: the terminal cursor.
+			w.WriteBulkString("0")
+		}
+		w.WriteBulkArray(keys)
+	case "range":
+		// RANGE start end [limit]: ordered key/value pairs, bounds
+		// inclusive; "-" starts at the smallest key, "+" is unbounded
+		// above. Replies a flat [k1, v1, k2, v2, ...] array.
+		if len(args) != 3 && len(args) != 4 {
+			return fail("ERR wrong number of arguments for 'range'")
+		}
+		limit := 0
+		if len(args) == 4 {
+			v, err := strconv.Atoi(string(args[3]))
+			if err != nil || v < 1 {
+				return fail("ERR limit must be a positive integer")
+			}
+			limit = v
+		}
+		if s.clus != nil && s.clusterScanCheck(w) {
+			return false, false, true
+		}
+		start, end := args[1], args[2]
+		if len(start) == 1 && start[0] == '-' {
+			start = nil
+		}
+		if len(end) == 1 && end[0] == '+' {
+			end = nil
+		}
+		s.opsSinceMark.Add(1)
+		var flat [][]byte
+		_, err := s.sys.RangeO(start, end, limit, func(k, v []byte) bool {
+			flat = append(flat, k, v)
+			return true
+		}, bo)
+		if err != nil {
+			return fail("ERR RANGE requires an ordered index (-index rbtree or btree)")
+		}
+		w.WriteBulkArray(flat)
+	case "expire", "pexpire":
+		if len(args) != 3 {
+			return fail(fmt.Sprintf("ERR wrong number of arguments for '%s'", cmd))
+		}
+		n, err := strconv.ParseInt(string(args[2]), 10, 64)
+		if err != nil {
+			return fail("ERR value is not an integer or out of range")
+		}
+		unit := int64(time.Second)
+		if cmd == "pexpire" {
+			unit = int64(time.Millisecond)
+		}
+		// Clamp so now+n*unit cannot overflow; a deadline centuries out
+		// is indistinguishable from the clamp.
+		if lim := int64(1) << 62 / unit; n > lim {
+			n = lim
+		} else if n < -lim {
+			n = -lim
+		}
+		s.opsSinceMark.Add(1)
+		armed := s.sys.ExpireAtO(args[1], s.sys.Now()+n*unit, oc)
+		if oc.Denied {
+			return s.clusterRedirect(w, args[1])
+		}
+		w.WriteInt(int64(armed))
+	case "ttl", "pttl":
+		if len(args) != 2 {
+			return fail(fmt.Sprintf("ERR wrong number of arguments for '%s'", cmd))
+		}
+		s.opsSinceMark.Add(1)
+		ns := s.sys.TTLO(args[1], oc)
+		if oc.Denied {
+			return s.clusterRedirect(w, args[1])
+		}
+		if ns < 0 {
+			w.WriteInt(ns) // -2 absent, -1 present without a deadline
+			break
+		}
+		unit := int64(time.Second)
+		if cmd == "pttl" {
+			unit = int64(time.Millisecond)
+		}
+		w.WriteInt((ns + unit - 1) / unit) // round up: 1ns left is still alive
 	case "dbsize":
 		w.WriteInt(int64(s.sys.Len()))
 	case "info":
@@ -885,6 +1079,11 @@ func (s *server) info() string {
 	fmt.Fprintf(&b, "llc_misses_per_op:%.3f\r\n", rep.CacheMissesPerOp)
 	fmt.Fprintf(&b, "fast_path_hit_rate:%.4f\r\n", rep.FastPathHitRate)
 	fmt.Fprintf(&b, "table_miss_rate:%.4f\r\n", rep.TableMissRate)
+	fmt.Fprintf(&b, "scans:%d\r\n", rep.Scans)
+	fmt.Fprintf(&b, "expired_keys:%d\r\n", rep.Expired)
+	fmt.Fprintf(&b, "evicted_keys:%d\r\n", rep.Evicted)
+	fmt.Fprintf(&b, "expires_armed:%d\r\n", s.sys.ExpiresArmed())
+	fmt.Fprintf(&b, "used_bytes:%d\r\n", s.sys.UsedBytes())
 
 	lat := telemetry.QuantilesOf(s.tele.latencySnapshot())
 	fmt.Fprintf(&b, "# latency (real wall clock, since RESETSTATS)\r\n")

@@ -29,6 +29,7 @@ import (
 // else lands in "other".
 var knownCmds = []string{
 	"get", "set", "del", "exists", "mget", "mset", "dbsize", "info",
+	"scan", "range", "expire", "pexpire", "ttl", "pttl",
 	"ping", "echo", "resetstats", "flushall", "slowlog", "monitor",
 	"bgsave", "lastsave", "cluster", "asking", "quit", "other",
 }
@@ -180,6 +181,16 @@ func newServerTele(sys *addrkv.System, slowlogCap int) *serverTele {
 		func(rep addrkv.Report) float64 { return rep.CacheMissesPerOp })
 	repGauge("addrkv_modeled_ops_per_kcycle", "Ops per thousand modeled wall-clock cycles.",
 		func(rep addrkv.Report) float64 { return 1000 * rep.ModeledThroughput() })
+	repGauge("addrkv_scans_total", "SCAN/RANGE ops since RESETSTATS.",
+		func(rep addrkv.Report) float64 { return float64(rep.Scans) })
+	repGauge("addrkv_expired_keys_total", "Keys reaped by TTL expiry (lazy + sweep) since RESETSTATS.",
+		func(rep addrkv.Report) float64 { return float64(rep.Expired) })
+	repGauge("addrkv_evicted_keys_total", "Keys evicted by the maxmemory LFU policy since RESETSTATS.",
+		func(rep addrkv.Report) float64 { return float64(rep.Evicted) })
+	r.GaugeFunc("addrkv_expires_armed", "Keys currently carrying a TTL deadline.", nil,
+		func() float64 { return float64(sys.ExpiresArmed()) })
+	r.GaugeFunc("addrkv_used_bytes", "Record bytes tracked by the eviction policy (0 without -maxmemory).", nil,
+		func() float64 { return float64(sys.UsedBytes()) })
 	for i := 0; i < shards; i++ {
 		i := i
 		lbl := telemetry.Labels{"shard": strconv.Itoa(i)}

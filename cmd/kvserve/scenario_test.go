@@ -1,0 +1,515 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"addrkv"
+	"addrkv/internal/cluster"
+	"addrkv/internal/resp"
+	"addrkv/internal/telemetry"
+)
+
+// newScenarioServer builds a test server with a chosen index (SCAN
+// needs an ordered one) and optional maxmemory, in either dispatch
+// mode.
+func newScenarioServer(t *testing.T, shards int, index addrkv.IndexKind, maxMem int64, workers bool) *server {
+	t.Helper()
+	sys, err := addrkv.New(addrkv.Options{
+		Keys:       2000,
+		Shards:     shards,
+		Index:      index,
+		Mode:       addrkv.ModeSTLT,
+		RedisLayer: true,
+		MaxMemory:  maxMem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(sys, defaultSlowlogCap)
+	if workers {
+		if err := s.startWorkers(0); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			s.closing.Store(true)
+			s.nudgeConns()
+			s.drain()
+			s.stopWorkers()
+		})
+	}
+	return s
+}
+
+// scanCursorFor renders the continuation cursor SCAN would return
+// after emitting key.
+func scanCursorFor(key string) string {
+	return string(addrkv.AppendCursor(nil, []byte(key)))
+}
+
+// scenarioScript is the SCAN/RANGE/TTL command stream the differential
+// tests replay, in two sections with a 6-second clock advance between
+// them (the PEXPIRE 5000 deadlines die, the EXPIRE 100 ones survive).
+func scenarioScript() (sec1, sec2 [][]string) {
+	for i := 0; i < 30; i++ {
+		sec1 = append(sec1, []string{"SET", fmt.Sprintf("k:%02d", i), fmt.Sprintf("val-%d", i)})
+	}
+	for i := 0; i < 10; i++ {
+		sec1 = append(sec1, []string{"EXPIRE", fmt.Sprintf("k:%02d", i), "100"})
+	}
+	for i := 10; i < 15; i++ {
+		sec1 = append(sec1, []string{"PEXPIRE", fmt.Sprintf("k:%02d", i), "5000"})
+	}
+	sec1 = append(sec1,
+		[]string{"TTL", "k:00"},             // 100
+		[]string{"PTTL", "k:05"},            // 100000
+		[]string{"TTL", "k:10"},             // 5 (rounded up from 5000ms)
+		[]string{"TTL", "k:20"},             // -1: present, no deadline
+		[]string{"TTL", "missing"},          // -2
+		[]string{"EXPIRE", "missing", "10"}, // 0
+		[]string{"EXPIRE", "k:00", "junk"},  // error
+		[]string{"SCAN", "0"},
+		[]string{"SCAN", "0", "COUNT", "5"},
+		[]string{"SCAN", scanCursorFor("k:09"), "COUNT", "7"},
+		[]string{"SCAN", "not-a-cursor"},       // error
+		[]string{"SCAN", "0", "COUNT", "zero"}, // error
+		[]string{"RANGE", "k:05", "k:12"},
+		[]string{"RANGE", "-", "+", "6"},
+		[]string{"RANGE", "k:28", "+"},
+		[]string{"RANGE", "-", "k:02"},
+		[]string{"EXISTS", "k:11"},
+		[]string{"DEL", "k:29"},
+		[]string{"GET", "k:13"},
+	)
+	sec2 = append(sec2,
+		[]string{"GET", "k:10"},  // dead: lazy reap
+		[]string{"TTL", "k:11"},  // dead: -2 (the query reaps it)
+		[]string{"PTTL", "k:12"}, // dead
+		[]string{"TTL", "k:00"},  // 94 seconds left
+		[]string{"SCAN", "0", "COUNT", "30"},
+		[]string{"RANGE", "k:09", "k:16"},
+		[]string{"SET", "k:10", "reborn"},
+		[]string{"TTL", "k:10"}, // -1: SET discarded nothing, fresh key
+		[]string{"GET", "k:10"},
+		[]string{"DBSIZE"},
+	)
+	return sec1, sec2
+}
+
+// TestServerScanTTLWorkerMatchesMutex extends the dispatch-mode
+// differential to the scenario surface: the same SCAN/RANGE/EXPIRE/
+// TTL/PTTL stream over a deterministic clock must produce identical
+// replies AND bit-for-bit identical modeled statistics under worker
+// and mutex dispatch. SCAN/RANGE/EXPIRE are ordering barriers in
+// worker mode; none of that machinery may perturb the engine model.
+func TestServerScanTTLWorkerMatchesMutex(t *testing.T) {
+	sec1, sec2 := scenarioScript()
+	for _, shards := range []int{1, 2} {
+		worker := newScenarioServer(t, shards, addrkv.IndexBTree, 0, true)
+		mutex := newScenarioServer(t, shards, addrkv.IndexBTree, 0, false)
+		var wClock, mClock atomic.Int64
+		wClock.Store(1_000_000_000)
+		mClock.Store(1_000_000_000)
+		worker.sys.SetClock(wClock.Load)
+		mutex.sys.SetClock(mClock.Load)
+
+		wr := runScript(t, worker, sec1, 9)
+		mr := runScript(t, mutex, sec1, 9)
+		wClock.Add(6_000_000_000) // 6s: the PEXPIRE 5000 keys die
+		mClock.Add(6_000_000_000)
+		wr = append(wr, runScript(t, worker, sec2, 9)...)
+		mr = append(mr, runScript(t, mutex, sec2, 9)...)
+
+		script := append(append([][]string{}, sec1...), sec2...)
+		if len(wr) != len(mr) {
+			t.Fatalf("shards=%d: %d worker replies vs %d mutex", shards, len(wr), len(mr))
+		}
+		for i := range wr {
+			if wr[i] != mr[i] {
+				t.Fatalf("shards=%d reply %d (%v): worker %q vs mutex %q",
+					shards, i, script[i], wr[i], mr[i])
+			}
+		}
+		wrep, mrep := worker.sys.Report(), mutex.sys.Report()
+		if wrep.Ops != mrep.Ops || wrep.Cycles != mrep.Cycles ||
+			wrep.Scans != mrep.Scans || wrep.Expired != mrep.Expired {
+			t.Fatalf("shards=%d stats diverged: ops %d/%d cycles %d/%d scans %d/%d expired %d/%d",
+				shards, wrep.Ops, mrep.Ops, wrep.Cycles, mrep.Cycles,
+				wrep.Scans, mrep.Scans, wrep.Expired, mrep.Expired)
+		}
+		for i := range wrep.PerShard {
+			if wrep.PerShard[i] != mrep.PerShard[i] {
+				t.Fatalf("shard %d diverged:\nworker: %+v\nmutex:  %+v",
+					i, wrep.PerShard[i], mrep.PerShard[i])
+			}
+		}
+		// Spot-check absolute values (both modes could be wrong together):
+		// TTL k:00 before the advance is 100s, after it 94s.
+		if wr[45] != "int64:100" {
+			t.Fatalf("shards=%d: TTL k:00 = %q, want 100", shards, wr[45])
+		}
+		if got := wr[len(sec1)+3]; got != "int64:94" {
+			t.Fatalf("shards=%d: post-advance TTL k:00 = %q, want 94", shards, got)
+		}
+	}
+}
+
+// TestServerScanReplyShape pins the SCAN/RANGE wire format on one
+// mutex server: cursor placement, page boundaries, terminal cursor,
+// and the flat RANGE pair array.
+func TestServerScanReplyShape(t *testing.T) {
+	s := newScenarioServer(t, 2, addrkv.IndexBTree, 0, false)
+	for i := 0; i < 12; i++ {
+		call(t, s, "SET", fmt.Sprintf("k:%02d", i), fmt.Sprintf("v%d", i))
+	}
+	// Full-page SCAN: continuation cursor plus the first 10 keys.
+	rep := call(t, s, "SCAN", "0").([]any)
+	if len(rep) != 2 {
+		t.Fatalf("SCAN reply has %d elements", len(rep))
+	}
+	if got, want := string(rep[0].([]byte)), scanCursorFor("k:09"); got != want {
+		t.Fatalf("continuation cursor = %q, want %q", got, want)
+	}
+	page := rep[1].([]any)
+	if len(page) != 10 || string(page[0].([]byte)) != "k:00" || string(page[9].([]byte)) != "k:09" {
+		t.Fatalf("first page = %v", page)
+	}
+	// Resume from the cursor: the remaining 2 keys and the terminal
+	// cursor.
+	rep = call(t, s, "SCAN", string(rep[0].([]byte))).([]any)
+	if got := string(rep[0].([]byte)); got != "0" {
+		t.Fatalf("terminal cursor = %q, want 0", got)
+	}
+	page = rep[1].([]any)
+	if len(page) != 2 || string(page[0].([]byte)) != "k:10" || string(page[1].([]byte)) != "k:11" {
+		t.Fatalf("second page = %v", page)
+	}
+	// RANGE replies flat [k, v, k, v, ...].
+	flat := call(t, s, "RANGE", "k:03", "k:05").([]any)
+	if len(flat) != 6 || string(flat[0].([]byte)) != "k:03" || string(flat[1].([]byte)) != "v3" ||
+		string(flat[4].([]byte)) != "k:05" || string(flat[5].([]byte)) != "v5" {
+		t.Fatalf("RANGE reply = %v", flat)
+	}
+}
+
+// TestServerScanRangeUnorderedTypedError: SCAN/RANGE against every
+// -index value — the hash indexes fail with the typed RESP error
+// naming the fix, never a silent empty array; the trees serve.
+func TestServerScanRangeUnorderedTypedError(t *testing.T) {
+	for _, tc := range []struct {
+		index   addrkv.IndexKind
+		ordered bool
+	}{
+		{addrkv.IndexChainHash, false},
+		{addrkv.IndexDenseHash, false},
+		{addrkv.IndexRBTree, true},
+		{addrkv.IndexBTree, true},
+	} {
+		t.Run(string(tc.index), func(t *testing.T) {
+			s := newScenarioServer(t, 2, tc.index, 0, false)
+			call(t, s, "SET", "a", "1")
+			scanRep := call(t, s, "SCAN", "0")
+			rangeRep := call(t, s, "RANGE", "-", "+")
+			if tc.ordered {
+				if _, ok := scanRep.([]any); !ok {
+					t.Fatalf("SCAN on %s = %v, want array", tc.index, scanRep)
+				}
+				if _, ok := rangeRep.([]any); !ok {
+					t.Fatalf("RANGE on %s = %v, want array", tc.index, rangeRep)
+				}
+				return
+			}
+			for name, rep := range map[string]any{"SCAN": scanRep, "RANGE": rangeRep} {
+				err, ok := rep.(error)
+				if !ok {
+					t.Fatalf("%s on %s = %v, want typed error", name, tc.index, rep)
+				}
+				if !strings.Contains(err.Error(), "ordered index") || !strings.Contains(err.Error(), "btree") {
+					t.Fatalf("%s error %q does not name the fix", name, err)
+				}
+			}
+		})
+	}
+}
+
+// clusterScenarioOps: the scenario command stream constrained to what
+// a 1-node cluster serves (it owns every slot, so everything).
+func clusterScenarioOps() [][]string {
+	var ops [][]string
+	for i := 0; i < 40; i++ {
+		ops = append(ops, []string{"SET", fmt.Sprintf("ck:%02d", i), fmt.Sprintf("cv-%d", i)})
+	}
+	for i := 0; i < 10; i++ {
+		ops = append(ops, []string{"EXPIRE", fmt.Sprintf("ck:%02d", i), "500"})
+	}
+	ops = append(ops,
+		[]string{"TTL", "ck:03"},
+		[]string{"PTTL", "ck:04"},
+		[]string{"TTL", "ck:20"},
+		[]string{"SCAN", "0", "COUNT", "15"},
+		[]string{"SCAN", scanCursorFor("ck:20"), "COUNT", "50"},
+		[]string{"RANGE", "ck:10", "ck:14"},
+		[]string{"RANGE", "-", "+", "8"},
+		[]string{"EXISTS", "ck:05"},
+		[]string{"DEL", "ck:06"},
+		[]string{"TTL", "ck:06"},
+		[]string{"GET", "ck:07"},
+	)
+	return ops
+}
+
+// TestClusterScanTTLSingleNodeDifferential: a 1-node cluster must be
+// bit-for-bit identical to standalone kvserve on the SCAN/TTL surface
+// too — same replies, same modeled Report — in both dispatch modes.
+// Cluster mode's classify-time scan check and per-key gate may not
+// perturb the engine model when no migration is running.
+func TestClusterScanTTLSingleNodeDifferential(t *testing.T) {
+	ops := clusterScenarioOps()
+	for _, workers := range []bool{false, true} {
+		t.Run(fmt.Sprintf("workers=%v", workers), func(t *testing.T) {
+			sa := newScenarioServer(t, 2, addrkv.IndexBTree, 0, workers)
+			cl := newScenarioServer(t, 2, addrkv.IndexBTree, 0, workers)
+			nodes := []cluster.NodeInfo{{Addr: "node-0", Bus: reserveAddr(t)}}
+			if err := cl.setupCluster(nodes, 0, "", true, 8); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(cl.closeCluster)
+
+			var saClock, clClock atomic.Int64
+			saClock.Store(5_000_000_000)
+			clClock.Store(5_000_000_000)
+			sa.sys.SetClock(saClock.Load)
+			cl.sys.SetClock(clClock.Load)
+
+			if workers {
+				ra := runScript(t, sa, ops, 10)
+				rb := runScript(t, cl, ops, 10)
+				for i := range ra {
+					if ra[i] != rb[i] {
+						t.Fatalf("%v: standalone %q != cluster %q", ops[i], ra[i], rb[i])
+					}
+				}
+			} else {
+				csA, csB := &connState{id: 1}, &connState{id: 1}
+				for _, op := range ops {
+					ra := callCS(t, sa, csA, op...)
+					rb := callCS(t, cl, csB, op...)
+					if !reflect.DeepEqual(ra, rb) {
+						t.Fatalf("%v: standalone %v != cluster %v", op, ra, rb)
+					}
+				}
+			}
+			if !reflect.DeepEqual(sa.sys.Report(), cl.sys.Report()) {
+				t.Fatalf("modeled stats diverged:\nstandalone: %+v\ncluster:    %+v",
+					sa.sys.Report(), cl.sys.Report())
+			}
+		})
+	}
+}
+
+// TestClusterScanTryAgainWhileMigrating: while any slot is migrating
+// or importing, SCAN and RANGE are refused with -TRYAGAIN at the RESP
+// layer — a node-local scan during a slot move would silently miss or
+// duplicate the in-flight records. Pinned in both dispatch modes, and
+// the refusal must lift as soon as the slot map stabilizes.
+func TestClusterScanTryAgainWhileMigrating(t *testing.T) {
+	for _, workers := range []bool{false, true} {
+		t.Run(fmt.Sprintf("workers=%v", workers), func(t *testing.T) {
+			srvs := newTestCluster(t, 2, workers)
+			s0, s1 := srvs[0], srvs[1]
+
+			issue := func(s *server, args ...string) any {
+				if !workers {
+					return callCS(t, s, &connState{id: 9}, args...)
+				}
+				r, w, c := pipeClient(t, s)
+				defer c.Close()
+				ba := make([][]byte, len(args))
+				for i, a := range args {
+					ba[i] = []byte(a)
+				}
+				w.WriteCommand(ba...)
+				if err := w.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				v, err := r.ReadReply()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+			wantTryAgain := func(rep any, label string) {
+				t.Helper()
+				err, ok := rep.(error)
+				if !ok || !strings.HasPrefix(err.Error(), "TRYAGAIN") {
+					t.Fatalf("%s = %v, want TRYAGAIN", label, rep)
+				}
+			}
+
+			// Stable map: SCAN reaches the engine (chainhash here, so the
+			// typed unordered error — proof the scan check let it through).
+			rep := issue(s0, "SCAN", "0")
+			if err, ok := rep.(error); !ok || !strings.Contains(err.Error(), "ordered index") {
+				t.Fatalf("stable SCAN = %v, want unordered-index error", rep)
+			}
+
+			// Migrating source refuses both verbs.
+			if _, err := s0.clus.node.BeginMigrate(0, 1); err != nil {
+				t.Fatal(err)
+			}
+			before := s0.clus.node.Metrics.TryAgain.Load()
+			wantTryAgain(issue(s0, "SCAN", "0"), "SCAN on migrating source")
+			wantTryAgain(issue(s0, "RANGE", "-", "+"), "RANGE on migrating source")
+			if got := s0.clus.node.Metrics.TryAgain.Load(); got != before+2 {
+				t.Fatalf("TryAgain counter = %d, want %d", got, before+2)
+			}
+
+			// Importing destination refuses too.
+			if err := s1.clus.node.BeginImport(9000, 1); err == nil {
+				t.Fatal("BeginImport of an unowned-slot pairing succeeded unexpectedly")
+			}
+			if err := s1.clus.node.BeginImport(100, 0); err != nil {
+				t.Fatal(err)
+			}
+			wantTryAgain(issue(s1, "SCAN", "0"), "SCAN on importing destination")
+
+			// Abort: the refusal lifts immediately.
+			s0.clus.node.AbortMigrate(0)
+			rep = issue(s0, "SCAN", "0")
+			if err, ok := rep.(error); !ok || !strings.Contains(err.Error(), "ordered index") {
+				t.Fatalf("post-abort SCAN = %v, want unordered-index error again", rep)
+			}
+		})
+	}
+}
+
+// TestServerMaxMemoryEviction: a maxmemory server evicts under write
+// pressure, keeps serving, stays under budget, and surfaces the churn
+// through INFO.
+func TestServerMaxMemoryEviction(t *testing.T) {
+	const maxMem = 4 * 1024
+	s := newScenarioServer(t, 1, addrkv.IndexBTree, maxMem, false)
+	val := strings.Repeat("x", 100)
+	for i := 0; i < 200; i++ {
+		if got := call(t, s, "SET", fmt.Sprintf("e:%04d", i), val); got != "OK" {
+			t.Fatalf("SET %d = %v", i, got)
+		}
+	}
+	if used := s.sys.UsedBytes(); used > maxMem {
+		t.Fatalf("used_bytes %d over the %d budget", used, maxMem)
+	}
+	rep := s.sys.Report()
+	if rep.Evicted == 0 {
+		t.Fatal("no evictions under write pressure")
+	}
+	info := string(call(t, s, "INFO").([]byte))
+	if !strings.Contains(info, fmt.Sprintf("evicted_keys:%d", rep.Evicted)) {
+		t.Fatalf("INFO missing evicted_keys:%d:\n%s", rep.Evicted, info)
+	}
+	if !strings.Contains(info, "used_bytes:") {
+		t.Fatalf("INFO missing used_bytes:\n%s", info)
+	}
+	// The newest key survived (it was just written), the store still
+	// answers.
+	if got := call(t, s, "GET", "e:0199"); got == nil {
+		t.Fatal("most recent key evicted immediately")
+	}
+}
+
+// TestServerScanExpireHotPathAllocs extends the allocation budgets to
+// the scenario hot paths over a served worker-mode connection. These
+// are barrier commands, so unlike the async SET/GET path (pinned at 0
+// by TestServerHotPathZeroAlloc) they pay dispatch's per-command
+// constant — the lowercased verb string and the outcome record:
+//
+//	EXPIRE + TTL round trip   <= 6 allocs (2x barrier dispatch)
+//	SCAN page of 5 keys       <= 28 allocs (dispatch constant +
+//	                          per-shard key copies + page slice +
+//	                          cursor reply; copying out is the contract)
+//
+// The budgets are ceilings just above the measured steady state (5 and
+// 25): the point is catching per-key or per-byte regressions, which
+// add at least the page size.
+func TestServerScanExpireHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on channel handoffs")
+	}
+	s := newScenarioServer(t, 1, addrkv.IndexBTree, 0, true)
+	// Raise the slowlog floor so nanosecond-scale ops never qualify and
+	// the entry construction (which allocates) is skipped.
+	for i := 0; i < defaultSlowlogCap; i++ {
+		s.tele.slowlog.Note(telemetry.SlowlogEntry{Duration: time.Hour})
+	}
+	for i := 0; i < 8; i++ {
+		call(t, s, "SET", fmt.Sprintf("hot:%d", i), "v")
+	}
+
+	client, srv := net.Pipe()
+	if !s.track(srv) {
+		t.Fatal("track refused connection")
+	}
+	go s.serve(srv)
+	t.Cleanup(func() { client.Close() })
+
+	// Capture each pipeline's exact reply bytes via direct dispatch,
+	// then drive the served connection against that expectation.
+	wire := func(cmds [][]string) (req, rep []byte) {
+		var reqBuf bytes.Buffer
+		cw := resp.NewWriter(&reqBuf)
+		for _, c := range cmds {
+			ba := make([][]byte, len(c))
+			for i, a := range c {
+				ba[i] = []byte(a)
+			}
+			cw.WriteCommand(ba...)
+		}
+		cw.Flush()
+		var repBuf bytes.Buffer
+		rw := resp.NewWriter(&repBuf)
+		for _, c := range cmds {
+			ba := make([][]byte, len(c))
+			for i, a := range c {
+				ba[i] = []byte(a)
+			}
+			s.dispatch(rw, ba, &connState{id: 99})
+		}
+		rw.Flush()
+		return reqBuf.Bytes(), repBuf.Bytes()
+	}
+	roundTrip := func(req []byte, reply []byte) func() {
+		return func() {
+			if _, err := client.Write(req); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := io.ReadFull(client, reply); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	expireReq, expireRep := wire([][]string{
+		{"EXPIRE", "hot:3", "1000000"},
+		{"TTL", "hot:3"},
+	})
+	scanReq, scanRep := wire([][]string{{"SCAN", "0", "COUNT", "5"}})
+
+	expireRT := roundTrip(expireReq, make([]byte, len(expireRep)))
+	scanRT := roundTrip(scanReq, make([]byte, len(scanRep)))
+	for i := 0; i < 64; i++ {
+		expireRT()
+		scanRT()
+	}
+	if n := testing.AllocsPerRun(200, expireRT); n > 6 {
+		t.Errorf("EXPIRE+TTL round trip: %.2f allocs, budget 6", n)
+	}
+	if n := testing.AllocsPerRun(200, scanRT); n > 28 {
+		t.Errorf("SCAN COUNT 5 round trip: %.2f allocs, budget 28", n)
+	}
+}

@@ -181,9 +181,9 @@ func traceKindOrder() []string {
 // to the aggregate BatchOutcome telemetry.
 func traceSpanFor(cmd string, nargs int) bool {
 	switch cmd {
-	case "get", "exists", "del":
+	case "get", "exists", "del", "ttl", "pttl":
 		return nargs == 2
-	case "set":
+	case "set", "expire", "pexpire":
 		return nargs == 3
 	}
 	return false

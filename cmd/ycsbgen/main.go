@@ -1,9 +1,15 @@
 // Command ycsbgen emits a YCSB-style operation trace as text, one
-// operation per line ("GET <key>" / "SET <key> <valueSize>"), suitable
-// for replay against any key-value store or for inspecting the
-// distributions used throughout the evaluation.
+// operation per line ("GET <key>" / "SET <key> <valueSize>" /
+// "SCAN <key> <len>" / "RMW <key> <valueSize>"), suitable for replay
+// against any key-value store or for inspecting the distributions used
+// throughout the evaluation.
+//
+// With -workload the trace follows one of the standard YCSB core
+// mixes A–F (or the hot-key "flood"); without it, the paper's original
+// GET/SET shape over -dist applies.
 //
 //	ycsbgen -keys 1000000 -ops 10000000 -dist zipf > trace.txt
+//	ycsbgen -workload E -ops 100000 > scans.txt
 //	ycsbgen -dist latest -ops 1000 -stats
 package main
 
@@ -19,36 +25,92 @@ import (
 
 func main() {
 	var (
-		keys  = flag.Int("keys", 100_000, "distinct keys")
-		ops   = flag.Int("ops", 1_000_000, "operations to emit")
-		dist  = flag.String("dist", "zipf", "zipf|latest|uniform")
-		vsize = flag.Int("vsize", 64, "value size recorded for SETs")
-		seed  = flag.Uint64("seed", 42, "generator seed")
-		stats = flag.Bool("stats", false, "print distribution statistics instead of the trace")
+		keys     = flag.Int("keys", 100_000, "distinct keys")
+		ops      = flag.Int("ops", 1_000_000, "operations to emit")
+		dist     = flag.String("dist", "zipf", "zipf|latest|uniform")
+		workload = flag.String("workload", "", "YCSB core mix A..F or 'flood' (overrides -dist)")
+		vsize    = flag.Int("vsize", 64, "value size recorded for SETs")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		stats    = flag.Bool("stats", false, "print distribution statistics instead of the trace")
 	)
 	flag.Parse()
 
-	d, err := ycsb.ParseDistribution(*dist)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ycsbgen:", err)
-		os.Exit(2)
+	var next func() ycsb.Op
+	if *workload != "" {
+		mix, err := ycsb.MixByName(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ycsbgen:", err)
+			os.Exit(2)
+		}
+		g := ycsb.NewMixGenerator(mix, *keys, *seed)
+		next = g.Next
+	} else {
+		d, err := ycsb.ParseDistribution(*dist)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ycsbgen:", err)
+			os.Exit(2)
+		}
+		cfg := ycsb.Config{Keys: *keys, ValueSize: *vsize, Dist: d, Seed: *seed}.WithPaperSetFraction()
+		g := ycsb.NewGenerator(cfg)
+		if *stats {
+			printStats(g, *ops)
+			return
+		}
+		next = g.Next
 	}
-	cfg := ycsb.Config{Keys: *keys, ValueSize: *vsize, Dist: d, Seed: *seed}.WithPaperSetFraction()
-	g := ycsb.NewGenerator(cfg)
-
 	if *stats {
-		printStats(g, *ops)
+		printMixStats(next, *ops)
 		return
 	}
 
 	w := bufio.NewWriterSize(os.Stdout, 1<<20)
 	defer w.Flush()
 	for i := 0; i < *ops; i++ {
-		op := g.Next()
-		if op.Type == ycsb.Set {
+		op := next()
+		switch op.Type {
+		case ycsb.Set, ycsb.Insert:
 			fmt.Fprintf(w, "SET %s %d\n", ycsb.KeyName(op.KeyID), *vsize)
-		} else {
+		case ycsb.Scan:
+			fmt.Fprintf(w, "SCAN %s %d\n", ycsb.KeyName(op.KeyID), op.ScanLen)
+		case ycsb.RMW:
+			fmt.Fprintf(w, "RMW %s %d\n", ycsb.KeyName(op.KeyID), *vsize)
+		default:
 			fmt.Fprintf(w, "GET %s\n", ycsb.KeyName(op.KeyID))
+		}
+	}
+}
+
+// printMixStats summarizes a mixed-op stream: verb mix plus the key
+// frequency skew (top-N share of traffic).
+func printMixStats(next func() ycsb.Op, ops int) {
+	counts := map[uint64]int{}
+	verbs := map[ycsb.OpType]int{}
+	for i := 0; i < ops; i++ {
+		op := next()
+		verbs[op.Type]++
+		counts[op.KeyID]++
+	}
+	fmt.Printf("ops: %d\ndistinct keys touched: %d\n", ops, len(counts))
+	for _, v := range []struct {
+		t ycsb.OpType
+		n string
+	}{{ycsb.Get, "GET"}, {ycsb.Set, "SET"}, {ycsb.Insert, "INSERT"}, {ycsb.Scan, "SCAN"}, {ycsb.RMW, "RMW"}} {
+		if verbs[v.t] > 0 {
+			fmt.Printf("%s fraction: %.4f\n", v.n, float64(verbs[v.t])/float64(ops))
+		}
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	cum := 0
+	marks := map[int]bool{1: true, 10: true, 100: true, 1000: true, 10000: true}
+	for rank, c := range freqs {
+		cum += c
+		if marks[rank+1] {
+			fmt.Printf("top %6d keys: %5.2f%% of traffic\n",
+				rank+1, 100*float64(cum)/float64(ops))
 		}
 	}
 }

@@ -139,6 +139,22 @@ func ReadValueInto(m *cpu.Machine, va arch.Addr, buf []byte) []byte {
 	return buf
 }
 
+// ReadKeyInto performs a timed read of the record's key, appended into
+// buf[:0] (reallocated only when cap(buf) is too small) — the per-record
+// read of an ordered scan's emission path.
+func ReadKeyInto(m *cpu.Machine, va arch.Addr, buf []byte, cat arch.CostCategory) []byte {
+	var hdr [RecordHeaderSize]byte
+	m.Read(va, hdr[:], arch.KindRecord, cat)
+	kl := int(binary.LittleEndian.Uint16(hdr[0:]))
+	if cap(buf) < kl {
+		buf = make([]byte, kl)
+	} else {
+		buf = buf[:kl]
+	}
+	m.Read(va+RecordHeaderSize, buf, arch.KindRecord, cat)
+	return buf
+}
+
 // TouchValue charges the timed traffic of reading the value without
 // materializing it.
 func TouchValue(m *cpu.Machine, va arch.Addr) {

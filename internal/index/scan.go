@@ -1,0 +1,144 @@
+// Ordered scans: the tree/skiplist structures can enumerate records in
+// ascending key order starting at an arbitrary key. Unlike Range
+// (range.go), scans are *timed* — they model a client-visible SCAN or
+// RANGE command, so every node visited and every record key read is
+// charged through the simulated hierarchy, the same pointer-chasing
+// traffic the paper's Figure 13 attributes to ordered structures.
+//
+// The hash indexes deliberately do not implement Ordered: a hash table
+// has no key order to expose, and the kv layer turns that absence into
+// a typed error rather than a silent empty result.
+package index
+
+import "addrkv/internal/arch"
+
+// Ordered is the capability interface for indexes that can serve
+// ordered scans. The btree, skiplist, and rbtree implement it; the two
+// hash structures do not.
+type Ordered interface {
+	Index
+	// ScanFrom visits every stored record whose key is >= start in
+	// ascending key order, stopping early when fn returns false. The
+	// traversal is timed (CatTraverse reads, like Get).
+	ScanFrom(start []byte, fn func(rec arch.Addr) bool)
+}
+
+// btFrame is one level of the explicit in-order iteration stack:
+// idx is the next key slot to emit at this node; for an internal node
+// the subtree under child idx has already been visited when the frame
+// is on top of the stack.
+type btFrame struct {
+	va  arch.Addr
+	nd  btNode
+	idx int
+}
+
+// ScanFrom implements Ordered.
+func (t *BTree) ScanFrom(start []byte, fn func(rec arch.Addr) bool) {
+	var stack []btFrame
+	// Descent: at each node, searchIn finds the first key >= start.
+	// For an internal node the subtree under child i may still hold
+	// keys in [start, keys[i]), so descend there first — unless the
+	// key matched exactly, in which case child i holds only smaller
+	// keys and emission starts at this slot.
+	va := t.root
+	for {
+		var nd btNode
+		t.readMeta(va, &nd)
+		i, found := t.searchIn(&nd, start)
+		leaf := nd.leaf
+		var child arch.Addr
+		if !found && !leaf {
+			child = t.readChild(va, i)
+		}
+		stack = append(stack, btFrame{va: va, nd: nd, idx: i})
+		if found || leaf {
+			break
+		}
+		va = child
+	}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx >= f.nd.n {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		rec := f.nd.keys[f.idx]
+		f.idx++
+		// Capture before any append below: growing the stack may
+		// reallocate it and invalidate f.
+		leaf, fva, nidx := f.nd.leaf, f.va, f.idx
+		if !fn(rec) {
+			return
+		}
+		if !leaf {
+			// In-order successor: leftmost leaf of the subtree under
+			// the child that follows the emitted key.
+			cva := t.readChild(fva, nidx)
+			for {
+				var nd btNode
+				t.readMeta(cva, &nd)
+				cleaf := nd.leaf
+				var next arch.Addr
+				if !cleaf {
+					next = t.readChild(cva, 0)
+				}
+				stack = append(stack, btFrame{va: cva, nd: nd})
+				if cleaf {
+					break
+				}
+				cva = next
+			}
+		}
+	}
+}
+
+// ScanFrom implements Ordered: find the last node before start, then
+// walk the level-0 list.
+func (s *SkipList) ScanFrom(start []byte, fn func(rec arch.Addr) bool) {
+	var update [slMaxLevel]arch.Addr
+	x := s.findPredecessors(start, &update)
+	for node := s.readForward(x, 0); node != 0; node = s.readForward(node, 0) {
+		rec, _ := s.readNodeMeta(node)
+		if !fn(rec) {
+			return
+		}
+	}
+}
+
+// rbFrame caches the node image read during descent so emission does
+// not re-read (and re-charge) it.
+type rbFrame struct {
+	va arch.Addr
+	nd rbNode
+}
+
+// ScanFrom implements Ordered: in-order iteration with an explicit
+// stack, seeded by a descent that keeps every node whose key is
+// >= start as a pending candidate.
+func (t *RBTree) ScanFrom(start []byte, fn func(rec arch.Addr) bool) {
+	var stack []rbFrame
+	cur := t.root
+	for cur != t.nilN {
+		n := t.readNode(cur, arch.CatTraverse)
+		if t.compareAt(n, start) <= 0 { // start <= this key: candidate
+			stack = append(stack, rbFrame{cur, n})
+			cur = n.left
+		} else {
+			cur = n.right
+		}
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(f.nd.record) {
+			return
+		}
+		cur = f.nd.right
+		for cur != t.nilN {
+			n := t.readNode(cur, arch.CatTraverse)
+			stack = append(stack, rbFrame{cur, n})
+			cur = n.left
+		}
+	}
+}

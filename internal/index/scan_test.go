@@ -1,0 +1,122 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"addrkv/internal/arch"
+)
+
+var orderedBuilders = []struct {
+	name string
+	make func(ctx *Context, hint int) Ordered
+}{
+	{"rbtree", func(c *Context, h int) Ordered { return NewRBTree(c) }},
+	{"btree", func(c *Context, h int) Ordered { return NewBTree(c) }},
+	{"skiplist", func(c *Context, h int) Ordered { return NewSkipList(c) }},
+}
+
+func scanKeys(c *Context, idx Ordered, start []byte, limit int) [][]byte {
+	var out [][]byte
+	idx.ScanFrom(start, func(rec arch.Addr) bool {
+		kl, _ := headerFunctional(c.M.AS, rec)
+		k := make([]byte, kl)
+		c.M.AS.ReadAt(rec+RecordHeaderSize, k)
+		out = append(out, k)
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}
+
+func TestScanFromOrderAndCoverage(t *testing.T) {
+	for _, b := range orderedBuilders {
+		t.Run(b.name, func(t *testing.T) {
+			ctx := newCtx()
+			idx := b.make(ctx, 64)
+			const n = 500
+			rng := rand.New(rand.NewSource(7))
+			perm := rng.Perm(n)
+			var sorted [][]byte
+			for _, i := range perm {
+				idx.Put(key(i), val(i, 0))
+			}
+			for i := 0; i < n; i++ {
+				sorted = append(sorted, key(i))
+			}
+			sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i], sorted[j]) < 0 })
+
+			// Full scan from the empty key covers everything in order.
+			got := scanKeys(ctx, idx, nil, 0)
+			if len(got) != n {
+				t.Fatalf("full scan: %d keys, want %d", len(got), n)
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], sorted[i]) {
+					t.Fatalf("key %d = %q, want %q", i, got[i], sorted[i])
+				}
+			}
+
+			// Scans from arbitrary starts (present keys, gaps, past-end).
+			starts := [][]byte{key(0), key(123), key(n - 1), key(n + 5),
+				append(key(250), 0), []byte("key-"), []byte("zzz")}
+			for _, start := range starts {
+				want := sorted[sort.Search(n, func(i int) bool {
+					return bytes.Compare(sorted[i], start) >= 0
+				}):]
+				got := scanKeys(ctx, idx, start, 0)
+				if len(got) != len(want) {
+					t.Fatalf("start %q: %d keys, want %d", start, len(got), len(want))
+				}
+				for i := range got {
+					if !bytes.Equal(got[i], want[i]) {
+						t.Fatalf("start %q key %d = %q, want %q", start, i, got[i], want[i])
+					}
+				}
+			}
+
+			// Early stop respects the callback's return value.
+			if got := scanKeys(ctx, idx, nil, 7); len(got) != 7 {
+				t.Fatalf("limited scan returned %d keys", len(got))
+			}
+		})
+	}
+}
+
+func TestScanFromIsTimed(t *testing.T) {
+	for _, b := range orderedBuilders {
+		t.Run(b.name, func(t *testing.T) {
+			ctx := newTimedCtx()
+			idx := b.make(ctx, 64)
+			for i := 0; i < 64; i++ {
+				idx.Put(key(i), val(i, 0))
+			}
+			before := ctx.M.Cycles()
+			got := scanKeys(ctx, idx, nil, 0)
+			if len(got) != 64 {
+				t.Fatalf("scan returned %d keys", len(got))
+			}
+			if ctx.M.Cycles() <= before {
+				t.Fatal("ScanFrom charged no cycles on a timed machine")
+			}
+		})
+	}
+}
+
+// TestHashIndexesAreUnordered pins the capability split: only the
+// ordered structures expose ScanFrom.
+func TestHashIndexesAreUnordered(t *testing.T) {
+	ctx := newCtx()
+	for _, idx := range []Index{NewChainHash(ctx, 64), NewDenseHash(ctx, 64)} {
+		if _, ok := idx.(Ordered); ok {
+			t.Fatalf("%s unexpectedly implements Ordered", idx.Name())
+		}
+	}
+	for _, b := range orderedBuilders {
+		var idx Index = b.make(ctx, 64)
+		if _, ok := idx.(Ordered); !ok {
+			t.Fatalf("%s does not implement Ordered", b.name)
+		}
+	}
+}

@@ -104,6 +104,12 @@ type Config struct {
 	TLBPrefetch bool
 	// Seed seeds hash functions and the STLT's counter PRNG.
 	Seed uint64
+	// MaxMemory, when positive, bounds the store's record bytes:
+	// exceeding it after a SET evicts keys under the same in-set LFU
+	// rule the STLT uses for its rows (probabilistic 4-bit counters,
+	// minimum-counter first-wins victim; see expire.go). Zero disables
+	// eviction entirely.
+	MaxMemory int64
 }
 
 // withDefaults fills zero fields.
@@ -172,6 +178,9 @@ type Stats struct {
 	Misses   uint64 // GETs for absent keys
 	FastHits uint64 // ops satisfied by the STLT/SLB fast path
 	Moves    uint64 // record relocations observed
+	Scans    uint64 // SCAN/RANGE ordered iterations served
+	Expired  uint64 // keys removed by lazy or sweep TTL expiry
+	Evicted  uint64 // keys removed by maxmemory LFU eviction
 	Machine  cpu.Stats
 	STLT     core.Stats
 	SLB      slb.Stats
@@ -189,6 +198,9 @@ func (s Stats) Add(o Stats) Stats {
 	d.Misses += o.Misses
 	d.FastHits += o.FastHits
 	d.Moves += o.Moves
+	d.Scans += o.Scans
+	d.Expired += o.Expired
+	d.Evicted += o.Evicted
 	d.Machine = s.Machine.Add(o.Machine)
 	d.STLT.Lookups += o.STLT.Lookups
 	d.STLT.Hits += o.STLT.Hits
@@ -241,7 +253,36 @@ type Engine struct {
 	traceCtr    uint64
 
 	ops, gets, sets, misses, fastHits, moves uint64
+	scans, expired, evicted                  uint64
 	keyBuf                                   [ycsb.KeyLen]byte
+
+	// TTL state (expire.go): absolute deadlines in unix nanoseconds,
+	// plus an insertion-ordered key list so the active sweep samples
+	// deterministically. Empty maps cost nothing on the hot path —
+	// every check is gated on len(expires) != 0 — so an engine that
+	// never sees an EXPIRE behaves bit-for-bit like one built before
+	// TTLs existed.
+	expires   map[string]int64
+	expOrder  []string
+	expCursor int
+	clock     func() int64
+
+	// lfu is the maxmemory eviction state (nil when Cfg.MaxMemory == 0).
+	lfu *lfuState
+
+	// maint queues the untimed maintenance removals (lazy/sweep expiry,
+	// LFU eviction) an op performed, for the owning shard to log to the
+	// WAL in replay order. Drained via TakeMaint under the shard lock.
+	maint []Maint
+
+	// replay disables clock-driven expiry and maxmemory eviction while
+	// recovery applies a log: removals replay from their own explicit
+	// records instead, so a recovered engine cannot diverge from the
+	// log that describes it.
+	replay bool
+
+	// scanKey/scanVal are reusable buffers for the scan read path.
+	scanKey, scanVal []byte
 }
 
 // New builds an engine.
@@ -312,6 +353,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.RedisLayer {
 		e.redis = newRedisLayer(m)
 	}
+	if cfg.MaxMemory > 0 {
+		e.lfu = newLFUState(cfg.Seed)
+	}
 	return e, nil
 }
 
@@ -336,7 +380,9 @@ func (e *Engine) Load(n int, valueSize int) {
 	e.M.Fast = true
 	for id := uint64(0); id < uint64(n); id++ {
 		key := ycsb.KeyNameInto(e.keyBuf[:], id)
-		e.Idx.Put(key, ycsb.Value(id, 0, valueSize))
+		val := ycsb.Value(id, 0, valueSize)
+		e.Idx.Put(key, val)
+		e.lfuAccount(key, val)
 	}
 	e.M.Fast = wasFast
 }
@@ -348,6 +394,7 @@ func (e *Engine) LoadOne(key, value []byte) {
 	wasFast := e.M.Fast
 	e.M.Fast = true
 	e.Idx.Put(key, value)
+	e.lfuAccount(key, value)
 	e.M.Fast = wasFast
 }
 
@@ -363,9 +410,9 @@ func (e *Engine) Reset() error {
 		return err
 	}
 	ne.MarkMeasurement()
-	tr, sh := e.tracer, e.tracerShard
+	tr, sh, clk := e.tracer, e.tracerShard, e.clock
 	*e = *ne
-	e.tracer, e.tracerShard = tr, sh
+	e.tracer, e.tracerShard, e.clock = tr, sh, clk
 	return nil
 }
 
@@ -468,6 +515,7 @@ func (e *Engine) GetTouch(key []byte) bool {
 
 // get runs the mode-specific addressing path and returns the record VA.
 func (e *Engine) get(key []byte) (arch.Addr, bool) {
+	e.expireIfDue(key, false)
 	if e.Monitor != nil {
 		e.Monitor.BeginOp()
 		defer e.Monitor.EndOp()
@@ -490,6 +538,7 @@ func (e *Engine) get(key []byte) (arch.Addr, bool) {
 		}
 		return 0, false
 	}
+	e.lfuTouch(key)
 	if e.redis != nil {
 		e.redis.replyValue(e.M, va)
 	}
@@ -561,6 +610,7 @@ func (e *Engine) idxGet(key []byte) (arch.Addr, bool) {
 // value-copy reply — the cheap path a Redis EXISTS takes.
 func (e *Engine) Exists(key []byte) bool {
 	sp := e.traceBegin("exists", key)
+	e.expireIfDue(key, false)
 	if e.Monitor != nil {
 		e.Monitor.BeginOp()
 		defer e.Monitor.EndOp()
@@ -577,6 +627,8 @@ func (e *Engine) Exists(key []byte) bool {
 	_, found := e.lookup(key)
 	if !found {
 		e.misses++
+	} else {
+		e.lfuTouch(key)
 	}
 	if e.redis != nil {
 		e.redis.reply(4) // ":1\r\n" / ":0\r\n"
@@ -585,9 +637,11 @@ func (e *Engine) Exists(key []byte) bool {
 	return found
 }
 
-// Set performs a timed SET.
+// Set performs a timed SET. Like Redis, SET discards any TTL armed on
+// the key.
 func (e *Engine) Set(key, value []byte) {
 	sp := e.traceBegin("set", key)
+	e.expireIfDue(key, false)
 	if e.Monitor != nil {
 		e.Monitor.BeginOp()
 		defer e.Monitor.EndOp()
@@ -616,15 +670,21 @@ func (e *Engine) Set(key, value []byte) {
 			e.SLB.Invalidate(key)
 		}
 	}
+	if len(e.expires) != 0 {
+		e.disarmDeadline(key)
+	}
+	e.lfuAccount(key, value)
 	if e.redis != nil {
 		e.redis.reply(5) // "+OK\r\n"
 	}
+	e.maybeEvict()
 	e.traceEnd(sp, false, false)
 }
 
 // Delete removes a key, keeping the fast paths coherent.
 func (e *Engine) Delete(key []byte) bool {
 	sp := e.traceBegin("del", key)
+	e.expireIfDue(key, false)
 	e.ops++
 	ok := e.Idx.Delete(key)
 	if e.M.Trace != nil {
@@ -647,6 +707,10 @@ func (e *Engine) Delete(key []byte) bool {
 		if e.SLB != nil {
 			e.SLB.Invalidate(key)
 		}
+		if len(e.expires) != 0 {
+			e.disarmDeadline(key)
+		}
+		e.lfuForget(key)
 	}
 	e.traceEnd(sp, false, !ok)
 	return ok
@@ -688,14 +752,22 @@ func (e *Engine) DeleteBatch(keys [][]byte) int {
 	return n
 }
 
-// RunOp executes one generated workload operation.
+// RunOp executes one generated workload operation. Scan ops on an
+// unordered index are charged nothing (the error path never reaches
+// the simulated machine) — harnesses validate index/workload pairing
+// up front.
 func (e *Engine) RunOp(op ycsb.Op, valueSize int) {
 	key := ycsb.KeyNameInto(e.keyBuf[:], op.KeyID)
 	switch op.Type {
 	case ycsb.Get:
 		e.GetTouch(key)
-	case ycsb.Set:
+	case ycsb.Set, ycsb.Insert:
 		e.Set(key, ycsb.Value(op.KeyID, 1, valueSize))
+	case ycsb.Scan:
+		_, _ = e.Scan(key, op.ScanLen, func([]byte) bool { return true })
+	case ycsb.RMW:
+		e.GetTouch(key)
+		e.Set(key, ycsb.Value(op.KeyID, 2, valueSize))
 	}
 }
 
@@ -725,6 +797,7 @@ func (e *Engine) Probe() OpProbe {
 func (e *Engine) MarkMeasurement() {
 	e.M.ResetStats()
 	e.ops, e.gets, e.sets, e.misses, e.fastHits, e.moves = 0, 0, 0, 0, 0, 0
+	e.scans, e.expired, e.evicted = 0, 0, 0
 	if e.STLT != nil {
 		e.STLT.Stats = core.Stats{}
 	}
@@ -742,6 +815,9 @@ func (e *Engine) Stats() Stats {
 		Misses:   e.misses,
 		FastHits: e.fastHits,
 		Moves:    e.moves,
+		Scans:    e.scans,
+		Expired:  e.expired,
+		Evicted:  e.evicted,
 		Machine:  e.M.Stats(),
 	}
 	if e.STLT != nil {

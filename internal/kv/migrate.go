@@ -43,7 +43,10 @@ func (e *Engine) PeekOne(key, vbuf []byte) ([]byte, bool) {
 // RemoveOne deletes a key functionally, keeping the fast paths
 // coherent (STLT/SLB rows invalidated, uncharged) — the source-side
 // half of a record move: after extraction the row must not validate
-// against a freed record, exactly as in the timed Delete path.
+// against a freed record, exactly as in the timed Delete path. TTL and
+// eviction bookkeeping for the key is dropped too (callers that need
+// the deadline — migration ships TTLs with their records — read it
+// first via DeadlineOf).
 func (e *Engine) RemoveOne(key []byte) bool {
 	wasFast := e.M.Fast
 	e.M.Fast = true
@@ -55,6 +58,10 @@ func (e *Engine) RemoveOne(key []byte) bool {
 		if e.SLB != nil {
 			e.SLB.Invalidate(key)
 		}
+		if len(e.expires) != 0 {
+			e.disarmDeadline(key)
+		}
+		e.lfuForget(key)
 	}
 	e.M.Fast = wasFast
 	return ok

@@ -1,0 +1,55 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScanCursor explores the SCAN cursor codec: ParseCursor must
+// never panic on arbitrary input, every accepted continuation cursor
+// must round-trip bit-for-bit through AppendCursor, and every rejected
+// input must fail with the typed ErrBadCursor. The input doubles as a
+// raw key for the encode-side round trip (keys are arbitrary bytes).
+func FuzzScanCursor(f *testing.F) {
+	f.Add([]byte("0"))
+	f.Add([]byte(""))
+	f.Add([]byte("k"))
+	f.Add([]byte("k6b657900ff"))
+	f.Add([]byte("k6b6579"))
+	f.Add([]byte("kZZ"))
+	f.Add([]byte("K6b"))
+	f.Add([]byte("k6b5"))
+	f.Add([]byte("00"))
+	f.Add([]byte{0x6b, 0xff, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode side: arbitrary bytes as a cursor.
+		after, resume, err := ParseCursor(data, nil)
+		switch {
+		case err != nil:
+			if err != ErrBadCursor {
+				t.Fatalf("ParseCursor(%q) returned untyped error %v", data, err)
+			}
+		case !resume:
+			if !bytes.Equal(data, []byte("0")) {
+				t.Fatalf("ParseCursor(%q) claimed start-of-keyspace", data)
+			}
+		default:
+			// Accepted continuation cursors are canonical: re-encoding
+			// the decoded key reproduces the input exactly.
+			if re := AppendCursor(nil, after); !bytes.Equal(re, data) {
+				t.Fatalf("cursor %q decoded to %q but re-encodes to %q", data, after, re)
+			}
+			// Resumption is strictly after the cursor key.
+			if start := ScanStart(after, true, nil); bytes.Compare(start, after) <= 0 {
+				t.Fatalf("ScanStart(%q) = %q, not strictly after", after, start)
+			}
+		}
+
+		// Encode side: arbitrary bytes as a key.
+		cur := AppendCursor(nil, data)
+		back, resume2, err2 := ParseCursor(cur, nil)
+		if err2 != nil || !resume2 || !bytes.Equal(back, data) {
+			t.Fatalf("key %q -> cursor %q -> (%q,%v,%v)", data, cur, back, resume2, err2)
+		}
+	})
+}

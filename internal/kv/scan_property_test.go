@@ -1,0 +1,249 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// newOrderedEngine builds an engine on an ordered index kind.
+func newOrderedEngine(t *testing.T, kind IndexKind) *Engine {
+	t.Helper()
+	e, err := New(Config{Keys: 4000, Index: kind, Mode: ModeSTLT, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// scanPage runs one cursor-addressed SCAN page and returns the emitted
+// keys plus the continuation cursor ("0" when the walk is done),
+// exactly like the server's SCAN command does.
+func scanPage(t *testing.T, e *Engine, cursor string, count int) ([]string, string) {
+	t.Helper()
+	after, resume, err := ParseCursor([]byte(cursor), nil)
+	if err != nil {
+		t.Fatalf("cursor %q: %v", cursor, err)
+	}
+	var keys []string
+	n, err := e.Scan(ScanStart(after, resume, nil), count, func(k []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(keys) {
+		t.Fatalf("Scan reported %d keys, emitted %d", n, len(keys))
+	}
+	if n == count {
+		return keys, string(AppendCursor(nil, []byte(keys[n-1])))
+	}
+	return keys, "0"
+}
+
+// TestScanOrderedIndexesMatch: both ordered indexes enumerate the same
+// key set in the same (lexicographic) order.
+func TestScanOrderedIndexesMatch(t *testing.T) {
+	collect := func(kind IndexKind) []string {
+		e := newOrderedEngine(t, kind)
+		for i := 0; i < 300; i++ {
+			e.Set(fmt.Appendf(nil, "k:%03d", (i*37)%300), []byte("v"))
+		}
+		var keys []string
+		if _, err := e.Scan(nil, 0, func(k []byte) bool {
+			keys = append(keys, string(k))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return keys
+	}
+	rb, bt := collect(KindRBTree), collect(KindBTree)
+	if len(rb) != 300 || len(bt) != 300 {
+		t.Fatalf("scan lengths %d/%d, want 300", len(rb), len(bt))
+	}
+	if !sort.StringsAreSorted(rb) {
+		t.Fatal("rbtree scan out of order")
+	}
+	for i := range rb {
+		if rb[i] != bt[i] {
+			t.Fatalf("index disagreement at %d: %q vs %q", i, rb[i], bt[i])
+		}
+	}
+}
+
+// TestScanUnorderedTyped: SCAN/RANGE against every index kind — the
+// hash indexes must return ErrUnordered (typed, not a silent empty
+// result), the trees must iterate.
+func TestScanUnorderedTyped(t *testing.T) {
+	for _, tc := range []struct {
+		kind    IndexKind
+		ordered bool
+	}{
+		{KindChainHash, false},
+		{KindDenseHash, false},
+		{KindRBTree, true},
+		{KindBTree, true},
+	} {
+		t.Run(string(tc.kind), func(t *testing.T) {
+			e, err := New(Config{Keys: 100, Index: tc.kind, Mode: ModeSTLT, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Set([]byte("k"), []byte("v"))
+			if got := e.Ordered(); got != tc.ordered {
+				t.Fatalf("Ordered() = %v, want %v", got, tc.ordered)
+			}
+			_, scanErr := e.Scan(nil, 0, func([]byte) bool { return true })
+			_, rangeErr := e.Range(nil, nil, 0, func(_, _ []byte) bool { return true })
+			if tc.ordered {
+				if scanErr != nil || rangeErr != nil {
+					t.Fatalf("ordered index errored: scan=%v range=%v", scanErr, rangeErr)
+				}
+			} else {
+				if scanErr != ErrUnordered || rangeErr != ErrUnordered {
+					t.Fatalf("hash index: scan=%v range=%v, want ErrUnordered", scanErr, rangeErr)
+				}
+			}
+		})
+	}
+}
+
+// TestScanCursorWalkProperty is the SCAN correctness property: a
+// cursor walk in pages, with writes interleaved between every page,
+// returns (a) every key present for the whole walk exactly once, (b)
+// no key more than once, and (c) keys inserted mid-walk at most once.
+// This is exactly the guarantee the stateless strictly-after cursor
+// buys, and it must hold at several page sizes on both ordered
+// indexes.
+func TestScanCursorWalkProperty(t *testing.T) {
+	for _, kind := range []IndexKind{KindRBTree, KindBTree} {
+		for _, pageSize := range []int{1, 7, 64} {
+			t.Run(fmt.Sprintf("%s/count=%d", kind, pageSize), func(t *testing.T) {
+				e := newOrderedEngine(t, kind)
+
+				// Stable keys: present before the walk, never touched.
+				const nStable = 400
+				stable := map[string]bool{}
+				for i := 0; i < nStable; i++ {
+					k := fmt.Sprintf("s:%04d", (i*211)%nStable)
+					e.Set([]byte(k), []byte("stable"))
+					stable[k] = true
+				}
+				// Doomed keys: present at walk start, deleted mid-walk.
+				var doomed []string
+				for i := 0; i < 60; i++ {
+					k := fmt.Sprintf("d:%04d", i)
+					e.Set([]byte(k), []byte("doomed"))
+					doomed = append(doomed, k)
+				}
+
+				seen := map[string]int{}
+				cursor := "0"
+				pages := 0
+				inserted := 0
+				x := uint64(4242)
+				for {
+					keys, next := scanPage(t, e, cursor, pageSize)
+					for _, k := range keys {
+						seen[k]++
+					}
+					if next == "0" {
+						break
+					}
+					cursor = next
+					pages++
+					if pages > 3*(nStable+300)/pageSize+300 {
+						t.Fatal("cursor walk failed to terminate")
+					}
+					// Concurrent churn between pages: insert fresh keys on
+					// both sides of the cursor, delete a doomed key, and
+					// overwrite a stable key's value (key set untouched).
+					x ^= x << 13
+					x ^= x >> 7
+					x ^= x << 17
+					e.Set(fmt.Appendf(nil, "a:%06d", x%100000), []byte("new")) // before "d:"/"s:"
+					e.Set(fmt.Appendf(nil, "z:%06d", x%100000), []byte("new")) // after "s:"
+					inserted += 2
+					if len(doomed) > 0 {
+						e.Delete([]byte(doomed[0]))
+						doomed = doomed[1:]
+					}
+					e.Set([]byte(fmt.Sprintf("s:%04d", x%nStable)), []byte("rewritten"))
+				}
+
+				for k, n := range seen {
+					if n > 1 {
+						t.Errorf("key %q returned %d times", k, n)
+					}
+				}
+				for k := range stable {
+					if seen[k] != 1 {
+						t.Errorf("stable key %q returned %d times, want exactly 1", k, seen[k])
+					}
+				}
+				if pages == 0 {
+					t.Fatal("walk completed in one page; churn never ran")
+				}
+			})
+		}
+	}
+}
+
+// TestRangeBounds: RANGE respects inclusive bounds and the limit, and
+// returns values alongside keys.
+func TestRangeBounds(t *testing.T) {
+	e := newOrderedEngine(t, KindBTree)
+	for i := 0; i < 50; i++ {
+		e.Set(fmt.Appendf(nil, "r:%02d", i), fmt.Appendf(nil, "v%d", i))
+	}
+	var got []string
+	n, err := e.Range([]byte("r:10"), []byte("r:14"), 0, func(k, v []byte) bool {
+		got = append(got, string(k)+"="+string(v))
+		return true
+	})
+	if err != nil || n != 5 {
+		t.Fatalf("Range = %d, %v", n, err)
+	}
+	want := "[r:10=v10 r:11=v11 r:12=v12 r:13=v13 r:14=v14]"
+	if fmt.Sprint(got) != want {
+		t.Fatalf("Range emitted %v, want %v", got, want)
+	}
+	// Limit truncates.
+	got = got[:0]
+	if n, _ = e.Range([]byte("r:10"), nil, 3, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); n != 3 || fmt.Sprint(got) != "[r:10 r:11 r:12]" {
+		t.Fatalf("limited Range = %d %v", n, got)
+	}
+}
+
+// TestScanCursorCodec: spot-check the codec (the fuzz target explores
+// the space; this pins the canonical forms).
+func TestScanCursorCodec(t *testing.T) {
+	cur := AppendCursor(nil, []byte("key\x00\xff"))
+	if string(cur) != "k6b657900ff" {
+		t.Fatalf("AppendCursor = %q", cur)
+	}
+	after, resume, err := ParseCursor(cur, nil)
+	if err != nil || !resume || !bytes.Equal(after, []byte("key\x00\xff")) {
+		t.Fatalf("ParseCursor round trip = %q/%v/%v", after, resume, err)
+	}
+	if _, resume, err := ParseCursor([]byte("0"), nil); err != nil || resume {
+		t.Fatalf("start cursor parse = %v/%v", resume, err)
+	}
+	for _, bad := range []string{"", "1", "k6", "kZZ", "K6b", "06b", "k6b65790"} {
+		if _, _, err := ParseCursor([]byte(bad), nil); err != ErrBadCursor {
+			t.Errorf("ParseCursor(%q) = %v, want ErrBadCursor", bad, err)
+		}
+	}
+	// Strictly-after resumption: the smallest key greater than "ab" is
+	// "ab\x00".
+	start := ScanStart([]byte("ab"), true, nil)
+	if !bytes.Equal(start, []byte("ab\x00")) {
+		t.Fatalf("ScanStart = %q", start)
+	}
+}

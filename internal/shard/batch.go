@@ -170,8 +170,15 @@ func (c *Cluster) GetBatchO(keys [][]byte, out *BatchOutcome) (vals [][]byte, ok
 			before = s.e.Probe()
 		}
 		svals, soks := s.e.GetBatch(sub)
+		// Lazy expiries during the gets are all pre-op removals with no
+		// op frames between them, so one post-batch drain preserves the
+		// exact replay order.
+		wrote := c.walOp(si, s, 0, nil, nil, nil)
 		observeBatch(si, len(idxs), s.e, out, before)
 		s.mu.Unlock()
+		if wrote {
+			c.walCommit(si, nil, len(idxs))
+		}
 		for j, i := range idxs {
 			vals[i], oks[i] = svals[j], soks[j]
 		}
@@ -207,11 +214,13 @@ func (c *Cluster) SetBatchO(keys, values [][]byte, out *BatchOutcome) {
 		if out != nil {
 			before = s.e.Probe()
 		}
-		s.e.SetBatch(subK, subV)
-		if c.logs != nil {
-			for j := range subK {
-				c.walAppend(si, s.e, wal.RecSet, subK[j], subV[j], nil)
-			}
+		// SetBatch is defined as exactly N sequential Sets; running the
+		// loop here keeps that identity while interleaving each op's
+		// maintenance frames (lazy expiries, evictions) at their true
+		// position in the log.
+		for j := range subK {
+			s.e.Set(subK[j], subV[j])
+			c.walOp(si, s, wal.RecSet, subK[j], subV[j], nil)
 		}
 		observeBatch(si, len(idxs), s.e, out, before)
 		s.mu.Unlock()
@@ -248,11 +257,13 @@ func (c *Cluster) DeleteBatchO(keys [][]byte, out *BatchOutcome) int {
 		if out != nil {
 			before = s.e.Probe()
 		}
-		n += s.e.DeleteBatch(sub)
-		if c.logs != nil {
-			for _, k := range sub {
-				c.walAppend(si, s.e, wal.RecDel, k, nil, nil)
+		// Like SetBatchO: the explicit loop IS DeleteBatch, with each
+		// op's maintenance frames interleaved in log order.
+		for _, k := range sub {
+			if s.e.Delete(k) {
+				n++
 			}
+			c.walOp(si, s, wal.RecDel, k, nil, nil)
 		}
 		observeBatch(si, len(idxs), s.e, out, before)
 		s.mu.Unlock()

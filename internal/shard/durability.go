@@ -17,6 +17,7 @@
 package shard
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -77,6 +78,40 @@ func (c *Cluster) walAppend(i int, e *kv.Engine, kind wal.Kind, key, value []byt
 	}
 }
 
+// walOp drains shard i's maintenance queue and logs one op together
+// with the maintenance it triggered, in replay order: lazy-expiry
+// removals run before the op touches the index and evictions after it,
+// so frames go RecExpireDel*, op, RecEvict*. opKind 0 means the op
+// writes no frame of its own (reads, EXPIRE of an absent key) — only
+// maintenance is logged. The queue is drained even without a WAL so it
+// cannot grow. Returns whether any frame is pending commit. Must hold
+// the shard lock.
+func (c *Cluster) walOp(i int, s *shardSlot, opKind wal.Kind, key, value []byte, out *OpOutcome) bool {
+	e := s.e
+	if !e.MaintPending() {
+		if opKind == 0 {
+			return false
+		}
+		c.walAppend(i, e, opKind, key, value, out)
+		return c.logs != nil
+	}
+	s.maint = e.TakeMaint(s.maint)
+	for _, m := range s.maint {
+		if !m.Evict {
+			c.walAppend(i, e, wal.RecExpireDel, m.Key, nil, out)
+		}
+	}
+	if opKind != 0 {
+		c.walAppend(i, e, opKind, key, value, out)
+	}
+	for _, m := range s.maint {
+		if m.Evict {
+			c.walAppend(i, e, wal.RecEvict, m.Key, nil, out)
+		}
+	}
+	return c.logs != nil
+}
+
 // walCommit publishes shard i's pending records (mutex path: one
 // commit per call). covered is the record count the barrier covers,
 // stamped on the traced op's wal.fsync event under the always policy.
@@ -97,7 +132,9 @@ func (c *Cluster) walCommit(i int, out *OpOutcome, covered int) {
 }
 
 // Snapshot compacts shard i's log: under the shard lock, stream the
-// engine's live records into a new snapshot generation (BGSAVE body).
+// engine's live records into a new snapshot generation (BGSAVE body),
+// then the armed TTL deadlines as RecExpire frames — a recovered
+// engine lazily expires exactly what the live one would have.
 func (c *Cluster) Snapshot(i int) error {
 	if c.logs == nil {
 		return fmt.Errorf("shard: no WAL attached")
@@ -105,10 +142,19 @@ func (c *Cluster) Snapshot(i int) error {
 	s := c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return c.logs[i].Rewrite(func(add func(key, value []byte) error) error {
+	return c.logs[i].RewriteKinds(func(add func(kind wal.Kind, key, value []byte) error) error {
 		var err error
 		s.e.RangeRecords(func(key, value []byte) bool {
-			err = add(key, value)
+			err = add(wal.RecLoad, key, value)
+			return err == nil
+		})
+		if err != nil {
+			return err
+		}
+		var dlb [8]byte
+		s.e.RangeDeadlines(func(key []byte, deadline int64) bool {
+			binary.LittleEndian.PutUint64(dlb[:], uint64(deadline))
+			err = add(wal.RecExpire, key, dlb[:])
 			return err == nil
 		})
 		return err
@@ -160,26 +206,40 @@ func (c *Cluster) CloseWAL() error {
 // RecoveryApplyStats reports what a replay applied.
 type RecoveryApplyStats struct {
 	Loads, Sets, Dels, Flushes int
+	// Expires counts replayed TTL arms; ExpireDels and Evicts the
+	// replayed maintenance removals.
+	Expires, ExpireDels, Evicts int
 }
 
 // Ops returns the total applied record count.
-func (s RecoveryApplyStats) Ops() int { return s.Loads + s.Sets + s.Dels + s.Flushes }
+func (s RecoveryApplyStats) Ops() int {
+	return s.Loads + s.Sets + s.Dels + s.Flushes + s.Expires + s.ExpireDels + s.Evicts
+}
 
 // Add accumulates per-shard stats.
 func (s RecoveryApplyStats) Add(o RecoveryApplyStats) RecoveryApplyStats {
-	return RecoveryApplyStats{s.Loads + o.Loads, s.Sets + o.Sets, s.Dels + o.Dels, s.Flushes + o.Flushes}
+	return RecoveryApplyStats{
+		s.Loads + o.Loads, s.Sets + o.Sets, s.Dels + o.Dels, s.Flushes + o.Flushes,
+		s.Expires + o.Expires, s.ExpireDels + o.ExpireDels, s.Evicts + o.Evicts,
+	}
 }
 
 // ApplyRecovery replays one shard's surviving record stream into its
 // engine: snapshot records through the untimed bulk-load path, tail
 // records through the timed ops — exactly the execution a live run of
-// the same stream would perform.
+// the same stream would perform. The whole replay runs with the
+// engine's replay flag set: clock-driven expiry and live eviction are
+// off, and every removal comes from its own RecExpireDel/RecEvict
+// record instead of being re-decided — so the recovered state is a
+// pure function of the log, independent of wall time at recovery.
 func (c *Cluster) ApplyRecovery(i int, rec *wal.Recovery) (RecoveryApplyStats, error) {
 	s := c.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.e.SetReplay(true)
+	defer s.e.SetReplay(false)
 	var st RecoveryApplyStats
-	apply := func(r wal.Record) error {
+	apply := func(r wal.Record, tail bool) error {
 		switch r.Kind {
 		case wal.RecLoad:
 			s.e.LoadOne(r.Key, r.Value)
@@ -195,18 +255,35 @@ func (c *Cluster) ApplyRecovery(i int, rec *wal.Recovery) (RecoveryApplyStats, e
 				return fmt.Errorf("shard %d: replay flush: %w", i, err)
 			}
 			st.Flushes++
+		case wal.RecExpire:
+			if len(r.Value) != 8 {
+				return fmt.Errorf("shard %d: replay: expire record with %d-byte deadline", i, len(r.Value))
+			}
+			dl := int64(binary.LittleEndian.Uint64(r.Value))
+			if tail {
+				s.e.ExpireAt(r.Key, dl) // timed, like the live arm
+			} else {
+				s.e.ArmDeadline(r.Key, dl) // snapshot: untimed
+			}
+			st.Expires++
+		case wal.RecExpireDel:
+			s.e.ExpireDelOne(r.Key)
+			st.ExpireDels++
+		case wal.RecEvict:
+			s.e.EvictOne(r.Key)
+			st.Evicts++
 		default:
 			return fmt.Errorf("shard %d: replay: unknown record kind %d", i, r.Kind)
 		}
 		return nil
 	}
 	for _, r := range rec.Snapshot {
-		if err := apply(r); err != nil {
+		if err := apply(r, false); err != nil {
 			return st, err
 		}
 	}
 	for _, r := range rec.Tail {
-		if err := apply(r); err != nil {
+		if err := apply(r, true); err != nil {
 			return st, err
 		}
 	}

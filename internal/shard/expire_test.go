@@ -1,0 +1,288 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"addrkv/internal/kv"
+	"addrkv/internal/wal"
+)
+
+// ttlTestCfg adds maxmemory to the shared durability template so the
+// recovery differential exercises RecEvict replay alongside the
+// expiry records.
+var ttlTestCfg = kv.Config{Keys: 2000, Index: kv.KindChainHash, Mode: kv.ModeSTLT, Seed: 42,
+	MaxMemory: 64 * 1024}
+
+// newTTLCluster builds a cluster on ttlTestCfg with a settable clock.
+func newTTLCluster(t *testing.T, shards int) (*Cluster, *int64) {
+	t.Helper()
+	c, err := New(Config{Shards: shards, Engine: ttlTestCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := new(int64)
+	*now = 1_000_000
+	c.SetClock(func() int64 { return *now })
+	return c, now
+}
+
+// TestExpiryRecoveryNoResurrection is the expiry-vs-recovery
+// differential: keys that expired before the crash — whether reaped
+// lazily by an access or actively by the sweep — must stay dead after
+// WAL recovery, keys that were merely *armed* must come back with
+// their absolute deadlines intact, and the recovered store must match
+// the live store record for record. Recovery runs under the real
+// clock with deadlines that are decades in its past: only the logged
+// RecExpireDel removals may decide death, never the recovery-time
+// clock.
+func TestExpiryRecoveryNoResurrection(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	live, now := newTTLCluster(t, shards)
+	logs, _ := openLogs(t, dir, shards, wal.FsyncAlways)
+	if err := live.AttachWAL(logs); err != nil {
+		t.Fatal(err)
+	}
+
+	key := func(i int) []byte { return fmt.Appendf(nil, "ttl:%03d", i) }
+	val := func(i int) []byte { return fmt.Appendf(nil, "val-%03d", i) }
+	for i := 0; i < 40; i++ {
+		live.Set(key(i), val(i))
+	}
+	// 0..19 get a near deadline (will die), 20..29 a far one (survive
+	// armed), 30..39 never get one.
+	for i := 0; i < 20; i++ {
+		if got := live.ExpireAt(key(i), *now+100); got != 1 {
+			t.Fatalf("ExpireAt %d = %d", i, got)
+		}
+	}
+	const farDeadline = int64(1_000_000_000)
+	for i := 20; i < 30; i++ {
+		live.ExpireAt(key(i), farDeadline)
+	}
+	*now += 200
+
+	// Lazy path for 0..9: the access reaps them.
+	for i := 0; i < 10; i++ {
+		if _, ok := live.Get(key(i)); ok {
+			t.Fatalf("key %d served past its deadline", i)
+		}
+	}
+	// Sweep path for 10..19: active cycles reap the untouched dead.
+	for sweeps := 0; live.ExpiresArmed() > 10; sweeps++ {
+		if live.SweepExpired(64) == 0 && sweeps > 100 {
+			t.Fatalf("sweep stalled with %d still armed", live.ExpiresArmed())
+		}
+	}
+	if err := live.WALErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover WITHOUT the fake clock: all logged deadlines are in the
+	// real clock's distant past, so any clock-driven re-decision during
+	// replay would wrongly kill the armed keys (and any missed
+	// RecExpireDel would resurrect the dead ones).
+	recovered, err := New(Config{Shards: shards, Engine: ttlTestCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg RecoveryApplyStats
+	for i := 0; i < shards; i++ {
+		l, rec, err := wal.OpenShard(dir, i, wal.FsyncNo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := recovered.ApplyRecovery(i, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg = agg.Add(st)
+		l.Close()
+	}
+	if agg.ExpireDels != 20 {
+		t.Fatalf("replayed %d expiry removals, want 20 (stats %+v)", agg.ExpireDels, agg)
+	}
+	if agg.Expires != 30 {
+		t.Fatalf("replayed %d TTL arms, want 30 (stats %+v)", agg.Expires, agg)
+	}
+
+	// No resurrection: every key dead before the crash is dead after.
+	for i := 0; i < 20; i++ {
+		if v, ok := recovered.PeekValue(key(i)); ok {
+			t.Fatalf("expired key %d resurrected with value %q", i, v)
+		}
+	}
+	// Armed keys survive with their exact absolute deadlines.
+	for i := 20; i < 30; i++ {
+		if _, ok := recovered.PeekValue(key(i)); !ok {
+			t.Fatalf("armed-but-alive key %d lost in recovery", i)
+		}
+		e := recovered.Engine(recovered.ShardFor(key(i)))
+		dl, armed := e.DeadlineOf(key(i))
+		if !armed || dl != farDeadline {
+			t.Fatalf("key %d deadline = (%d,%v), want (%d,true)", i, dl, armed, farDeadline)
+		}
+	}
+	if got := recovered.ExpiresArmed(); got != 10 {
+		t.Fatalf("recovered ExpiresArmed = %d, want 10", got)
+	}
+	// Record-for-record differential against the live store.
+	for i := 0; i < 40; i++ {
+		lv, lok := live.PeekValue(key(i))
+		rv, rok := recovered.PeekValue(key(i))
+		if lok != rok || !bytes.Equal(lv, rv) {
+			t.Fatalf("key %d: live (%q,%v) vs recovered (%q,%v)", i, lv, lok, rv, rok)
+		}
+	}
+	for i := 0; i < shards; i++ {
+		if l, r := live.ShardLen(i), recovered.ShardLen(i); l != r {
+			t.Fatalf("shard %d len: live %d vs recovered %d", i, l, r)
+		}
+	}
+}
+
+// TestEvictionRecoveryReplaysLoggedVictims: maxmemory evictions are
+// logged as RecEvict and replayed as exact removals — the recovered
+// store keeps precisely the survivor set without re-running the LFU
+// policy (whose PRNG state is long gone).
+func TestEvictionRecoveryReplaysLoggedVictims(t *testing.T) {
+	cfg := ttlTestCfg
+	cfg.MaxMemory = 2048
+	dir := t.TempDir()
+	live, err := New(Config{Shards: 1, Engine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs, _ := openLogs(t, dir, 1, wal.FsyncAlways)
+	if err := live.AttachWAL(logs); err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("x"), 48)
+	for i := 0; i < 200; i++ {
+		live.Set(fmt.Appendf(nil, "ev:%04d", i), val)
+	}
+	if live.Stats().Agg.Evicted == 0 {
+		t.Fatal("no evictions; shape is wrong")
+	}
+	if err := live.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := New(Config{Shards: 1, Engine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := wal.OpenShard(dir, 0, wal.FsyncNo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := recovered.ApplyRecovery(0, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if st.Evicts == 0 {
+		t.Fatalf("no RecEvict records replayed (stats %+v)", st)
+	}
+	if uint64(st.Evicts) != live.Stats().Agg.Evicted {
+		t.Fatalf("replayed %d evictions, live performed %d", st.Evicts, live.Stats().Agg.Evicted)
+	}
+	for i := 0; i < 200; i++ {
+		k := fmt.Appendf(nil, "ev:%04d", i)
+		lv, lok := live.PeekValue(k)
+		rv, rok := recovered.PeekValue(k)
+		if lok != rok || !bytes.Equal(lv, rv) {
+			t.Fatalf("key %s: live (%v,%v) vs recovered (%v,%v)", k, len(lv), lok, len(rv), rok)
+		}
+	}
+	if l, r := live.ShardLen(0), recovered.ShardLen(0); l != r {
+		t.Fatalf("survivor counts: live %d vs recovered %d", l, r)
+	}
+}
+
+// TestMigrationCarriesTTLs pins the record-move protocol's TTL rules:
+// a migrated key arrives with its absolute deadline intact, and a key
+// already dead at extraction time is reaped at the source and NEVER
+// shipped — the destination must not install a corpse.
+func TestMigrationCarriesTTLs(t *testing.T) {
+	src, now := newTTLCluster(t, 2)
+	dst, _ := newTTLCluster(t, 2)
+
+	key := func(i int) []byte { return fmt.Appendf(nil, "mig:%02d", i) }
+	var keys [][]byte
+	for i := 0; i < 10; i++ {
+		k := key(i)
+		src.Set(k, fmt.Appendf(nil, "payload-%02d", i))
+		keys = append(keys, k)
+	}
+	const farDeadline = int64(2_000_000_000)
+	for i := 0; i < 5; i++ {
+		src.ExpireAt(key(i), farDeadline) // travels with the record
+	}
+	src.ExpireAt(key(5), *now+10) // will be dead at extraction
+	*now += 100
+
+	var shipped []wal.Record
+	moved, _, err := src.ExtractBatch(keys, func(frames []byte, count int) error {
+		res := wal.Scan(frames)
+		if res.Torn {
+			return res.TornErr
+		}
+		for _, r := range res.Records {
+			// Deep-copy: frames alias the extractor's buffer.
+			shipped = append(shipped, wal.Record{Kind: r.Kind,
+				Key:   append([]byte(nil), r.Key...),
+				Value: append([]byte(nil), r.Value...)})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 9 {
+		t.Fatalf("moved %d records, want 9 (the dead key must not ship)", moved)
+	}
+	for _, r := range shipped {
+		if bytes.Equal(r.Key, key(5)) {
+			t.Fatalf("dead key shipped as %s record", r.Kind)
+		}
+	}
+	// The corpse was reaped in place, not leaked.
+	if _, ok := src.PeekValue(key(5)); ok {
+		t.Fatal("dead key survived extraction at the source")
+	}
+	if src.Stats().Agg.Expired == 0 {
+		t.Fatal("extraction reap not counted as an expiry")
+	}
+
+	installed, _ := dst.InstallRecords(shipped, true)
+	if installed != 9 {
+		t.Fatalf("installed %d records, want 9", installed)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := dst.PeekValue(key(i))
+		if i == 5 {
+			if ok {
+				t.Fatal("corpse installed at the destination")
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(v, fmt.Appendf(nil, "payload-%02d", i)) {
+			t.Fatalf("key %d at destination = (%q,%v)", i, v, ok)
+		}
+		e := dst.Engine(dst.ShardFor(key(i)))
+		dl, armed := e.DeadlineOf(key(i))
+		if i < 5 {
+			if !armed || dl != farDeadline {
+				t.Fatalf("key %d deadline = (%d,%v), want (%d,true)", i, dl, armed, farDeadline)
+			}
+		} else if armed {
+			t.Fatalf("key %d grew a deadline (%d) in transit", i, dl)
+		}
+	}
+}

@@ -19,6 +19,8 @@
 package shard
 
 import (
+	"encoding/binary"
+
 	"addrkv/internal/kv"
 	"addrkv/internal/wal"
 )
@@ -124,17 +126,22 @@ func (c *Cluster) CollectKeys(match func(key []byte) bool) [][]byte {
 // ExtractBatch moves a batch of keys out of this node: per shard
 // group, under ONE shard-lock critical section, each still-present
 // key is re-read functionally, deleted, and framed as a wal RecLoad
-// record; ship is then called with the group's frames while the lock
-// is still held and must only return nil once the destination has
+// record — followed by a RecExpire frame when the key carries a TTL,
+// so deadlines migrate with their records. Keys whose deadline has
+// already passed are reaped in place and NEVER shipped: the
+// destination must not install a corpse the source would have lazily
+// expired. ship is called with the group's frames while the lock is
+// still held and must only return nil once the destination has
 // acknowledged them. Keys absent by extraction time (deleted by
 // traffic after CollectKeys) are skipped. If ship fails, the group is
-// re-installed before the lock releases — the store is unchanged and
-// the migration may retry; groups already shipped stay shipped
-// (re-extracting them later is idempotent: the destination's LoadOne
-// upserts). Returns the number of records shipped and the total
-// frame bytes.
+// re-installed (values and deadlines) before the lock releases — the
+// store is unchanged and the migration may retry; groups already
+// shipped stay shipped (re-extracting them later is idempotent: the
+// destination's LoadOne upserts). Returns the number of records
+// shipped and the total frame bytes.
 func (c *Cluster) ExtractBatch(keys [][]byte, ship func(frames []byte, count int) error) (moved, bytes int, err error) {
 	var frames, vbuf []byte
+	var dlb [8]byte
 	for si, idxs := range c.groupByShard(keys) {
 		if len(idxs) == 0 {
 			continue
@@ -143,6 +150,8 @@ func (c *Cluster) ExtractBatch(keys [][]byte, ship func(frames []byte, count int
 		s.mu.Lock()
 		frames = frames[:0]
 		var extK, extV [][]byte
+		var extDL []int64
+		var extArmed []bool
 		for _, ki := range idxs {
 			k := keys[ki]
 			v, ok := s.e.PeekOne(k, vbuf)
@@ -150,11 +159,22 @@ func (c *Cluster) ExtractBatch(keys [][]byte, ship func(frames []byte, count int
 				continue
 			}
 			vbuf = v
+			dl, armed := s.e.DeadlineOf(k)
+			if armed && s.e.Now() >= dl {
+				s.e.ExpireDelOne(k) // dead on extraction: reap, don't ship
+				continue
+			}
 			vc := append([]byte(nil), v...)
 			s.e.RemoveOne(k)
 			frames = wal.AppendFrame(frames, wal.RecLoad, k, vc)
+			if armed {
+				binary.LittleEndian.PutUint64(dlb[:], uint64(dl))
+				frames = wal.AppendFrame(frames, wal.RecExpire, k, dlb[:])
+			}
 			extK = append(extK, k)
 			extV = append(extV, vc)
+			extDL = append(extDL, dl)
+			extArmed = append(extArmed, armed)
 		}
 		if len(extK) == 0 {
 			s.mu.Unlock()
@@ -163,6 +183,9 @@ func (c *Cluster) ExtractBatch(keys [][]byte, ship func(frames []byte, count int
 		if serr := ship(frames, len(extK)); serr != nil {
 			for j := range extK {
 				s.e.LoadOne(extK[j], extV[j])
+				if extArmed[j] {
+					s.e.ArmDeadline(extK[j], extDL[j])
+				}
 			}
 			s.mu.Unlock()
 			return moved, bytes, serr
@@ -174,17 +197,24 @@ func (c *Cluster) ExtractBatch(keys [][]byte, ship func(frames []byte, count int
 	return moved, bytes, nil
 }
 
-// InstallRecords applies migrated records on the destination: each is
-// routed to its home shard and installed functionally (LoadOne, the
-// same untimed path WAL recovery uses), optionally followed by an
-// STLT re-warm — the paper's insertSTLT() step of the record-move
-// protocol. Returns how many records were installed and how many STLT
-// rows were warmed.
+// InstallRecords applies migrated records on the destination: each
+// RecLoad is routed to its home shard and installed functionally
+// (LoadOne, the same untimed path WAL recovery uses), optionally
+// followed by an STLT re-warm — the paper's insertSTLT() step of the
+// record-move protocol. RecExpire frames re-arm the shipped TTL
+// deadlines (untimed; a frame order of load-then-expire is guaranteed
+// by ExtractBatch). Returns how many records were installed and how
+// many STLT rows were warmed.
 func (c *Cluster) InstallRecords(recs []wal.Record, rewarm bool) (installed, rewarmed int) {
 	for _, r := range recs {
 		i := c.ShardFor(r.Key)
 		s := c.shards[i]
 		s.mu.Lock()
+		if r.Kind == wal.RecExpire && len(r.Value) == 8 {
+			s.e.ArmDeadline(r.Key, int64(binary.LittleEndian.Uint64(r.Value)))
+			s.mu.Unlock()
+			continue
+		}
 		s.e.LoadOne(r.Key, r.Value)
 		if rewarm && s.e.RewarmOne(r.Key) {
 			rewarmed++

@@ -20,6 +20,7 @@
 package shard
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -79,6 +80,9 @@ type Cluster struct {
 	wset    atomic.Pointer[workerSet]
 	wwg     sync.WaitGroup
 	onDrain func(shard, burst int)
+	// sweepLimit is the per-drain active-expiry sample size (worker
+	// runtime; 0 = off). Set before StartWorkers.
+	sweepLimit int
 
 	// logs, when non-nil, holds one append-only log per shard
 	// (durability; see durability.go). Installed by AttachWAL before
@@ -97,6 +101,9 @@ type Cluster struct {
 type shardSlot struct {
 	mu sync.Mutex
 	e  *kv.Engine
+	// maint is the drain scratch for the engine's maintenance queue
+	// (lazy expiries, evictions); only touched under mu.
+	maint []kv.Maint
 }
 
 // New builds a cluster of cfg.Shards engines.
@@ -283,8 +290,12 @@ func (c *Cluster) GetO(key []byte, out *OpOutcome) ([]byte, bool) {
 		attachTrace(i, s.e, out)
 	}
 	v, ok := s.e.Get(key)
+	wrote := c.walOp(i, s, 0, nil, nil, out)
 	detachTrace(s.e, out)
 	observe(i, s.e, out, before)
+	if wrote {
+		c.walCommit(i, out, 1)
+	}
 	return v, ok
 }
 
@@ -307,8 +318,12 @@ func (c *Cluster) GetTouchO(key []byte, out *OpOutcome) bool {
 		attachTrace(i, s.e, out)
 	}
 	ok := s.e.GetTouch(key)
+	wrote := c.walOp(i, s, 0, nil, nil, out)
 	detachTrace(s.e, out)
 	observe(i, s.e, out, before)
+	if wrote {
+		c.walCommit(i, out, 1)
+	}
 	return ok
 }
 
@@ -330,7 +345,7 @@ func (c *Cluster) SetO(key, value []byte, out *OpOutcome) {
 		attachTrace(i, s.e, out)
 	}
 	s.e.Set(key, value)
-	c.walAppend(i, s.e, wal.RecSet, key, value, out)
+	c.walOp(i, s, wal.RecSet, key, value, out)
 	detachTrace(s.e, out)
 	observe(i, s.e, out, before)
 	c.walCommit(i, out, 1)
@@ -354,7 +369,7 @@ func (c *Cluster) DeleteO(key []byte, out *OpOutcome) bool {
 		attachTrace(i, s.e, out)
 	}
 	ok := s.e.Delete(key)
-	c.walAppend(i, s.e, wal.RecDel, key, nil, out)
+	c.walOp(i, s, wal.RecDel, key, nil, out)
 	detachTrace(s.e, out)
 	observe(i, s.e, out, before)
 	c.walCommit(i, out, 1)
@@ -379,17 +394,138 @@ func (c *Cluster) ExistsO(key []byte, out *OpOutcome) bool {
 		attachTrace(i, s.e, out)
 	}
 	ok := s.e.Exists(key)
+	wrote := c.walOp(i, s, 0, nil, nil, out)
 	detachTrace(s.e, out)
 	observe(i, s.e, out, before)
+	if wrote {
+		c.walCommit(i, out, 1)
+	}
 	return ok
 }
 
-// RunOp executes one generated workload operation on the home shard.
+// ExpireAt arms an absolute TTL deadline (unix ns) with full timing on
+// the key's home shard, returning 1 when armed and 0 when the key is
+// absent. Successful arms append a RecExpire frame so recovery replays
+// the deadline.
+func (c *Cluster) ExpireAt(key []byte, deadline int64) int {
+	return c.ExpireAtO(key, deadline, nil)
+}
+
+// ExpireAtO is ExpireAt with an optional per-op outcome report.
+func (c *Cluster) ExpireAtO(key []byte, deadline int64, out *OpOutcome) int {
+	i := c.ShardFor(key)
+	s := c.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !c.gateAllows(s.e, key, out) {
+		return 0
+	}
+	var before kv.OpProbe
+	if out != nil {
+		before = s.e.Probe()
+		attachTrace(i, s.e, out)
+	}
+	ret := s.e.ExpireAt(key, deadline)
+	opKind := wal.Kind(0)
+	var dlb [8]byte
+	if ret == 1 {
+		opKind = wal.RecExpire
+		binary.LittleEndian.PutUint64(dlb[:], uint64(deadline))
+	}
+	wrote := c.walOp(i, s, opKind, key, dlb[:], out)
+	detachTrace(s.e, out)
+	observe(i, s.e, out, before)
+	if wrote {
+		c.walCommit(i, out, 1)
+	}
+	return ret
+}
+
+// TTL reports a key's remaining TTL with full timing on its home shard
+// (-2 absent, -1 no deadline, remaining ns otherwise).
+func (c *Cluster) TTL(key []byte) int64 { return c.TTLO(key, nil) }
+
+// TTLO is TTL with an optional per-op outcome report.
+func (c *Cluster) TTLO(key []byte, out *OpOutcome) int64 {
+	i := c.ShardFor(key)
+	s := c.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !c.gateAllows(s.e, key, out) {
+		return -2
+	}
+	var before kv.OpProbe
+	if out != nil {
+		before = s.e.Probe()
+		attachTrace(i, s.e, out)
+	}
+	ret := s.e.TTL(key)
+	wrote := c.walOp(i, s, 0, nil, nil, out)
+	detachTrace(s.e, out)
+	observe(i, s.e, out, before)
+	if wrote {
+		c.walCommit(i, out, 1)
+	}
+	return ret
+}
+
+// SetClock installs one TTL time source on every shard engine (tests
+// and differential harnesses; nil restores real time).
+func (c *Cluster) SetClock(fn func() int64) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.e.SetClock(fn)
+		s.mu.Unlock()
+	}
+}
+
+// Now reads the cluster's TTL clock (shard 0's engine clock — every
+// shard shares the source installed by SetClock).
+func (c *Cluster) Now() int64 {
+	s := c.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.Now()
+}
+
+// SweepExpired runs one active-expiry cycle on every shard, examining
+// up to limit armed deadlines per shard, and logs the reaped keys. The
+// mutex-path ticker calls this; the worker runtime sweeps off its own
+// drain loop.
+func (c *Cluster) SweepExpired(limit int) int {
+	reaped := 0
+	for i, s := range c.shards {
+		s.mu.Lock()
+		n := s.e.SweepExpired(limit)
+		if n > 0 {
+			reaped += n
+			if c.walOp(i, s, 0, nil, nil, nil) {
+				c.walCommit(i, nil, n)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return reaped
+}
+
+// RunOp executes one generated workload operation on the home shard —
+// except Scan ops, which scatter-gather every shard like the SCAN
+// command. The harness path runs without a WAL; the maintenance queue
+// is still drained (and discarded) so TTL/eviction runs cannot grow
+// it.
 func (c *Cluster) RunOp(op ycsb.Op, valueSize int) {
 	var buf [ycsb.KeyLen]byte
-	s := c.slot(ycsb.KeyNameInto(buf[:], op.KeyID))
+	key := ycsb.KeyNameInto(buf[:], op.KeyID)
+	if op.Type == ycsb.Scan {
+		_, _ = c.Scan(key, op.ScanLen, func([]byte) bool { return true })
+		return
+	}
+	s := c.slot(key)
 	s.mu.Lock()
 	s.e.RunOp(op, valueSize)
+	if s.e.MaintPending() {
+		s.maint = s.e.TakeMaint(s.maint)
+	}
 	s.mu.Unlock()
 }
 
@@ -451,6 +587,29 @@ func (c *Cluster) Reset() error {
 		}
 	}
 	return nil
+}
+
+// UsedBytes sums the tracked record bytes across shards (0 without
+// maxmemory).
+func (c *Cluster) UsedBytes() int64 {
+	var total int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += s.e.UsedBytes()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// ExpiresArmed sums the armed TTL deadlines across shards.
+func (c *Cluster) ExpiresArmed() int {
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += s.e.ExpiresArmed()
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // ClusterStats is the merged view of a cluster run.

@@ -130,6 +130,11 @@ func (c *Cluster) StopWorkers() {
 // WorkersRunning reports whether the worker runtime is active.
 func (c *Cluster) WorkersRunning() bool { return c.wset.Load() != nil }
 
+// SetSweepLimit sets how many armed TTL deadlines each worker examines
+// per drain burst (0 disables the drain-loop sweep). Set before
+// StartWorkers; the mutex path sweeps via Cluster.SweepExpired instead.
+func (c *Cluster) SetSweepLimit(limit int) { c.sweepLimit = limit }
+
 // SetDrainObserver installs a callback the worker invokes after each
 // drain burst (outside the shard lock) with the shard index and burst
 // size. Install before StartWorkers.
@@ -249,27 +254,41 @@ func (c *Cluster) serveBurst(i int, s *shardSlot, w *worker, burst []*Req) {
 			attachTrace(i, s.e, out)
 			out.Trace.Event(trace.EvDrain, uint64(s.e.M.Cycles()), int64(n), int64(bi), 0)
 		}
+		var opKind wal.Kind
+		var opVal []byte
 		switch r.Kind {
 		case OpGet:
 			r.Val, r.OK = s.e.GetInto(r.Key, r.Val[:0])
 		case OpSet:
 			s.e.Set(r.Key, r.Value)
 			r.OK = true
-			c.walAppend(i, s.e, wal.RecSet, r.Key, r.Value, out)
-			wrote = true
+			opKind, opVal = wal.RecSet, r.Value
 		case OpDelete:
 			r.OK = s.e.Delete(r.Key)
-			c.walAppend(i, s.e, wal.RecDel, r.Key, nil, out)
-			wrote = true
+			opKind = wal.RecDel
 		case OpExists:
 			r.OK = s.e.Exists(r.Key)
 		case OpGetTouch:
 			r.OK = s.e.GetTouch(r.Key)
 		}
+		// Reads log too when they triggered lazy expiry — the removal
+		// changed the index, so recovery must replay it.
+		if c.walOp(i, s, opKind, r.Key, opVal, out) {
+			wrote = true
+		}
 		detachTrace(s.e, out)
 		after := s.e.Probe()
 		observeDelta(i, out, before, after)
 		before = after
+	}
+	// Active expiry rides the drain: one bounded sampling pass per
+	// burst, inside the same critical section, reaping dead keys the
+	// traffic never touches (untimed; the reaps are logged like lazy
+	// expiries).
+	if lim := c.sweepLimit; lim > 0 && s.e.ExpiresArmed() > 0 {
+		if s.e.SweepExpired(lim) > 0 && c.walOp(i, s, 0, nil, nil, nil) {
+			wrote = true
+		}
 	}
 	s.mu.Unlock()
 	// Group commit: one write and (under the always policy) one fsync

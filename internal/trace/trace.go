@@ -115,8 +115,19 @@ const (
 	// re-warm cost.
 	EvSTLTRewarm
 
+	// EvExpire marks a lazy or sweep expiry removing a dead key:
+	// A = the key's deadline (unix ns), B = 1 when found by the active
+	// sweep, 0 when found lazily on access. The removal itself is
+	// untimed maintenance, so the span's interest is the churn count.
+	EvExpire
+	// EvEvict marks a maxmemory LFU eviction: A = the victim's LFU
+	// counter at eviction, B = bytes reclaimed. Like EvExpire the
+	// removal is untimed; the event makes eviction churn (and its STLT
+	// hit-rate impact) visible in traces.
+	EvEvict
+
 	// NumEventKinds bounds the kind space (for per-kind counters).
-	NumEventKinds = int(EvSTLTRewarm) + 1
+	NumEventKinds = int(EvEvict) + 1
 )
 
 var kindNames = [NumEventKinds]string{
@@ -124,6 +135,7 @@ var kindNames = [NumEventKinds]string{
 	"stlt.loadva", "stlt.probe", "ipb.check", "stb.hit", "stb.miss",
 	"tlb.refill", "walk.level", "page.walk", "index.walk", "stlt.insert",
 	"stlt.scrub", "reply.flush", "wal.append", "wal.fsync", "stlt.rewarm",
+	"expire", "evict",
 }
 
 // String returns the stable wire name of the kind.

@@ -31,12 +31,21 @@ type Kind uint8
 
 // Record kinds. RecLoad is an untimed bulk insert (preload and
 // snapshot records); RecSet/RecDel/RecFlush are timed mutations in
-// engine execution order.
+// engine execution order. RecExpire arms a TTL deadline (value is the
+// 8-byte little-endian absolute deadline in unix nanoseconds; timed in
+// the tail, untimed in snapshots). RecExpireDel and RecEvict record a
+// lazy-expiry or maxmemory-eviction removal: both replay as untimed
+// removals, because the live engine performed them as untimed
+// maintenance — logging them keeps the index layout (and therefore
+// every later op's modeled cycles) bit-for-bit reproducible.
 const (
-	RecSet   Kind = 1
-	RecDel   Kind = 2
-	RecFlush Kind = 3
-	RecLoad  Kind = 4
+	RecSet       Kind = 1
+	RecDel       Kind = 2
+	RecFlush     Kind = 3
+	RecLoad      Kind = 4
+	RecExpire    Kind = 5
+	RecExpireDel Kind = 6
+	RecEvict     Kind = 7
 )
 
 func (k Kind) String() string {
@@ -49,11 +58,17 @@ func (k Kind) String() string {
 		return "flushall"
 	case RecLoad:
 		return "load"
+	case RecExpire:
+		return "expire"
+	case RecExpireDel:
+		return "expiredel"
+	case RecEvict:
+		return "evict"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-func validKind(k Kind) bool { return k >= RecSet && k <= RecLoad }
+func validKind(k Kind) bool { return k >= RecSet && k <= RecEvict }
 
 // Record is one decoded log entry. Key and Value alias the buffer the
 // frame was decoded from.

@@ -37,6 +37,18 @@ func tmpSnapPath(dir string, shard int) string {
 // committed are dropped from the buffer — their effects are inside the
 // cut, so replay must not see them again.
 func (l *Log) Rewrite(emit func(add func(key, value []byte) error) error) error {
+	return l.RewriteKinds(func(add func(kind Kind, key, value []byte) error) error {
+		return emit(func(key, value []byte) error {
+			return add(RecLoad, key, value)
+		})
+	})
+}
+
+// RewriteKinds is Rewrite with caller-chosen record kinds, so a
+// snapshot can persist state beyond the record bodies — armed TTL
+// deadlines are written as RecExpire frames after the RecLoad stream,
+// keeping a compacted log equivalent to the uncompacted one.
+func (l *Log) RewriteKinds(emit func(add func(kind Kind, key, value []byte) error) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.err != nil {
@@ -50,8 +62,8 @@ func (l *Log) Rewrite(emit func(add func(key, value []byte) error) error) error 
 	}
 	bw := bufio.NewWriterSize(tf, 1<<16)
 	var scratch []byte
-	werr := emit(func(key, value []byte) error {
-		scratch = AppendFrame(scratch[:0], RecLoad, key, value)
+	werr := emit(func(kind Kind, key, value []byte) error {
+		scratch = AppendFrame(scratch[:0], kind, key, value)
 		_, err := bw.Write(scratch)
 		return err
 	})

@@ -35,18 +35,25 @@ func ParseDistribution(s string) (Distribution, error) {
 // OpType is a request type.
 type OpType uint8
 
-// Request types.
+// Request types. Get/Set are the paper's original mix; Insert, Scan
+// and RMW (read-modify-write) complete the standard YCSB A–F verbs
+// (see workloads.go).
 const (
 	Get OpType = iota
 	Set
+	Insert
+	Scan
+	RMW
 )
 
 // Op is one generated request. KeyID identifies the logical key (see
 // KeyName); for Set ops on the latest distribution KeyID may equal the
-// current key count, meaning "insert a fresh key".
+// current key count, meaning "insert a fresh key". For Scan ops KeyID
+// is the start key and ScanLen the page length.
 type Op struct {
-	Type  OpType
-	KeyID uint64
+	Type    OpType
+	KeyID   uint64
+	ScanLen int
 }
 
 // Config shapes a workload.
