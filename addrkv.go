@@ -274,6 +274,11 @@ func ScanStart(after []byte, resume bool, buf []byte) []byte {
 	return kv.ScanStart(after, resume, buf)
 }
 
+// MatchGlob reports whether key matches the Redis-style glob pattern
+// (`*`, `?`, `[a-c]`/`[^...]` classes, `\` escapes), byte-wise. SCAN
+// MATCH applies it server-side after cursor decode.
+func MatchGlob(pattern, key []byte) bool { return kv.MatchGlob(pattern, key) }
+
 // Ordered reports whether the configured index supports SCAN/RANGE
 // (rbtree and btree do; the hash indexes do not).
 func (s *System) Ordered() bool { return s.c.Ordered() }

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"net"
 	"strconv"
@@ -116,8 +117,10 @@ func parseRedirect(msg string) (kind string, slot uint16, addr string, ok bool) 
 }
 
 // clusterCounters aggregates redirect traffic across connections.
+// repairs counts slot-table rebuilds forced by an unreachable node —
+// a redirect or prediction that routed to a dead address.
 type clusterCounters struct {
-	moved, ask, tryagain atomic.Uint64
+	moved, ask, tryagain, repairs atomic.Uint64
 }
 
 // benchOp is one generated command.
@@ -135,12 +138,15 @@ type nodeConn struct {
 }
 
 // clusterBench is one connection-slot's worth of cluster load: a
-// connection per node, lazily dialed.
+// connection per node, lazily dialed. seedAddr is the bootstrap node
+// the slot table is re-fetched from when a routed-to node turns out to
+// be dead.
 type clusterBench struct {
-	network string
-	st      *slotTable
-	cc      *clusterCounters
-	conns   map[string]*nodeConn
+	network  string
+	seedAddr string
+	st       *slotTable
+	cc       *clusterCounters
+	conns    map[string]*nodeConn
 }
 
 func (b *clusterBench) conn(addr string) (*nodeConn, error) {
@@ -162,6 +168,24 @@ func (b *clusterBench) closeAll() {
 	}
 }
 
+// repairRoute handles a dead routing target: log the node (once per
+// incident, with the cause), drop its cached connection, and rebuild
+// the slot table from the seed so the retry loop re-routes by the
+// repaired map instead of aborting the whole run. The cluster has no
+// automatic failover, so if the map still names the dead node the
+// caller's bounded retry surfaces the original error.
+func (b *clusterBench) repairRoute(addr string, cause error) {
+	b.cc.repairs.Add(1)
+	log.Printf("kvbench: node %s unreachable (%v); refreshing slot table from %s", addr, cause, b.seedAddr)
+	if nc, ok := b.conns[addr]; ok {
+		nc.conn.Close()
+		delete(b.conns, addr)
+	}
+	if err := b.st.refresh(b.network, b.seedAddr); err != nil {
+		log.Printf("kvbench: slot table refresh from %s failed: %v", b.seedAddr, err)
+	}
+}
+
 func writeOp(w *resp.Writer, op benchOp) error {
 	if op.get {
 		return w.WriteCommand([]byte("GET"), op.key)
@@ -175,6 +199,7 @@ func writeOp(w *resp.Writer, op benchOp) error {
 // commits within microseconds of the dual-serve window closing).
 func (b *clusterBench) retry(op benchOp, msg string) (any, error) {
 	slot := cluster.SlotOf(op.key)
+	repairs := 0
 	for attempt := 0; attempt < 32; attempt++ {
 		kind, rslot, raddr, ok := parseRedirect(msg)
 		if !ok {
@@ -183,6 +208,7 @@ func (b *clusterBench) retry(op benchOp, msg string) (any, error) {
 		var nc *nodeConn
 		var err error
 		asking := false
+		target := raddr
 		switch kind {
 		case "MOVED":
 			b.cc.moved.Add(1)
@@ -195,10 +221,21 @@ func (b *clusterBench) retry(op benchOp, msg string) (any, error) {
 		case "TRYAGAIN":
 			b.cc.tryagain.Add(1)
 			time.Sleep(time.Duration(100+50*attempt) * time.Microsecond)
-			nc, err = b.conn(b.st.addr(slot))
+			target = b.st.addr(slot)
+			nc, err = b.conn(target)
 		}
 		if err != nil {
-			return nil, err
+			// The redirect named a node that does not answer (killed
+			// mid-run): repair the table and chase the refreshed owner
+			// instead of aborting. Bounded — with no failover, a map
+			// that keeps naming the dead node is a terminal condition.
+			if repairs >= 3 {
+				return nil, err
+			}
+			repairs++
+			b.repairRoute(target, err)
+			msg = fmt.Sprintf("MOVED %d %s", slot, b.st.addr(slot))
+			continue
 		}
 		if asking {
 			if err := nc.w.WriteCommand([]byte("ASKING")); err != nil {
@@ -236,7 +273,7 @@ func (b *clusterBench) retry(op benchOp, msg string) (any, error) {
 // not as lost ops.
 func benchClusterConn(cfg benchConfig, depth, ops int, seed uint64,
 	rt, lat *telemetry.Histogram, st *slotTable, cc *clusterCounters) (uint64, uint64, error) {
-	b := &clusterBench{network: cfg.network, st: st, cc: cc, conns: map[string]*nodeConn{}}
+	b := &clusterBench{network: cfg.network, seedAddr: cfg.addr, st: st, cc: cc, conns: map[string]*nodeConn{}}
 	defer b.closeAll()
 	rng := rand.New(rand.NewSource(int64(seed)))
 
@@ -268,7 +305,23 @@ func benchClusterConn(cfg benchConfig, depth, ops int, seed uint64,
 		for addr, idxs := range groups {
 			nc, err := b.conn(addr)
 			if err != nil {
-				return sent, errs, err
+				// The predicted node is unreachable: log + repair the
+				// slot table, then chase each of the group's ops
+				// individually through the redirect machinery (which
+				// re-repairs, bounded, if the refreshed map is stale).
+				b.repairRoute(addr, err)
+				for _, i := range idxs {
+					slot := cluster.SlotOf(batchOps[i].key)
+					v, rerr := b.retry(batchOps[i], fmt.Sprintf("MOVED %d %s", slot, b.st.addr(slot)))
+					if rerr != nil {
+						return sent, errs, rerr
+					}
+					if _, stillErr := v.(error); stillErr {
+						errs++
+					}
+					sent++
+				}
+				continue
 			}
 			for _, i := range idxs {
 				if err := writeOp(nc.w, batchOps[i]); err != nil {

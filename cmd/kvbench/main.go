@@ -79,6 +79,9 @@ type depthResult struct {
 	Moved    uint64 `json:"moved,omitempty"`
 	Ask      uint64 `json:"ask,omitempty"`
 	TryAgain uint64 `json:"tryagain,omitempty"`
+	// Repairs counts slot-table rebuilds forced by routing to an
+	// unreachable (killed) node.
+	Repairs uint64 `json:"repairs,omitempty"`
 }
 
 // traceOverhead compares server throughput with tracing off vs
@@ -315,8 +318,9 @@ func run(cfg benchConfig, depths []int, out io.Writer) ([]depthResult, error) {
 		}
 		fmt.Fprintf(out, "depth %3d: %9.0f ops/sec  (%d ops, %d conns, %d errors, lat p50 %dus p99 %dus p999 %dus)\n",
 			d, r.OpsPerSec, r.Ops, r.Conns, r.Errors, r.LatencyUS.P50, r.LatencyUS.P99, r.LatencyUS.P999)
-		if r.Moved+r.Ask+r.TryAgain > 0 {
-			fmt.Fprintf(out, "           redirects: %d moved, %d ask, %d tryagain\n", r.Moved, r.Ask, r.TryAgain)
+		if r.Moved+r.Ask+r.TryAgain+r.Repairs > 0 {
+			fmt.Fprintf(out, "           redirects: %d moved, %d ask, %d tryagain, %d down-node repairs\n",
+				r.Moved, r.Ask, r.TryAgain, r.Repairs)
 		}
 		results = append(results, r)
 	}
@@ -381,6 +385,7 @@ func runDepth(cfg benchConfig, depth int) (depthResult, error) {
 		Moved:       cc.moved.Load(),
 		Ask:         cc.ask.Load(),
 		TryAgain:    cc.tryagain.Load(),
+		Repairs:     cc.repairs.Load(),
 	}, nil
 }
 

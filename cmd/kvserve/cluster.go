@@ -30,9 +30,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"addrkv"
 	"addrkv/internal/cluster"
+	"addrkv/internal/health"
 	"addrkv/internal/resp"
 	"addrkv/internal/trace"
 	"addrkv/internal/wal"
@@ -51,6 +54,28 @@ type clusterState struct {
 	// migration at a time is the supported regime (concurrent sources
 	// would race the map epoch — see internal/cluster/migrate.go).
 	migMu sync.Mutex
+
+	// Fleet observability (see health.go). hbPeers are DEDICATED bus
+	// handles for heartbeats and digest collection — separate from the
+	// migration peers, so a heartbeat never waits behind a migration
+	// batch call on the per-peer mutex and turns falsely suspect.
+	health  *health.Tracker
+	hbPeers []*cluster.Peer // node index -> heartbeat bus handle, nil at self
+	hbEvery time.Duration   // heartbeat period (0 = heartbeats off)
+	hbOn    atomic.Bool     // runtime toggle (CLUSTER HEARTBEAT ON|OFF)
+	hbStop  chan struct{}
+	hbWG    sync.WaitGroup
+	hbSent  atomic.Uint64
+	hbFails atomic.Uint64
+
+	// Cached own digest (see clusterDigest) and the ops-rate window.
+	digMu   sync.Mutex
+	digCur  *health.Digest
+	digEnc  []byte
+	digAt   time.Time
+	rateMu  sync.Mutex
+	lastOps uint64
+	lastAt  time.Time
 }
 
 // parseClusterNodes parses the -cluster-nodes spec: comma-separated
@@ -74,16 +99,27 @@ func parseClusterNodes(spec string) ([]cluster.NodeInfo, error) {
 	return nodes, nil
 }
 
+// clusterOpts bundles setupCluster's tuning knobs.
+type clusterOpts struct {
+	assign    string        // initial slot assignment override (-cluster-slots)
+	rewarm    bool          // re-warm the STLT for migrated records
+	batch     int           // keys per migration batch (0 = default)
+	hbEvery   time.Duration // heartbeat period (0 = heartbeats off)
+	hbSuspect int           // missed intervals before suspect (0 = default)
+	hbDown    int           // missed intervals before down (0 = default)
+}
+
 // setupCluster brings the cluster runtime up: the initial slot map
-// (even split unless assign overrides it), the bus listener, peer
-// handles, the shard op gate, and the cluster metrics.
-func (s *server) setupCluster(nodes []cluster.NodeInfo, self int, assign string, rewarm bool, batch int) error {
+// (even split unless o.assign overrides it), the bus listener, peer
+// handles (plus the dedicated heartbeat handles), the health tracker,
+// the shard op gate, the cluster metrics, and the heartbeat loops.
+func (s *server) setupCluster(nodes []cluster.NodeInfo, self int, o clusterOpts) error {
 	if self < 0 || self >= len(nodes) {
 		return fmt.Errorf("cluster: -cluster-self %d out of range (%d nodes)", self, len(nodes))
 	}
 	m := cluster.NewSlotMap(nodes)
-	if assign != "" {
-		if err := cluster.ParseAssignment(m, assign); err != nil {
+	if o.assign != "" {
+		if err := cluster.ParseAssignment(m, o.assign); err != nil {
 			return err
 		}
 	}
@@ -92,31 +128,54 @@ func (s *server) setupCluster(nodes []cluster.NodeInfo, self int, assign string,
 		return fmt.Errorf("cluster: bus listen: %w", err)
 	}
 	cl := &clusterState{
-		node:   cluster.NewNode(self, m),
-		peers:  make([]*cluster.Peer, len(nodes)),
-		rewarm: rewarm,
-		batch:  batch,
+		node:    cluster.NewNode(self, m),
+		peers:   make([]*cluster.Peer, len(nodes)),
+		hbPeers: make([]*cluster.Peer, len(nodes)),
+		rewarm:  o.rewarm,
+		batch:   o.batch,
+		hbEvery: o.hbEvery,
+		health: health.NewTracker(len(nodes), self, health.Config{
+			Interval:     o.hbEvery,
+			SuspectAfter: o.hbSuspect,
+			DownAfter:    o.hbDown,
+		}),
+	}
+	// A heartbeat call should fail fast relative to its own period —
+	// detection is receiver-side anyway, so a slow call buys nothing.
+	hbTimeout := 2 * o.hbEvery
+	if hbTimeout < time.Second {
+		hbTimeout = time.Second
 	}
 	for i, n := range nodes {
 		if i != self {
 			cl.peers[i] = cluster.NewPeer(n.Bus)
+			hp := cluster.NewPeer(n.Bus)
+			hp.Timeout = hbTimeout
+			cl.hbPeers[i] = hp
 		}
 	}
 	s.clus = cl
 	cl.bus = cluster.ServeBus(ln, s.busHandler)
 	s.sys.Cluster().SetOpGate(cl.node.Gate)
 	s.tele.registerClusterMetrics(s)
+	s.startHeartbeats()
 	return nil
 }
 
-// closeCluster tears the bus and peer connections down (after the
-// client connections drained).
+// closeCluster tears the heartbeat loops, the bus, and the peer
+// connections down (after the client connections drained).
 func (s *server) closeCluster() {
 	if s.clus == nil {
 		return
 	}
+	s.clus.stopHeartbeats()
 	s.clus.bus.Close()
 	for _, p := range s.clus.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+	for _, p := range s.clus.hbPeers {
 		if p != nil {
 			p.Close()
 		}
@@ -182,6 +241,16 @@ func (s *server) busHandler(m cluster.Msg) (cluster.MsgType, []byte) {
 		}
 		n.CommitImport(slot, sm)
 		return cluster.MsgAck, cluster.EncodeU64(n.Version())
+	case cluster.MsgHeartbeat:
+		d, err := health.DecodeDigest(m.Payload)
+		if err != nil {
+			return cluster.MsgErr, []byte(err.Error())
+		}
+		s.clus.health.Alive(d.Node, d)
+		return cluster.MsgAck, cluster.EncodeU64(n.Version())
+	case cluster.MsgDigestGet:
+		_, enc := s.clusterDigest()
+		return cluster.MsgDigest, enc
 	}
 	return cluster.MsgErr, []byte(fmt.Sprintf("unhandled bus message type %d", m.Type))
 }
@@ -281,7 +350,8 @@ func (s *server) clusterTryAgain(w *resp.Writer) (quit, monitor, isErr bool) {
 	return false, false, true
 }
 
-// clusterCmd handles CLUSTER SLOTS | INFO | MIGRATE <slot> <node>.
+// clusterCmd handles CLUSTER SLOTS | INFO | HEALTH | HEARTBEAT |
+// MIGRATE <slot> <node> | MIGRATE STATUS.
 func (s *server) clusterCmd(w *resp.Writer, args [][]byte) (quit, monitor, isErr bool) {
 	fail := func(msg string) (bool, bool, bool) {
 		w.WriteError(msg)
@@ -296,7 +366,7 @@ func (s *server) clusterCmd(w *resp.Writer, args [][]byte) (quit, monitor, isErr
 	switch strings.ToLower(string(args[1])) {
 	case "slots":
 		// One entry per contiguous owned range: start, end, then the
-		// owning node as [clientAddr, nodeIndex].
+		// owning node as [clientAddr, nodeIndex, healthState].
 		m := s.clus.node.Map()
 		ranges := m.Ranges()
 		w.WriteArrayHeader(len(ranges))
@@ -304,23 +374,56 @@ func (s *server) clusterCmd(w *resp.Writer, args [][]byte) (quit, monitor, isErr
 			w.WriteArrayHeader(3)
 			w.WriteInt(int64(r.Start))
 			w.WriteInt(int64(r.End))
-			w.WriteArrayHeader(2)
+			w.WriteArrayHeader(3)
 			w.WriteBulkString(m.Nodes[r.Node].Addr)
 			w.WriteInt(int64(r.Node))
+			w.WriteBulkString(s.clus.health.State(r.Node).String())
 		}
 	case "info":
 		s.statsMu.RLock()
 		rep := s.sys.Report()
 		s.statsMu.RUnlock()
 		var b strings.Builder
-		fmt.Fprintf(&b, "cluster_state:ok\r\n")
+		fmt.Fprintf(&b, "cluster_state:%s\r\n", s.clusterStateName())
 		s.clusterInfo(func(format string, args ...any) {
 			fmt.Fprintf(&b, format, args...)
 		}, rep)
 		w.WriteBulk([]byte(b.String()))
+	case "health":
+		if len(args) != 2 {
+			return fail("ERR wrong number of arguments for 'cluster health'")
+		}
+		w.WriteBulk([]byte(s.clusterHealthText()))
+	case "heartbeat":
+		if len(args) != 3 {
+			return fail("ERR usage: CLUSTER HEARTBEAT ON|OFF|STATUS")
+		}
+		switch strings.ToLower(string(args[2])) {
+		case "on":
+			if s.clus.hbEvery <= 0 {
+				return fail("ERR heartbeats disabled (-heartbeat-interval 0)")
+			}
+			s.clus.hbOn.Store(true)
+			w.WriteSimple("OK")
+		case "off":
+			s.clus.hbOn.Store(false)
+			w.WriteSimple("OK")
+		case "status":
+			w.WriteBulk([]byte(s.heartbeatStatusText()))
+		default:
+			return fail("ERR usage: CLUSTER HEARTBEAT ON|OFF|STATUS")
+		}
 	case "migrate":
+		if len(args) == 3 && strings.EqualFold(string(args[2]), "status") {
+			txt, ok := s.migrateStatusText()
+			if !ok {
+				return fail("ERR no migration has run on this node")
+			}
+			w.WriteBulk([]byte(txt))
+			break
+		}
 		if len(args) != 4 {
-			return fail("ERR usage: CLUSTER MIGRATE <slot> <dest-node>")
+			return fail("ERR usage: CLUSTER MIGRATE <slot> <dest-node> | CLUSTER MIGRATE STATUS")
 		}
 		slot, err1 := strconv.Atoi(string(args[2]))
 		dest, err2 := strconv.Atoi(string(args[3]))
@@ -376,7 +479,18 @@ func (s *server) clusterMigrate(slot uint16, dest int) (cluster.MigrationResult,
 			return nil
 		}
 		return cl.peers[i]
-	}, slot, dest, cluster.MigrateOpts{BatchKeys: cl.batch, Rewarm: cl.rewarm})
+	}, slot, dest, cluster.MigrateOpts{
+		BatchKeys: cl.batch,
+		Rewarm:    cl.rewarm,
+		// One mig.progress span per shipped batch (plus one at commit):
+		// records shipped so far, the run's work list, and the slot, so
+		// TRACE DUMP reconstructs the migration's advancement timeline.
+		OnProgress: func(mp cluster.MigrationProgress) {
+			sp := s.tracer.BeginSampled("mig.progress", nil)
+			sp.EventRel(trace.EvMigProgress, 0, int64(mp.KeysShipped), int64(mp.KeysTotal), int64(mp.Slot))
+			s.tracer.Finish(sp, -1, false, false)
+		},
+	})
 }
 
 // clusterInfo renders the INFO "# cluster" section. Emits nothing in
@@ -423,6 +537,28 @@ func (s *server) clusterInfo(add func(format string, args ...any), rep addrkv.Re
 	}
 	add("cluster_gets_total:%d\r\n", gets)
 	add("cluster_fast_hits_total:%d\r\n", fastHits)
+	add("cluster_heartbeat_enabled:%d\r\n", b2i(s.clus.hbEvery > 0))
+	add("cluster_heartbeat_on:%d\r\n", b2i(s.clus.hbOn.Load()))
+	add("cluster_heartbeat_interval_ms:%.0f\r\n", float64(s.clus.hbEvery)/1e6)
+	add("cluster_heartbeats_sent:%d\r\n", s.clus.hbSent.Load())
+	add("cluster_heartbeat_failures:%d\r\n", s.clus.hbFails.Load())
+	var nOK, nSuspect, nDown int
+	states := make([]string, 0, len(m.Nodes))
+	for _, nh := range s.clus.health.Snapshot() {
+		switch nh.State {
+		case health.StateOK:
+			nOK++
+		case health.StateSuspect:
+			nSuspect++
+		default:
+			nDown++
+		}
+		states = append(states, fmt.Sprintf("%d=%s", nh.Node, nh.State))
+	}
+	add("cluster_nodes_ok:%d\r\n", nOK)
+	add("cluster_nodes_suspect:%d\r\n", nSuspect)
+	add("cluster_nodes_down:%d\r\n", nDown)
+	add("cluster_node_states:%s\r\n", strings.Join(states, ","))
 }
 
 // registerClusterMetrics exposes the node's cluster counters on
@@ -461,4 +597,55 @@ func (t *serverTele) registerClusterMetrics(s *server) {
 		func() float64 { return float64(met.ImpRewarmed.Load()) })
 	g("addrkv_cluster_bus_requests_total", "Node-to-node bus requests served.",
 		func() float64 { return float64(s.clus.bus.Served()) })
+	g("addrkv_cluster_heartbeats_sent_total", "Heartbeat frames acked by peers.",
+		func() float64 { return float64(s.clus.hbSent.Load()) })
+	g("addrkv_cluster_heartbeat_failures_total", "Heartbeat calls that errored.",
+		func() float64 { return float64(s.clus.hbFails.Load()) })
+	g("addrkv_cluster_degraded", "1 when any slot-owning node is suspect or down.",
+		func() float64 {
+			if s.clus.health.Degraded(n.Map().Owners()) {
+				return 1
+			}
+			return 0
+		})
+	countState := func(want health.State) float64 {
+		var c float64
+		for _, nh := range s.clus.health.Snapshot() {
+			if nh.State == want {
+				c++
+			}
+		}
+		return c
+	}
+	g("addrkv_cluster_nodes_suspect", "Peers currently classified suspect.",
+		func() float64 { return countState(health.StateSuspect) })
+	g("addrkv_cluster_nodes_down", "Peers currently classified down.",
+		func() float64 { return countState(health.StateDown) })
+	// Migration progress gauges: the source-side view of the current
+	// (or most recent) slot migration, zero before any migration runs.
+	mg := func(name, help string, f func(cluster.MigrationProgress) float64) {
+		g(name, help, func() float64 {
+			mp, ok := n.Progress()
+			if !ok {
+				return 0
+			}
+			return f(mp)
+		})
+	}
+	mg("addrkv_cluster_migration_active", "1 while a slot migration is running here.",
+		func(mp cluster.MigrationProgress) float64 { return float64(b2i(mp.Active)) })
+	mg("addrkv_cluster_migration_slot", "Slot of the current/last migration.",
+		func(mp cluster.MigrationProgress) float64 { return float64(mp.Slot) })
+	mg("addrkv_cluster_migration_keys_total", "Records in the migration's work list.",
+		func(mp cluster.MigrationProgress) float64 { return float64(mp.KeysTotal) })
+	mg("addrkv_cluster_migration_keys_shipped", "Records shipped so far.",
+		func(mp cluster.MigrationProgress) float64 { return float64(mp.KeysShipped) })
+	mg("addrkv_cluster_migration_batches_shipped", "Batches shipped so far.",
+		func(mp cluster.MigrationProgress) float64 { return float64(mp.BatchesShipped) })
+	mg("addrkv_cluster_migration_bytes", "Frame bytes shipped so far.",
+		func(mp cluster.MigrationProgress) float64 { return float64(mp.Bytes) })
+	mg("addrkv_cluster_migration_elapsed_seconds", "Elapsed wall time of the migration.",
+		func(mp cluster.MigrationProgress) float64 { return mp.Elapsed.Seconds() })
+	mg("addrkv_cluster_migration_eta_seconds", "Estimated remaining ship time (0 when idle).",
+		func(mp cluster.MigrationProgress) float64 { return mp.ETA.Seconds() })
 }

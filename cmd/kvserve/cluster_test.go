@@ -32,6 +32,12 @@ func reserveAddr(t *testing.T) string {
 // map are symbolic ("node-i") — redirect tests match on them; nothing
 // dials them.
 func newTestCluster(t *testing.T, n int, workers bool) []*server {
+	return newTestClusterOpts(t, n, workers, clusterOpts{rewarm: true, batch: 8})
+}
+
+// newTestClusterOpts is newTestCluster with explicit cluster options —
+// the heartbeat tests pass a live interval here.
+func newTestClusterOpts(t *testing.T, n int, workers bool, o clusterOpts) []*server {
 	t.Helper()
 	nodes := make([]cluster.NodeInfo, n)
 	for i := range nodes {
@@ -45,7 +51,7 @@ func newTestCluster(t *testing.T, n int, workers bool) []*server {
 		} else {
 			s = newTestServerShards(t, 2)
 		}
-		if err := s.setupCluster(nodes, i, "", true, 8); err != nil {
+		if err := s.setupCluster(nodes, i, o); err != nil {
 			t.Fatal(err)
 		}
 		t.Cleanup(s.closeCluster)

@@ -21,10 +21,13 @@
 // an error reply.
 //
 // Commands: PING, ECHO, GET, SET, DEL, EXISTS, MGET, MSET, DBSIZE,
-// SCAN cursor [COUNT n], RANGE start end [limit], EXPIRE, PEXPIRE,
-// TTL, PTTL, INFO, RESETSTATS, FLUSHALL, SLOWLOG GET/RESET/LEN,
-// MONITOR, TRACE ON/OFF/STATUS/DUMP, BGSAVE, LASTSAVE, QUIT, and in
-// cluster mode CLUSTER SLOTS/INFO/MIGRATE plus ASKING.
+// SCAN cursor [MATCH pat] [COUNT n], RANGE start end [limit], EXPIRE,
+// PEXPIRE, TTL, PTTL, INFO, RESETSTATS, FLUSHALL, SLOWLOG
+// GET/RESET/LEN, MONITOR, TRACE ON/OFF/STATUS/DUMP, BGSAVE, LASTSAVE,
+// QUIT, and in cluster mode CLUSTER
+// SLOTS/INFO/HEALTH/HEARTBEAT/MIGRATE plus ASKING. SCAN MATCH filters
+// keys server-side with a Redis-style glob after the cursor decodes;
+// COUNT bounds keys scanned, not keys returned.
 //
 // SCAN and RANGE need an ordered index (-index rbtree or btree); on a
 // hash index they answer a typed error instead of a silent empty
@@ -150,8 +153,14 @@ type server struct {
 
 	// Active-expiry sweeper for -dispatch mutex (the worker runtime
 	// sweeps off its own drain bursts instead — see SetSweepLimit).
-	sweepStop chan struct{}
-	sweepDone chan struct{}
+	// With -expire-cycle-budget the ticker runs in BOTH dispatch modes
+	// and these counters feed the "# expiry" INFO section.
+	sweepStop       chan struct{}
+	sweepDone       chan struct{}
+	sweepBudget     int           // -expire-cycle-budget (0 = per-mode defaults)
+	sweepCycles     atomic.Uint64 // completed sweep cycles
+	sweepReaped     atomic.Uint64 // keys reaped by sweeps, lifetime
+	sweepLastReaped atomic.Uint64 // keys reaped by the most recent cycle
 
 	// clus is the cluster runtime (nil in standalone mode — every
 	// cluster hook checks it, so standalone behavior is untouched).
@@ -211,6 +220,7 @@ func main() {
 		fastHash   = flag.String("fast-hash", "", "STLT/SLB fast-path hash: sipHash|murmurHash|xxh64|djb2|xxh3 (default xxh3)")
 		sweepEvery = flag.Duration("sweep-interval", 100*time.Millisecond, "active TTL sweep period (-dispatch mutex; worker mode sweeps on drain bursts; 0 = lazy expiry only)")
 		sweepLimit = flag.Int("sweep-limit", 0, "armed deadlines sampled per shard per sweep (0 = default)")
+		expBudget  = flag.Int("expire-cycle-budget", 0, "total armed deadlines sampled per sweep cycle across ALL shards; >0 splits the budget over shards and runs the ticker sweeper in both dispatch modes (0 = per-mode defaults)")
 
 		aof       = flag.Bool("aof", false, "enable the per-shard append-only log (durability)")
 		aofDir    = flag.String("aof-dir", "aof", "directory for AOF segments and snapshots")
@@ -222,6 +232,9 @@ func main() {
 		clusterSlots  = flag.String("cluster-slots", "", "initial slot assignment overrides, e.g. '0:0-8191,1:8192-16383' (default: even split)")
 		clusterRewarm = flag.Bool("cluster-rewarm", true, "re-warm the STLT for records arriving via slot migration")
 		clusterBatch  = flag.Int("cluster-batch", 0, "keys per migration batch (0 = default)")
+		hbEvery       = flag.Duration("heartbeat-interval", defaultHeartbeatEvery, "cluster heartbeat period H (0 = heartbeats off)")
+		hbSuspect     = flag.Int("heartbeat-suspect", 0, "missed heartbeat intervals before a peer is suspect (0 = default)")
+		hbDown        = flag.Int("heartbeat-down", 0, "missed heartbeat intervals K before a peer is down (0 = default)")
 
 		traceSample = flag.Uint64("trace-sample", 0, "trace 1 in N single-key ops (1 = every op, 0 = off; TRACE ON/OFF adjusts at runtime)")
 		traceDir    = flag.String("trace-dir", "", "directory for flight-recorder dump bundles (TRACE DUMP, anomaly auto-dumps, final dump on shutdown)")
@@ -319,18 +332,34 @@ func main() {
 		if err != nil {
 			log.Fatalf("kvserve: %v", err)
 		}
-		if err := s.setupCluster(nodes, *clusterSelf, *clusterSlots, *clusterRewarm, *clusterBatch); err != nil {
+		if err := s.setupCluster(nodes, *clusterSelf, clusterOpts{
+			assign:    *clusterSlots,
+			rewarm:    *clusterRewarm,
+			batch:     *clusterBatch,
+			hbEvery:   *hbEvery,
+			hbSuspect: *hbSuspect,
+			hbDown:    *hbDown,
+		}); err != nil {
 			log.Fatalf("kvserve: %v", err)
 		}
-		log.Printf("kvserve: cluster node %d/%d, bus on %s, owning %d slots",
-			*clusterSelf, len(nodes), s.clus.bus.Addr(), s.clus.node.OwnedSlots())
+		log.Printf("kvserve: cluster node %d/%d, bus on %s, owning %d slots, heartbeat every %v",
+			*clusterSelf, len(nodes), s.clus.bus.Addr(), s.clus.node.OwnedSlots(), *hbEvery)
 	}
 	sweepLim := *sweepLimit
 	if sweepLim <= 0 {
 		sweepLim = defaultSweepLimit
 	}
+	if *expBudget > 0 {
+		// A cycle budget overrides -sweep-limit: split it evenly across
+		// shards (ceiling, so a tiny budget still samples something) and
+		// drive the ticker in BOTH dispatch modes. Worker drain-burst
+		// sweeps stay off so the budget is the only active-expiry source
+		// and each cycle's cost is bounded by the budget alone.
+		sweepLim = (*expBudget + *shards - 1) / *shards
+		s.sweepBudget = *expBudget
+	}
 	if *dispatch == "worker" {
-		if *sweepEvery > 0 {
+		if *sweepEvery > 0 && *expBudget <= 0 {
 			// Must land before StartWorkers: workers read the limit once.
 			sys.Cluster().SetSweepLimit(sweepLim)
 		}
@@ -339,6 +368,9 @@ func main() {
 		}
 		log.Printf("kvserve: worker runtime up (%d shard workers, ring cap %d)",
 			*shards, s.queueCap)
+		if *sweepEvery > 0 && *expBudget > 0 {
+			s.startSweeper(*sweepEvery, sweepLim)
+		}
 	} else if *sweepEvery > 0 {
 		s.startSweeper(*sweepEvery, sweepLim)
 	}
@@ -473,10 +505,12 @@ func (s *server) drain() {
 	}
 }
 
-// startSweeper runs the mutex-mode active-expiry loop: every period,
-// each shard samples up to limit armed deadlines and reaps the dead
-// ones (Redis's activeExpireCycle, driven by a real ticker here since
-// the mutex path has no worker loop to ride).
+// startSweeper runs the ticker-driven active-expiry loop: every
+// period, each shard samples up to limit armed deadlines and reaps the
+// dead ones (Redis's activeExpireCycle). Mutex dispatch always uses
+// it; worker dispatch uses it only under -expire-cycle-budget, where
+// the ticker replaces the drain-burst sweeps (SweepExpired takes each
+// shard's own mutex, so the two dispatch modes need no extra locking).
 func (s *server) startSweeper(every time.Duration, limit int) {
 	s.sweepStop = make(chan struct{})
 	s.sweepDone = make(chan struct{})
@@ -487,7 +521,10 @@ func (s *server) startSweeper(every time.Duration, limit int) {
 		for {
 			select {
 			case <-t.C:
-				s.sys.SweepExpired(limit)
+				n := s.sys.SweepExpired(limit)
+				s.sweepCycles.Add(1)
+				s.sweepReaped.Add(uint64(n))
+				s.sweepLastReaped.Store(uint64(n))
 			case <-s.sweepStop:
 				return
 			}
@@ -796,22 +833,31 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 			w.WriteInt(0)
 		}
 	case "scan":
-		// SCAN cursor [COUNT n]: one stateless page of an ordered cursor
-		// walk. Worker mode runs it as an ordering barrier (not an async
-		// kind), so pipelined replies stay in command order.
-		if len(args) != 2 && len(args) != 4 {
+		// SCAN cursor [MATCH pat] [COUNT n]: one stateless page of an
+		// ordered cursor walk. MATCH filters server-side after the page
+		// is scanned — COUNT bounds keys SCANNED, not keys returned, and
+		// the continuation cursor follows the last scanned key so a page
+		// of non-matching keys still makes progress. Worker mode runs it
+		// as an ordering barrier (not an async kind), so pipelined
+		// replies stay in command order.
+		if len(args) != 2 && len(args) != 4 && len(args) != 6 {
 			return fail("ERR wrong number of arguments for 'scan'")
 		}
 		count := defaultScanCount
-		if len(args) == 4 {
-			if !asciiLowerEq(args[2], "count") {
+		var pattern []byte
+		for i := 2; i+1 < len(args); i += 2 {
+			switch {
+			case asciiLowerEq(args[i], "count"):
+				v, err := strconv.Atoi(string(args[i+1]))
+				if err != nil || v < 1 {
+					return fail("ERR COUNT must be a positive integer")
+				}
+				count = v
+			case asciiLowerEq(args[i], "match"):
+				pattern = args[i+1]
+			default:
 				return fail("ERR syntax error")
 			}
-			v, err := strconv.Atoi(string(args[3]))
-			if err != nil || v < 1 {
-				return fail("ERR COUNT must be a positive integer")
-			}
-			count = v
 		}
 		if s.clus != nil && s.clusterScanCheck(w) {
 			return false, false, true
@@ -822,8 +868,12 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 		}
 		s.opsSinceMark.Add(1)
 		var keys [][]byte
+		var last []byte
 		n, err := s.sys.ScanO(addrkv.ScanStart(after, resume, nil), count, func(k []byte) bool {
-			keys = append(keys, k)
+			last = k
+			if pattern == nil || addrkv.MatchGlob(pattern, k) {
+				keys = append(keys, k)
+			}
 			return true
 		}, bo)
 		if err != nil {
@@ -831,7 +881,7 @@ func (s *server) execute(w *resp.Writer, cmd string, args [][]byte, oc *addrkv.O
 		}
 		w.WriteArrayHeader(2)
 		if n == count {
-			w.WriteBulk(addrkv.AppendCursor(nil, keys[n-1]))
+			w.WriteBulk(addrkv.AppendCursor(nil, last))
 		} else {
 			// A short page proves the walk reached the end of the
 			// keyspace: the terminal cursor.
@@ -1113,6 +1163,12 @@ func (s *server) info() string {
 	fmt.Fprintf(&b, "early_flushes:%d\r\n", s.tele.earlyFlush.Load())
 	fmt.Fprintf(&b, "batch_commands:%d\r\n", s.tele.batchCmds.Load())
 	fmt.Fprintf(&b, "batched_keys:%d\r\n", s.tele.batchKeys.Load())
+
+	fmt.Fprintf(&b, "# expiry\r\n")
+	fmt.Fprintf(&b, "expire_cycle_budget:%d\r\n", s.sweepBudget)
+	fmt.Fprintf(&b, "sweep_cycles:%d\r\n", s.sweepCycles.Load())
+	fmt.Fprintf(&b, "sweep_reaped_total:%d\r\n", s.sweepReaped.Load())
+	fmt.Fprintf(&b, "sweep_last_reaped:%d\r\n", s.sweepLastReaped.Load())
 
 	s.runtimeInfo(func(format string, args ...any) {
 		fmt.Fprintf(&b, format, args...)

@@ -457,6 +457,10 @@ func startMetricsServer(addr string, s *server) (*http.Server, net.Addr, error) 
 		}
 		_, _ = w.Write(append(b, '\n'))
 	})
+	if s.clus != nil {
+		mux.HandleFunc("/cluster/metrics", s.clusterMetricsHandler)
+		mux.HandleFunc("/cluster/snapshot.json", s.clusterSnapshotHandler)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

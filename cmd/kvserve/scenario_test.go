@@ -78,8 +78,14 @@ func scenarioScript() (sec1, sec2 [][]string) {
 		[]string{"SCAN", "0"},
 		[]string{"SCAN", "0", "COUNT", "5"},
 		[]string{"SCAN", scanCursorFor("k:09"), "COUNT", "7"},
-		[]string{"SCAN", "not-a-cursor"},       // error
-		[]string{"SCAN", "0", "COUNT", "zero"}, // error
+		[]string{"SCAN", "0", "MATCH", "k:0?", "COUNT", "50"},
+		[]string{"SCAN", "0", "COUNT", "50", "MATCH", "k:1*"}, // options in either order
+		[]string{"SCAN", "0", "MATCH", "no-such-prefix*"},     // cursor advances, empty page
+		[]string{"SCAN", scanCursorFor("k:04"), "MATCH", "k:[0-1]?", "COUNT", "8"},
+		[]string{"SCAN", "not-a-cursor"},        // error
+		[]string{"SCAN", "0", "COUNT", "zero"},  // error
+		[]string{"SCAN", "0", "MATCH"},          // error: odd option tail
+		[]string{"SCAN", "0", "FILTER", "k:0*"}, // error: unknown option
 		[]string{"RANGE", "k:05", "k:12"},
 		[]string{"RANGE", "-", "+", "6"},
 		[]string{"RANGE", "k:28", "+"},
@@ -94,6 +100,7 @@ func scenarioScript() (sec1, sec2 [][]string) {
 		[]string{"PTTL", "k:12"}, // dead
 		[]string{"TTL", "k:00"},  // 94 seconds left
 		[]string{"SCAN", "0", "COUNT", "30"},
+		[]string{"SCAN", "0", "MATCH", "k:*", "COUNT", "30"}, // post-expiry filtered walk
 		[]string{"RANGE", "k:09", "k:16"},
 		[]string{"SET", "k:10", "reborn"},
 		[]string{"TTL", "k:10"}, // -1: SET discarded nothing, fresh key
@@ -199,6 +206,113 @@ func TestServerScanReplyShape(t *testing.T) {
 	}
 }
 
+// TestServerScanMatch pins the MATCH contract: the filter applies
+// after the page is scanned, so COUNT bounds keys scanned (not keys
+// returned) and the continuation cursor follows the last SCANNED key —
+// a page whose keys all fail the filter still advances the walk.
+func TestServerScanMatch(t *testing.T) {
+	s := newScenarioServer(t, 2, addrkv.IndexBTree, 0, false)
+	for i := 0; i < 12; i++ {
+		call(t, s, "SET", fmt.Sprintf("k:%02d", i), "v")
+	}
+	call(t, s, "SET", "other", "v") // sorts after every k:*
+
+	// Page of 5 scans k:00..k:04; "k:0[13]" keeps two of them. The
+	// cursor must point at k:04 (last scanned), not k:03 (last match).
+	rep := call(t, s, "SCAN", "0", "MATCH", "k:0[13]", "COUNT", "5").([]any)
+	if got, want := string(rep[0].([]byte)), scanCursorFor("k:04"); got != want {
+		t.Fatalf("continuation cursor = %q, want %q", got, want)
+	}
+	page := rep[1].([]any)
+	if len(page) != 2 || string(page[0].([]byte)) != "k:01" || string(page[1].([]byte)) != "k:03" {
+		t.Fatalf("filtered page = %v", page)
+	}
+
+	// A pattern matching nothing on this page returns an empty array but
+	// still advances the cursor over the scanned run.
+	rep = call(t, s, "SCAN", "0", "MATCH", "zz*", "COUNT", "4").([]any)
+	if got, want := string(rep[0].([]byte)), scanCursorFor("k:03"); got != want {
+		t.Fatalf("empty-page cursor = %q, want %q", got, want)
+	}
+	if page := rep[1].([]any); len(page) != 0 {
+		t.Fatalf("empty-page reply = %v, want []", page)
+	}
+
+	// Resuming the filtered walk to completion sees every matching key
+	// exactly once, in order.
+	var got []string
+	cursor := "0"
+	for {
+		rep := call(t, s, "SCAN", cursor, "MATCH", "k:*", "COUNT", "3").([]any)
+		for _, k := range rep[1].([]any) {
+			got = append(got, string(k.([]byte)))
+		}
+		cursor = string(rep[0].([]byte))
+		if cursor == "0" {
+			break
+		}
+	}
+	if len(got) != 12 || got[0] != "k:00" || got[11] != "k:11" {
+		t.Fatalf("filtered walk = %v", got)
+	}
+
+	// Option validation: odd tails and unknown options are syntax
+	// errors, bad cursors stay bad.
+	for _, bad := range [][]string{
+		{"SCAN", "0", "MATCH"},
+		{"SCAN", "0", "FILTER", "x"},
+		{"SCAN", "0", "MATCH", "a", "COUNT"},
+	} {
+		if _, ok := call(t, s, bad...).(error); !ok {
+			t.Fatalf("%v did not error", bad)
+		}
+	}
+}
+
+// TestServerExpireCycleBudget: the -expire-cycle-budget ticker sweeper
+// reaps dead keys in both dispatch modes (worker drain-burst sweeps
+// stay off — the budget is the only active source) and the "# expiry"
+// INFO section reports the budget and cycle counters.
+func TestServerExpireCycleBudget(t *testing.T) {
+	for _, workers := range []bool{false, true} {
+		t.Run(map[bool]string{false: "mutex", true: "worker"}[workers], func(t *testing.T) {
+			const shards, budget = 2, 16
+			s := newScenarioServer(t, shards, addrkv.IndexBTree, 0, workers)
+			var clock atomic.Int64
+			clock.Store(1_000_000_000)
+			s.sys.SetClock(clock.Load)
+			for i := 0; i < 40; i++ {
+				call(t, s, "SET", fmt.Sprintf("k:%02d", i), "v")
+				call(t, s, "PEXPIRE", fmt.Sprintf("k:%02d", i), "1000")
+			}
+			s.sweepBudget = budget
+			s.startSweeper(time.Millisecond, (budget+shards-1)/shards)
+			defer s.stopSweeper()
+
+			clock.Add(5_000_000_000) // every deadline is now dead
+			deadline := time.Now().Add(5 * time.Second)
+			for s.sweepReaped.Load() < 40 {
+				if time.Now().After(deadline) {
+					t.Fatalf("sweeper reaped only %d/40 keys", s.sweepReaped.Load())
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if got := call(t, s, "DBSIZE").(int64); got != 0 {
+				t.Fatalf("DBSIZE after sweep = %d, want 0", got)
+			}
+			info := string(call(t, s, "INFO").([]byte))
+			for _, want := range []string{"# expiry", "expire_cycle_budget:16", "sweep_reaped_total:"} {
+				if !strings.Contains(info, want) {
+					t.Fatalf("INFO missing %q", want)
+				}
+			}
+			if strings.Contains(info, "sweep_cycles:0\r\n") {
+				t.Fatal("INFO reports zero sweep cycles after a completed sweep")
+			}
+		})
+	}
+}
+
 // TestServerScanRangeUnorderedTypedError: SCAN/RANGE against every
 // -index value — the hash indexes fail with the typed RESP error
 // naming the fix, never a silent empty array; the trees serve.
@@ -277,7 +391,7 @@ func TestClusterScanTTLSingleNodeDifferential(t *testing.T) {
 			sa := newScenarioServer(t, 2, addrkv.IndexBTree, 0, workers)
 			cl := newScenarioServer(t, 2, addrkv.IndexBTree, 0, workers)
 			nodes := []cluster.NodeInfo{{Addr: "node-0", Bus: reserveAddr(t)}}
-			if err := cl.setupCluster(nodes, 0, "", true, 8); err != nil {
+			if err := cl.setupCluster(nodes, 0, clusterOpts{rewarm: true, batch: 8}); err != nil {
 				t.Fatal(err)
 			}
 			t.Cleanup(cl.closeCluster)

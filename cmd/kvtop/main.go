@@ -1,0 +1,189 @@
+// Command kvtop is a terminal fleet monitor for cluster-mode kvserve.
+// It polls one node's /cluster/snapshot.json (the aggregated fleet
+// view that node collects over the bus) and renders a per-node table:
+// liveness state, heartbeat age, slot counts, key counts, op rates,
+// fast-path hit rate, queue depth, and latency quantiles, plus the
+// migration progress block when a migration is running.
+//
+//	kvtop -url http://127.0.0.1:9090            # live, refreshes every second
+//	kvtop -url http://127.0.0.1:9090 -once      # one frame, no screen clear
+//	kvtop -url http://127.0.0.1:9090 -interval 250ms
+//
+// The -url flag takes the node's -metrics-addr base URL; kvtop appends
+// /cluster/snapshot.json. Any node works — each aggregates the whole
+// fleet — but a partition is easiest to see by watching a survivor.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// The /cluster/snapshot.json schema, mirrored from kvserve. Only the
+// fields the table renders are listed; unknown fields are ignored so
+// the two binaries can skew across versions.
+type snapshot struct {
+	Name       string         `json:"name"`
+	SourceNode int            `json:"source_node"`
+	MapVersion uint64         `json:"map_version"`
+	State      string         `json:"cluster_state"`
+	Heartbeat  heartbeatInfo  `json:"heartbeat"`
+	Nodes      []nodeRow      `json:"nodes"`
+	Migration  *migrationInfo `json:"migration"`
+}
+
+type heartbeatInfo struct {
+	Enabled    bool    `json:"enabled"`
+	On         bool    `json:"on"`
+	IntervalMS float64 `json:"interval_ms"`
+	DownAfter  int     `json:"down_after"`
+}
+
+type nodeRow struct {
+	Node   int         `json:"node"`
+	Addr   string      `json:"addr"`
+	State  string      `json:"state"`
+	Up     bool        `json:"up"`
+	AgeMS  float64     `json:"age_ms"`
+	Beats  uint64      `json:"beats"`
+	Digest *digestInfo `json:"digest"`
+}
+
+type digestInfo struct {
+	SlotsOwned     uint32  `json:"slots_owned"`
+	SlotsMigrating uint32  `json:"slots_migrating"`
+	SlotsImporting uint32  `json:"slots_importing"`
+	Ops            uint64  `json:"ops"`
+	Keys           uint64  `json:"keys"`
+	UsedBytes      uint64  `json:"used_bytes"`
+	HitRate        float64 `json:"hit_rate"`
+	QueueDepth     uint64  `json:"queue_depth"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	LatP50US       float64 `json:"lat_p50_us"`
+	LatP99US       float64 `json:"lat_p99_us"`
+}
+
+type migrationInfo struct {
+	Slot           uint16 `json:"slot"`
+	Dest           int    `json:"dest"`
+	Active         bool   `json:"active"`
+	Failed         bool   `json:"failed"`
+	KeysTotal      int    `json:"keys_total"`
+	KeysShipped    int    `json:"keys_shipped"`
+	BatchesTotal   int    `json:"batches_total"`
+	BatchesShipped int    `json:"batches_shipped"`
+	Bytes          int    `json:"bytes"`
+	ElapsedUS      int64  `json:"elapsed_us"`
+	EtaUS          int64  `json:"eta_us"`
+}
+
+// fetch pulls and decodes one snapshot.
+func fetch(c *http.Client, url string) (*snapshot, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var s snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// render writes one frame: a fleet header, the per-node table, and the
+// migration progress line when one is running.
+func render(w io.Writer, s *snapshot) {
+	hb := "off"
+	if s.Heartbeat.Enabled {
+		hb = fmt.Sprintf("%.0fms x%d", s.Heartbeat.IntervalMS, s.Heartbeat.DownAfter)
+		if !s.Heartbeat.On {
+			hb += " (paused)"
+		}
+	}
+	fmt.Fprintf(w, "%s  state=%s  map=v%d  heartbeat=%s  source=node%d\n\n",
+		s.Name, s.State, s.MapVersion, hb, s.SourceNode)
+
+	fmt.Fprintf(w, "%-4s %-16s %-7s %-3s %8s %7s %6s %5s %9s %9s %6s %6s %9s %9s\n",
+		"NODE", "ADDR", "STATE", "UP", "AGE", "BEATS", "SLOTS", "MIG", "KEYS", "OPS/S", "HIT%", "QDEPTH", "P50us", "P99us")
+	for _, n := range s.Nodes {
+		up := "no"
+		if n.Up {
+			up = "yes"
+		}
+		age := time.Duration(n.AgeMS * float64(time.Millisecond)).Round(time.Millisecond)
+		if n.Digest == nil {
+			fmt.Fprintf(w, "%-4d %-16s %-7s %-3s %8s %7d %6s %5s %9s %9s %6s %6s %9s %9s\n",
+				n.Node, n.Addr, n.State, up, age, n.Beats, "-", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		d := n.Digest
+		mig := fmt.Sprintf("%d/%d", d.SlotsMigrating, d.SlotsImporting)
+		fmt.Fprintf(w, "%-4d %-16s %-7s %-3s %8s %7d %6d %5s %9d %9.0f %6.1f %6d %9.1f %9.1f\n",
+			n.Node, n.Addr, n.State, up, age, n.Beats, d.SlotsOwned, mig,
+			d.Keys, d.OpsPerSec, 100*d.HitRate, d.QueueDepth, d.LatP50US, d.LatP99US)
+	}
+
+	if m := s.Migration; m != nil {
+		status := "done"
+		if m.Active {
+			status = "active"
+		}
+		if m.Failed {
+			status = "FAILED"
+		}
+		pct := 100.0
+		if m.KeysTotal > 0 {
+			pct = 100 * float64(m.KeysShipped) / float64(m.KeysTotal)
+		}
+		fmt.Fprintf(w, "\nmigration slot %d -> node %d: %s  %d/%d keys (%.0f%%)  %d/%d batches  %d bytes  elapsed %v  eta %v\n",
+			m.Slot, m.Dest, status, m.KeysShipped, m.KeysTotal, pct,
+			m.BatchesShipped, m.BatchesTotal, m.Bytes,
+			(time.Duration(m.ElapsedUS) * time.Microsecond).Round(time.Millisecond),
+			(time.Duration(m.EtaUS) * time.Microsecond).Round(time.Millisecond))
+	}
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "", "kvserve -metrics-addr base URL, e.g. http://127.0.0.1:9090")
+		interval = flag.Duration("interval", time.Second, "poll period")
+		once     = flag.Bool("once", false, "render one frame and exit")
+	)
+	flag.Parse()
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "kvtop: -url is required")
+		os.Exit(2)
+	}
+	target := strings.TrimRight(*url, "/") + "/cluster/snapshot.json"
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	if *once {
+		s, err := fetch(client, target)
+		if err != nil {
+			log.Fatalf("kvtop: %v", err)
+		}
+		render(os.Stdout, s)
+		return
+	}
+	for {
+		s, err := fetch(client, target)
+		fmt.Print("\x1b[2J\x1b[H") // clear + home, one frame per screen
+		if err != nil {
+			fmt.Printf("kvtop: %v (retrying every %v)\n", err, *interval)
+		} else {
+			render(os.Stdout, s)
+		}
+		time.Sleep(*interval)
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// sampleSnapshot is a canned /cluster/snapshot.json payload: a healthy
+// node with a digest, a dead node without one, and a finished
+// migration — the three rendering shapes kvtop distinguishes.
+const sampleSnapshot = `{
+  "name": "kvserve-cluster",
+  "source_node": 0,
+  "map_version": 3,
+  "cluster_state": "degraded",
+  "heartbeat": {"enabled": true, "on": true, "interval_ms": 500, "down_after": 4, "sent": 120, "failures": 2},
+  "nodes": [
+    {"node": 0, "addr": "127.0.0.1:6380", "bus": "127.0.0.1:7380", "state": "ok", "up": true,
+     "age_ms": 0, "beats": 60,
+     "digest": {"map_version": 3, "slots_owned": 8192, "slots_migrating": 1, "slots_importing": 0,
+                "ops": 5000, "keys": 1234, "used_bytes": 99000, "hit_rate": 0.875,
+                "queue_depth": 3, "ops_per_sec": 2500, "lat_p50_us": 11.5, "lat_p99_us": 90.25}},
+    {"node": 1, "addr": "127.0.0.1:6381", "bus": "127.0.0.1:7381", "state": "down", "up": false,
+     "age_ms": 4200, "beats": 31}
+  ],
+  "migration": {"slot": 42, "dest": 1, "active": false, "failed": false,
+                "keys_total": 40, "keys_shipped": 40, "batches_total": 5, "batches_shipped": 5,
+                "bytes": 4096, "elapsed_us": 1500, "eta_us": 0}
+}`
+
+// TestFetchAndRender drives the full path — HTTP fetch, JSON decode,
+// table render — against a stub server and pins the table content.
+func TestFetchAndRender(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/cluster/snapshot.json" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(sampleSnapshot))
+	}))
+	defer srv.Close()
+
+	s, err := fetch(srv.Client(), srv.URL+"/cluster/snapshot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	render(&b, s)
+	out := b.String()
+
+	for _, want := range []string{
+		"state=degraded", "map=v3", "heartbeat=500ms x4", "source=node0",
+		"NODE", "STATE", "OPS/S", // table header
+		"127.0.0.1:6380", "8192", "1234", "2500", "87.5", // node 0 digest row
+		"down", "127.0.0.1:6381", // node 1 liveness row
+		"migration slot 42 -> node 1: done", "40/40 keys (100%)", "5/5 batches",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered frame missing %q:\n%s", want, out)
+		}
+	}
+	// The dead node renders placeholders, never stale digest numbers.
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.Contains(ln, "127.0.0.1:6381") && !strings.Contains(ln, " - ") {
+			t.Fatalf("dead node row has no placeholder fields: %s", ln)
+		}
+	}
+}
+
+// TestFetchErrors: non-200 responses and unreachable servers surface
+// as errors, not empty frames.
+func TestFetchErrors(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	if _, err := fetch(srv.Client(), srv.URL+"/cluster/snapshot.json"); err == nil {
+		t.Fatal("404 did not error")
+	}
+	srv.Close()
+	if _, err := fetch(http.DefaultClient, srv.URL+"/cluster/snapshot.json"); err == nil {
+		t.Fatal("dead server did not error")
+	}
+}

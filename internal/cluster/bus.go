@@ -188,6 +188,26 @@ func (p *Peer) connect() error {
 func (p *Peer) Call(t MsgType, body []byte) (Msg, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.callRetry(t, body)
+}
+
+// CallCopy is Call with the reply payload copied into a fresh slice
+// while the peer's lock is still held. A plain Call's payload aliases
+// the peer's reused read buffer, so on a peer shared between
+// goroutines (the heartbeat loop and digest collection) the caller
+// cannot copy it safely after Call returns — the next Call may already
+// be overwriting the buffer.
+func (p *Peer) CallCopy(t MsgType, body []byte) (Msg, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, err := p.callRetry(t, body)
+	if err == nil && len(m.Payload) > 0 {
+		m.Payload = append([]byte(nil), m.Payload...)
+	}
+	return m, err
+}
+
+func (p *Peer) callRetry(t MsgType, body []byte) (Msg, error) {
 	for attempt := 0; ; attempt++ {
 		if p.conn == nil {
 			if err := p.connect(); err != nil {

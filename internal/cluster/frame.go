@@ -52,9 +52,19 @@ const (
 	MsgAck MsgType = 8
 	// MsgErr rejects a request; body: utf-8 reason.
 	MsgErr MsgType = 9
+	// MsgHeartbeat announces the sender is alive; body: an encoded
+	// health.Digest (the sender's telemetry snapshot). Reply: MsgAck
+	// with the receiver's map version — a successful round-trip is
+	// liveness evidence in both directions.
+	MsgHeartbeat MsgType = 10
+	// MsgDigestGet requests the receiver's current telemetry digest
+	// (fleet aggregation fan-out); empty body. Reply: MsgDigest.
+	MsgDigestGet MsgType = 11
+	// MsgDigest carries an encoded health.Digest.
+	MsgDigest MsgType = 12
 )
 
-func validMsgType(t MsgType) bool { return t >= MsgHello && t <= MsgErr }
+func validMsgType(t MsgType) bool { return t >= MsgHello && t <= MsgDigest }
 
 // Msg is one decoded bus frame. Payload aliases the decode buffer.
 type Msg struct {

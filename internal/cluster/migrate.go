@@ -56,6 +56,11 @@ type MigrateOpts struct {
 	// destination serves the migrated slot cold and the warm-up cliff
 	// is visible in its fast-hit rate.
 	Rewarm bool
+	// OnProgress, when set, is called after every shipped batch (and
+	// once more at completion) with the current progress snapshot —
+	// the serving layer's hook for mig.progress trace events. Called
+	// from the migration goroutine; must not block.
+	OnProgress func(MigrationProgress)
 }
 
 // MigrationResult reports one completed (or partial) migration.
@@ -121,6 +126,14 @@ func (n *Node) Migrate(c *shard.Cluster, peers func(int) *Peer, slot uint16, des
 	// traffic — keys created after the scan are gated to the
 	// destination, deleted ones are skipped at extraction.
 	keys := c.CollectKeys(func(k []byte) bool { return SlotOf(k) == slot })
+	n.progressStart(slot, dest, resumed, len(keys), (len(keys)+batch-1)/batch)
+	notify := func() {
+		if o.OnProgress != nil {
+			if mp, ok := n.Progress(); ok {
+				o.OnProgress(mp)
+			}
+		}
+	}
 	shipped := false
 	for lo := 0; lo < len(keys); lo += batch {
 		hi := lo + batch
@@ -136,9 +149,12 @@ func (n *Node) Migrate(c *shard.Cluster, peers func(int) *Peer, slot uint16, des
 		if moved > 0 {
 			res.Batches++
 			shipped = true
+			n.progressBatch(moved, bytes)
+			notify()
 		}
 		if err != nil {
 			n.Metrics.MigFailed.Add(1)
+			n.progressEnd(true)
 			if !shipped {
 				n.AbortMigrate(slot) // nothing left the node: clean cancel
 			}
@@ -158,11 +174,14 @@ func (n *Node) Migrate(c *shard.Cluster, peers func(int) *Peer, slot uint16, des
 		// commit landed and only its ack was lost, resumes through the
 		// adoptCommitted probe above.
 		n.Metrics.MigFailed.Add(1)
+		n.progressEnd(true)
 		return res, err
 	}
 	n.FinishMigrate(slot, next)
 	n.Metrics.MigKeys.Add(uint64(res.Keys))
 	n.Metrics.MigBytes.Add(uint64(res.Bytes))
+	n.progressEnd(false)
+	notify()
 	return n.finishCommitted(res, next, peers, start)
 }
 

@@ -77,6 +77,9 @@ type Node struct {
 
 	// Metrics is exported for the serving layer's INFO/metrics.
 	Metrics Metrics
+
+	// prog tracks source-side migration progress (see progress.go).
+	prog progress
 }
 
 // NewNode builds a node's state around an initial map.

@@ -1,0 +1,104 @@
+// Source-side migration progress: a point-in-time view of the node's
+// current (or most recently finished) slot migration, updated by the
+// migration runner after every shipped batch and read lock-free of the
+// data path by CLUSTER MIGRATE STATUS, the migration gauges, and the
+// fleet snapshot. Purely observational — routing and the op gate never
+// consult it.
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// MigrationProgress reports one migration's advancement. Zero value =
+// no migration has run on this node yet.
+type MigrationProgress struct {
+	Slot    uint16
+	Dest    int
+	Active  bool // a migration is running right now
+	Resumed bool // this run resumed an interrupted migration
+	Failed  bool // the last run ended in an error (slot stays migrating)
+
+	KeysTotal      int // records collected at start (this run's work list)
+	KeysShipped    int
+	BatchesTotal   int
+	BatchesShipped int
+	Bytes          int // frame bytes shipped
+
+	Elapsed time.Duration
+	// ETA estimates the remaining ship time by linear extrapolation of
+	// the per-key pace so far (0 when done, failed, or nothing shipped
+	// yet).
+	ETA time.Duration
+}
+
+// progress is the Node's internal tracking state.
+type progress struct {
+	mu      sync.Mutex
+	cur     MigrationProgress
+	started time.Time
+	ended   time.Time
+	seen    bool // any migration ever ran here
+}
+
+// progressStart opens a new run's tracking.
+func (n *Node) progressStart(slot uint16, dest int, resumed bool, keysTotal, batchesTotal int) {
+	p := &n.prog
+	p.mu.Lock()
+	p.cur = MigrationProgress{
+		Slot:         slot,
+		Dest:         dest,
+		Active:       true,
+		Resumed:      resumed,
+		KeysTotal:    keysTotal,
+		BatchesTotal: batchesTotal,
+	}
+	p.started = time.Now()
+	p.ended = time.Time{}
+	p.seen = true
+	p.mu.Unlock()
+}
+
+// progressBatch records one shipped batch.
+func (n *Node) progressBatch(keys, bytes int) {
+	p := &n.prog
+	p.mu.Lock()
+	p.cur.KeysShipped += keys
+	p.cur.Bytes += bytes
+	p.cur.BatchesShipped++
+	p.mu.Unlock()
+}
+
+// progressEnd closes the run; failed runs keep their counts so STATUS
+// shows where the migration stalled.
+func (n *Node) progressEnd(failed bool) {
+	p := &n.prog
+	p.mu.Lock()
+	p.cur.Active = false
+	p.cur.Failed = failed
+	p.ended = time.Now()
+	p.mu.Unlock()
+}
+
+// Progress snapshots the migration progress. ok is false when no
+// migration has ever run on this node.
+func (n *Node) Progress() (mp MigrationProgress, ok bool) {
+	p := &n.prog
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.seen {
+		return MigrationProgress{}, false
+	}
+	mp = p.cur
+	if mp.Active {
+		mp.Elapsed = time.Since(p.started)
+	} else {
+		mp.Elapsed = p.ended.Sub(p.started)
+	}
+	if mp.Active && mp.KeysShipped > 0 && mp.KeysShipped < mp.KeysTotal {
+		perKey := mp.Elapsed / time.Duration(mp.KeysShipped)
+		mp.ETA = perKey * time.Duration(mp.KeysTotal-mp.KeysShipped)
+	}
+	return mp, true
+}

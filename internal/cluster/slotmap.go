@@ -71,6 +71,24 @@ func (m *SlotMap) OwnedCount(node int) int {
 	return n
 }
 
+// Owners returns the distinct node indexes owning at least one slot,
+// in node order — the set whose health decides cluster_state.
+func (m *SlotMap) Owners() []int {
+	seen := make([]bool, len(m.Nodes))
+	for _, o := range m.owners {
+		if int(o) >= 0 && int(o) < len(seen) {
+			seen[o] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for i, ok := range seen {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Clone deep-copies the map (Nodes metadata is shared by value).
 func (m *SlotMap) Clone() *SlotMap {
 	c := &SlotMap{

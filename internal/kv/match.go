@@ -1,0 +1,105 @@
+// Redis-style glob matching for SCAN MATCH: `*` any run, `?` any one
+// byte, `[a-c]`/`[^a-c]` classes with ranges and negation, `\` escapes
+// the next byte. Matching is byte-wise (no UTF-8 decoding), like
+// Redis's stringmatchlen — a key is a byte string here, not text.
+//
+// MATCH is a server-side page filter: the cursor walks the whole key
+// space and the filter drops non-matching keys from the reply, so the
+// continuation cursor must advance past the last SCANNED key, not the
+// last matched one (a page may match nothing and still make progress).
+package kv
+
+// MatchGlob reports whether key matches the glob pattern. An empty
+// pattern matches only the empty key.
+func MatchGlob(pattern, key []byte) bool {
+	for len(pattern) > 0 {
+		switch pattern[0] {
+		case '*':
+			// Collapse a `**` run, then try every suffix split. Linear
+			// patterns recurse only here, one level per `*`.
+			for len(pattern) > 1 && pattern[1] == '*' {
+				pattern = pattern[1:]
+			}
+			if len(pattern) == 1 {
+				return true
+			}
+			for i := 0; i <= len(key); i++ {
+				if MatchGlob(pattern[1:], key[i:]) {
+					return true
+				}
+			}
+			return false
+		case '?':
+			if len(key) == 0 {
+				return false
+			}
+			key = key[1:]
+			pattern = pattern[1:]
+			continue
+		case '[':
+			if len(key) == 0 {
+				return false
+			}
+			ok, rest := matchClass(pattern, key[0])
+			if !ok {
+				return false
+			}
+			pattern = rest
+			key = key[1:]
+			continue
+		case '\\':
+			if len(pattern) >= 2 {
+				pattern = pattern[1:] // compare the escaped byte literally
+			}
+		}
+		if len(key) == 0 || pattern[0] != key[0] {
+			return false
+		}
+		pattern = pattern[1:]
+		key = key[1:]
+	}
+	return len(key) == 0
+}
+
+// matchClass matches c against the [...] class at the head of pattern
+// (pattern[0] == '[') and returns the remainder after the closing ']'.
+// An unterminated class consumes the rest of the pattern, Redis-style.
+func matchClass(pattern []byte, c byte) (matched bool, rest []byte) {
+	p := 1
+	neg := false
+	if p < len(pattern) && pattern[p] == '^' {
+		neg = true
+		p++
+	}
+	for p < len(pattern) && pattern[p] != ']' {
+		switch {
+		case pattern[p] == '\\' && p+1 < len(pattern):
+			p++
+			if pattern[p] == c {
+				matched = true
+			}
+			p++
+		case p+2 < len(pattern) && pattern[p+1] == '-' && pattern[p+2] != ']':
+			lo, hi := pattern[p], pattern[p+2]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if lo <= c && c <= hi {
+				matched = true
+			}
+			p += 3
+		default:
+			if pattern[p] == c {
+				matched = true
+			}
+			p++
+		}
+	}
+	if p < len(pattern) {
+		p++ // the ']'
+	}
+	if neg {
+		matched = !matched
+	}
+	return matched, pattern[p:]
+}

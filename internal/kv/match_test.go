@@ -1,0 +1,182 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestMatchGlob pins the Redis stringmatchlen-style semantics the SCAN
+// MATCH filter relies on.
+func TestMatchGlob(t *testing.T) {
+	for _, tc := range []struct {
+		pat, key string
+		want     bool
+	}{
+		// Literals and empties.
+		{"", "", true},
+		{"", "a", false},
+		{"a", "", false},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"abc", "ab", false},
+		// `*` runs.
+		{"*", "", true},
+		{"*", "anything", true},
+		{"**", "anything", true},
+		{"a*", "a", true},
+		{"a*", "abc", true},
+		{"a*", "ba", false},
+		{"*c", "abc", true},
+		{"a*c", "abc", true},
+		{"a*c", "ac", true},
+		{"a*c", "abd", false},
+		{"a*b*c", "axxbyyc", true},
+		{"a*b*c", "axxcyyb", false},
+		// `?` single byte.
+		{"?", "a", true},
+		{"?", "", false},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"s:????", "s:0042", true},
+		{"s:????", "s:42", false},
+		// Classes, ranges, negation.
+		{"[abc]", "b", true},
+		{"[abc]", "d", false},
+		{"[a-c]x", "bx", true},
+		{"[a-c]x", "dx", false},
+		{"[c-a]x", "bx", true}, // reversed range still matches
+		{"[^abc]", "d", true},
+		{"[^abc]", "a", false},
+		{"[a-]", "-", true}, // trailing '-' is a literal
+		{"[a-]", "a", true},
+		{"[abc", "b", true}, // unterminated class, Redis-style
+		{"[\\]]", "]", true},
+		// Escapes.
+		{"\\*", "*", true},
+		{"\\*", "x", false},
+		{"\\?", "?", true},
+		{"a\\", "a\\", true}, // trailing backslash is a literal
+		// Key bytes are raw; '\x00' and '\xff' are ordinary bytes.
+		{"k?k", "k\x00k", true},
+		{"k[\x00-\x08]", "k\x05", true},
+	} {
+		if got := MatchGlob([]byte(tc.pat), []byte(tc.key)); got != tc.want {
+			t.Errorf("MatchGlob(%q, %q) = %v, want %v", tc.pat, tc.key, got, tc.want)
+		}
+	}
+}
+
+// scanPageMatch is scanPage with a server-side MATCH filter: every
+// scanned key advances the cursor, only matching keys are returned.
+// This mirrors the kvserve SCAN arm exactly — the continuation cursor
+// follows the last SCANNED key so a page full of non-matching keys
+// still makes progress.
+func scanPageMatch(t *testing.T, e *Engine, cursor, pat string, count int) ([]string, string) {
+	t.Helper()
+	after, resume, err := ParseCursor([]byte(cursor), nil)
+	if err != nil {
+		t.Fatalf("cursor %q: %v", cursor, err)
+	}
+	var matched []string
+	var last []byte
+	n, err := e.Scan(ScanStart(after, resume, nil), count, func(k []byte) bool {
+		last = append(last[:0], k...)
+		if MatchGlob([]byte(pat), k) {
+			matched = append(matched, string(k))
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == count {
+		return matched, string(AppendCursor(nil, last))
+	}
+	return matched, "0"
+}
+
+// TestScanMatchWalkProperty: the MATCH-filtered cursor walk inherits
+// the exactly-once property — under churn between pages, every stable
+// key that matches the pattern is returned exactly once, no key twice,
+// and no non-matching key ever leaks into a reply. Keys deliberately
+// interleave matching ("s:...") and non-matching ("d:...", "a:...",
+// "z:...") runs so the cursor must advance over pages that match
+// nothing.
+func TestScanMatchWalkProperty(t *testing.T) {
+	const pat = "s:*"
+	for _, kind := range []IndexKind{KindRBTree, KindBTree} {
+		for _, pageSize := range []int{1, 7, 64} {
+			t.Run(fmt.Sprintf("%s/count=%d", kind, pageSize), func(t *testing.T) {
+				e := newOrderedEngine(t, kind)
+
+				// Stable matching keys, interleaved with stable
+				// non-matching neighbours on both sides of the "s:"
+				// range.
+				const nStable = 300
+				stable := map[string]bool{}
+				for i := 0; i < nStable; i++ {
+					k := fmt.Sprintf("s:%04d", (i*211)%nStable)
+					e.Set([]byte(k), []byte("stable"))
+					stable[k] = true
+					e.Set(fmt.Appendf(nil, "q:%04d", i), []byte("noise")) // sorts before "s:"
+					e.Set(fmt.Appendf(nil, "t:%04d", i), []byte("noise")) // sorts after "s:"
+				}
+				var doomed []string
+				for i := 0; i < 40; i++ {
+					k := fmt.Sprintf("s:d%03d", i)
+					e.Set([]byte(k), []byte("doomed"))
+					doomed = append(doomed, k)
+				}
+
+				seen := map[string]int{}
+				cursor := "0"
+				pages := 0
+				x := uint64(9001)
+				for {
+					keys, next := scanPageMatch(t, e, cursor, pat, pageSize)
+					for _, k := range keys {
+						if !MatchGlob([]byte(pat), []byte(k)) {
+							t.Fatalf("non-matching key %q leaked into MATCH %q reply", k, pat)
+						}
+						seen[k]++
+					}
+					if next == "0" {
+						break
+					}
+					cursor = next
+					pages++
+					if pages > 3*(3*nStable+300)/pageSize+300 {
+						t.Fatal("cursor walk failed to terminate")
+					}
+					// Churn between pages: fresh keys on both sides of the
+					// matching range, a doomed deletion, and a stable
+					// overwrite (key set untouched).
+					x ^= x << 13
+					x ^= x >> 7
+					x ^= x << 17
+					e.Set(fmt.Appendf(nil, "a:%06d", x%100000), []byte("new"))
+					e.Set(fmt.Appendf(nil, "z:%06d", x%100000), []byte("new"))
+					if len(doomed) > 0 {
+						e.Delete([]byte(doomed[0]))
+						doomed = doomed[1:]
+					}
+					e.Set([]byte(fmt.Sprintf("s:%04d", x%nStable)), []byte("rewritten"))
+				}
+
+				for k, n := range seen {
+					if n > 1 {
+						t.Errorf("key %q returned %d times", k, n)
+					}
+				}
+				for k := range stable {
+					if seen[k] != 1 {
+						t.Errorf("stable key %q returned %d times, want exactly 1", k, seen[k])
+					}
+				}
+				if pages == 0 {
+					t.Fatal("walk completed in one page; churn never ran")
+				}
+			})
+		}
+	}
+}

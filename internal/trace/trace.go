@@ -125,9 +125,15 @@ const (
 	// removal is untimed; the event makes eviction churn (and its STLT
 	// hit-rate impact) visible in traces.
 	EvEvict
+	// EvMigProgress marks one shipped slot-migration batch on the
+	// source node: A = records shipped so far this run, B = records in
+	// the run's work list, C = the hash slot. Shipping is front-end
+	// work, so the cycle stamp is always 0; the span's wall time is
+	// the batch round-trip plus extraction.
+	EvMigProgress
 
 	// NumEventKinds bounds the kind space (for per-kind counters).
-	NumEventKinds = int(EvEvict) + 1
+	NumEventKinds = int(EvMigProgress) + 1
 )
 
 var kindNames = [NumEventKinds]string{
@@ -135,7 +141,7 @@ var kindNames = [NumEventKinds]string{
 	"stlt.loadva", "stlt.probe", "ipb.check", "stb.hit", "stb.miss",
 	"tlb.refill", "walk.level", "page.walk", "index.walk", "stlt.insert",
 	"stlt.scrub", "reply.flush", "wal.append", "wal.fsync", "stlt.rewarm",
-	"expire", "evict",
+	"expire", "evict", "mig.progress",
 }
 
 // String returns the stable wire name of the kind.

@@ -1,0 +1,519 @@
+// Command health orchestrates the fleet-observability experiment and
+// writes BENCH_health.json:
+//
+//  1. boots a 3-node heartbeat-enabled cluster (each node with a
+//     metrics listener) and waits until every node's CLUSTER HEALTH
+//     row reports ok/up on a survivor's aggregated view;
+//  2. measures heartbeat + digest-collection overhead with interleaved
+//     A/B legs: kvbench -cluster throughput with CLUSTER HEARTBEAT OFF
+//     vs ON (a scraper hammering /cluster/metrics during the ON legs),
+//     paired per round, overhead = 1 - median(on/off) — the same
+//     paired-median method kvbench -trace-overhead uses;
+//  3. kills one node (SIGKILL, no goodbye) and times how long a
+//     survivor takes to flip it to state:down in CLUSTER HEALTH. The
+//     deadline is down_after x interval plus one bus RTT; the script
+//     asserts detection within that bound plus a scheduling margin,
+//     verifies the dead node's digest-derived series disappeared from
+//     /cluster/metrics while its liveness series report down, and
+//     saves the survivor's /cluster/snapshot.json.
+//
+// Usage (from the repo root):
+//
+//	go build -o /tmp/kvserve ./cmd/kvserve
+//	go build -o /tmp/kvbench ./cmd/kvbench
+//	go run ./scripts/health -kvserve /tmp/kvserve -kvbench /tmp/kvbench \
+//	    -json results/BENCH_health.json -snapshot results/cluster_snapshot.json
+//
+// A missed detection deadline, surviving dead-node series, or an
+// overhead above -max-overhead exits 1, so CI can gate on it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"addrkv/internal/resp"
+)
+
+type overheadResult struct {
+	Rounds       int     `json:"rounds"`
+	OpsPerSecOff float64 `json:"ops_per_sec_off"` // median of the off legs
+	OpsPerSecOn  float64 `json:"ops_per_sec_on"`  // median of the on legs
+	// OverheadFrac is 1 - median(on/off) over interleaved round pairs;
+	// negative means the heartbeat-on leg measured faster (noise).
+	OverheadFrac float64 `json:"overhead_frac"`
+	MaxAllowed   float64 `json:"max_allowed"`
+}
+
+type downDetection struct {
+	KilledNode     int     `json:"killed_node"`
+	IntervalMS     float64 `json:"interval_ms"`
+	DownAfter      uint64  `json:"down_after"`
+	DeadlineMS     float64 `json:"deadline_ms"` // down_after x interval + RTT margin
+	DetectedMS     float64 `json:"detected_ms"` // kill -> state:down on the survivor
+	SeriesDropped  bool    `json:"series_dropped"`
+	StateDegraded  bool    `json:"state_degraded"`
+	SurvivorsUp    int     `json:"survivors_up"`
+	SnapshotSaved  string  `json:"snapshot_saved"`
+	HealthLineDown string  `json:"health_line_down"`
+}
+
+type healthReport struct {
+	Name      string         `json:"name"`
+	Kind      string         `json:"kind"`
+	Params    map[string]any `json:"params"`
+	Overhead  overheadResult `json:"overhead"`
+	Detection downDetection  `json:"detection"`
+}
+
+func main() {
+	var (
+		kvserve  = flag.String("kvserve", "", "path to a built kvserve binary (required)")
+		kvbench  = flag.String("kvbench", "", "path to a built kvbench binary (required)")
+		out      = flag.String("json", "results/BENCH_health.json", "artifact path")
+		snapOut  = flag.String("snapshot", "results/cluster_snapshot.json", "where to save the survivor's /cluster/snapshot.json")
+		hbMS     = flag.Int("hb-ms", 250, "heartbeat interval (ms)")
+		ops      = flag.Int("ops", 20_000, "operations per overhead leg")
+		conns    = flag.Int("conns", 4, "kvbench connections")
+		depth    = flag.Int("depth", 16, "kvbench pipeline depth")
+		keys     = flag.Int("keys", 10_000, "kvbench key-space size")
+		rounds   = flag.Int("rounds", 5, "interleaved off/on overhead round pairs")
+		maxOver  = flag.Float64("max-overhead", 0.02, "fail if heartbeat overhead exceeds this fraction")
+		marginMS = flag.Int("margin-ms", 1500, "scheduling+RTT margin added to the detection deadline")
+	)
+	flag.Parse()
+	if *kvserve == "" || *kvbench == "" {
+		fmt.Fprintln(os.Stderr, "health: -kvserve and -kvbench are required")
+		os.Exit(2)
+	}
+	tmp, err := os.MkdirTemp("", "health-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	cl := boot(*kvserve, 3, *hbMS)
+	defer cl.stop()
+
+	// Phase 1: the fleet converges — a survivor's aggregated view shows
+	// every node ok and answering digest collection.
+	waitHealthy(cl, 3, 20*time.Second)
+	fmt.Printf("fleet healthy: 3 nodes ok on %s\n", cl.addrs[0])
+
+	report := healthReport{
+		Name: "health",
+		Kind: "fleet-observability",
+		Params: map[string]any{
+			"nodes": 3, "hb_ms": *hbMS, "ops": *ops, "conns": *conns,
+			"depth": *depth, "keys": *keys, "rounds": *rounds, "cpus": runtime.NumCPU(),
+		},
+	}
+
+	// Phase 2: interleaved overhead legs.
+	report.Overhead = measureOverhead(cl, *kvbench, tmp, *ops, *conns, *depth, *keys, *rounds, *maxOver)
+	fmt.Printf("heartbeat overhead: off %.0f ops/s, on %.0f ops/s, frac %+.4f (max %.2f)\n",
+		report.Overhead.OpsPerSecOff, report.Overhead.OpsPerSecOn,
+		report.Overhead.OverheadFrac, *maxOver)
+
+	// Phase 3: kill node 2 and time the survivor's verdict.
+	report.Detection = detectDown(cl, *snapOut, *hbMS, *marginMS)
+	fmt.Printf("node %d killed: down in %.0fms (deadline %.0fms), series dropped %v, cluster degraded %v\n",
+		report.Detection.KilledNode, report.Detection.DetectedMS, report.Detection.DeadlineMS,
+		report.Detection.SeriesDropped, report.Detection.StateDegraded)
+
+	if err := writeJSON(*out, report); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	fail := false
+	if report.Detection.DetectedMS > report.Detection.DeadlineMS {
+		fmt.Fprintf(os.Stderr, "health: down detection %.0fms exceeded deadline %.0fms\n",
+			report.Detection.DetectedMS, report.Detection.DeadlineMS)
+		fail = true
+	}
+	if !report.Detection.SeriesDropped || !report.Detection.StateDegraded {
+		fmt.Fprintln(os.Stderr, "health: dead-node series or degraded state check failed")
+		fail = true
+	}
+	if report.Overhead.OverheadFrac > *maxOver {
+		fmt.Fprintf(os.Stderr, "health: heartbeat overhead %.4f exceeds %.4f\n",
+			report.Overhead.OverheadFrac, *maxOver)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// procCluster is one booted kvserve fleet with per-node metrics ports.
+type procCluster struct {
+	addrs   []string
+	metrics []string
+	procs   []*exec.Cmd
+}
+
+func boot(kvserve string, n, hbMS int) *procCluster {
+	addrs := make([]string, n)
+	buses := make([]string, n)
+	metrics := make([]string, n)
+	var spec []string
+	for i := 0; i < n; i++ {
+		addrs[i], buses[i], metrics[i] = reservePort(), reservePort(), reservePort()
+		spec = append(spec, addrs[i]+"@"+buses[i])
+	}
+	cl := &procCluster{addrs: addrs, metrics: metrics}
+	for i := 0; i < n; i++ {
+		srv := exec.Command(kvserve,
+			"-addr", addrs[i],
+			"-metrics-addr", metrics[i],
+			"-cluster-nodes", strings.Join(spec, ","),
+			"-cluster-self", fmt.Sprint(i),
+			"-heartbeat-interval", fmt.Sprintf("%dms", hbMS),
+			"-shards", "2",
+		)
+		srv.Stderr = os.Stderr
+		if err := srv.Start(); err != nil {
+			cl.stop()
+			fatal(fmt.Errorf("start node %d: %w", i, err))
+		}
+		cl.procs = append(cl.procs, srv)
+	}
+	for _, a := range addrs {
+		if err := waitTCP(a, 15*time.Second); err != nil {
+			cl.stop()
+			fatal(err)
+		}
+	}
+	return cl
+}
+
+func (cl *procCluster) stop() {
+	for _, p := range cl.procs {
+		if p != nil && p.Process != nil {
+			p.Process.Signal(os.Interrupt)
+		}
+	}
+	for _, p := range cl.procs {
+		if p == nil || p.Process == nil {
+			continue
+		}
+		done := make(chan struct{})
+		go func(p *exec.Cmd) { p.Wait(); close(done) }(p)
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			p.Process.Kill()
+			<-done
+		}
+	}
+}
+
+// cmd runs one RESP command on a fresh short-lived connection.
+func cmd(addr string, args ...string) (any, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	w := resp.NewWriter(conn)
+	ba := make([][]byte, len(args))
+	for i, a := range args {
+		ba[i] = []byte(a)
+	}
+	if err := w.WriteCommand(ba...); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return resp.NewReader(conn).ReadReply()
+}
+
+// clusterHealth fetches and splits a node's CLUSTER HEALTH lines.
+func clusterHealth(addr string) ([]string, error) {
+	v, err := cmd(addr, "CLUSTER", "HEALTH")
+	if err != nil {
+		return nil, err
+	}
+	b, ok := v.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("CLUSTER HEALTH reply %T (%v)", v, v)
+	}
+	return strings.Split(strings.TrimRight(string(b), "\r\n"), "\r\n"), nil
+}
+
+// waitHealthy blocks until node 0's aggregated view shows n rows all
+// state:ok up:1.
+func waitHealthy(cl *procCluster, n int, limit time.Duration) {
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		lines, err := clusterHealth(cl.addrs[0])
+		if err == nil && len(lines) == n {
+			ok := 0
+			for _, ln := range lines {
+				if strings.Contains(ln, "state:ok") && strings.Contains(ln, "up:1") {
+					ok++
+				}
+			}
+			if ok == n {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fatal(fmt.Errorf("fleet did not converge to %d healthy nodes within %s", n, limit))
+}
+
+// benchLeg runs one kvbench -cluster leg and returns its ops/sec.
+func benchLeg(kvbench, addr, art string, ops, conns, depth, keys int) float64 {
+	bench := exec.Command(kvbench,
+		"-addr", addr, "-cluster",
+		"-sweep", fmt.Sprint(depth),
+		"-ops", fmt.Sprint(ops), "-conns", fmt.Sprint(conns),
+		"-keys", fmt.Sprint(keys),
+		"-json", art,
+	)
+	bench.Stdout = io.Discard
+	bench.Stderr = os.Stderr
+	if err := bench.Run(); err != nil {
+		fatal(fmt.Errorf("kvbench leg: %w", err))
+	}
+	raw, err := os.ReadFile(art)
+	if err != nil {
+		fatal(err)
+	}
+	var parsed struct {
+		Sweep []struct {
+			OpsPerSec float64 `json:"ops_per_sec"`
+		} `json:"sweep"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		fatal(err)
+	}
+	if len(parsed.Sweep) != 1 {
+		fatal(fmt.Errorf("kvbench artifact has %d sweep points, want 1", len(parsed.Sweep)))
+	}
+	return parsed.Sweep[0].OpsPerSec
+}
+
+// setHeartbeats toggles the loops on every node.
+func setHeartbeats(cl *procCluster, on bool) {
+	arg := "OFF"
+	if on {
+		arg = "ON"
+	}
+	for _, a := range cl.addrs {
+		if v, err := cmd(a, "CLUSTER", "HEARTBEAT", arg); err != nil || v != "OK" {
+			fatal(fmt.Errorf("CLUSTER HEARTBEAT %s on %s: %v %v", arg, a, v, err))
+		}
+	}
+}
+
+// measureOverhead interleaves heartbeat-off and heartbeat-on kvbench
+// legs. During the on legs a scraper loops over /cluster/metrics so
+// the measured cost includes digest collection fan-outs, not just the
+// background beat.
+func measureOverhead(cl *procCluster, kvbench, tmp string, ops, conns, depth, keys, rounds int, maxOver float64) overheadResult {
+	var offs, ons, ratios []float64
+	for r := 0; r < rounds; r++ {
+		setHeartbeats(cl, false)
+		off := benchLeg(kvbench, cl.addrs[0], filepath.Join(tmp, fmt.Sprintf("off-%d.json", r)), ops, conns, depth, keys)
+
+		setHeartbeats(cl, true)
+		stop := make(chan struct{})
+		scraped := make(chan struct{})
+		go func() {
+			defer close(scraped)
+			c := &http.Client{Timeout: 5 * time.Second}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := c.Get("http://" + cl.metrics[0] + "/cluster/metrics")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+		}()
+		on := benchLeg(kvbench, cl.addrs[0], filepath.Join(tmp, fmt.Sprintf("on-%d.json", r)), ops, conns, depth, keys)
+		close(stop)
+		<-scraped
+
+		offs, ons = append(offs, off), append(ons, on)
+		ratios = append(ratios, on/off)
+		fmt.Printf("round %d: off %.0f ops/s, on %.0f ops/s (ratio %.4f)\n", r+1, off, on, on/off)
+	}
+	setHeartbeats(cl, true)
+	return overheadResult{
+		Rounds:       rounds,
+		OpsPerSecOff: median(offs),
+		OpsPerSecOn:  median(ons),
+		OverheadFrac: 1 - median(ratios),
+		MaxAllowed:   maxOver,
+	}
+}
+
+// detectDown SIGKILLs node 2 and times the survivor's state:down
+// verdict, then verifies the metric-series drop and saves the
+// survivor's snapshot.
+func detectDown(cl *procCluster, snapOut string, hbMS, marginMS int) downDetection {
+	const victim = 2
+	det := downDetection{KilledNode: victim, IntervalMS: float64(hbMS)}
+
+	// down_after from the survivor's own config (CLUSTER HEARTBEAT
+	// STATUS), so the deadline tracks the server defaults.
+	v, err := cmd(cl.addrs[0], "CLUSTER", "HEARTBEAT", "STATUS")
+	if err != nil {
+		fatal(err)
+	}
+	det.DownAfter = infoField(string(v.([]byte)), "heartbeat_down_after")
+	if det.DownAfter == 0 {
+		fatal(fmt.Errorf("survivor reports heartbeat_down_after:0"))
+	}
+	det.DeadlineMS = float64(det.DownAfter)*float64(hbMS) + float64(marginMS)
+
+	killed := time.Now()
+	cl.procs[victim].Process.Kill()
+
+	for {
+		lines, err := clusterHealth(cl.addrs[0])
+		if err == nil {
+			for _, ln := range lines {
+				if strings.HasPrefix(ln, fmt.Sprintf("node:%d ", victim)) && strings.Contains(ln, "state:down") {
+					det.HealthLineDown = ln
+				}
+			}
+		}
+		if det.HealthLineDown != "" {
+			det.DetectedMS = float64(time.Since(killed)) / 1e6
+			break
+		}
+		if time.Since(killed) > 30*time.Second {
+			fatal(fmt.Errorf("node %d never went down on the survivor's view", victim))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The dead node's digest series must be gone; liveness series says
+	// down; survivors still serve theirs.
+	body := httpGet("http://" + cl.metrics[0] + "/cluster/metrics")
+	det.SeriesDropped = !strings.Contains(body, fmt.Sprintf("addrkv_fleet_ops{node=\"%d\"}", victim)) &&
+		strings.Contains(body, fmt.Sprintf("addrkv_fleet_up{node=\"%d\"} 0", victim)) &&
+		strings.Contains(body, `addrkv_fleet_ops{node="1"}`)
+	for _, ln := range strings.Split(body, "\n") {
+		if strings.HasPrefix(ln, `addrkv_fleet_up{node="`) && strings.HasSuffix(ln, " 1") {
+			det.SurvivorsUp++
+		}
+	}
+
+	info, err := cmd(cl.addrs[0], "CLUSTER", "INFO")
+	if err != nil {
+		fatal(err)
+	}
+	det.StateDegraded = strings.Contains(string(info.([]byte)), "cluster_state:degraded")
+
+	snap := httpGet("http://" + cl.metrics[0] + "/cluster/snapshot.json")
+	if err := os.MkdirAll(filepath.Dir(snapOut), 0o755); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(snapOut, []byte(snap), 0o644); err != nil {
+		fatal(err)
+	}
+	det.SnapshotSaved = snapOut
+	return det
+}
+
+func httpGet(url string) string {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	return string(b)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// infoField extracts one numeric "key:value" field (0 if absent).
+func infoField(payload, key string) uint64 {
+	for _, line := range strings.Split(payload, "\n") {
+		line = strings.TrimSuffix(line, "\r")
+		if v, ok := strings.CutPrefix(line, key+":"); ok {
+			var n uint64
+			if _, err := fmt.Sscanf(strings.TrimSpace(v), "%d", &n); err == nil {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+func reservePort() string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitTCP(addr string, limit time.Duration) error {
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		if conn, err := net.Dial("tcp", addr); err == nil {
+			conn.Close()
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("kvserve %s not ready after %s", addr, limit)
+}
+
+func writeJSON(path string, v any) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "health:", err)
+	os.Exit(1)
+}
