@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"addrkv/internal/hostmeta"
 	"addrkv/internal/resp"
 	"addrkv/internal/telemetry"
 	"addrkv/internal/ycsb"
@@ -97,10 +98,13 @@ type traceOverhead struct {
 	OverheadFrac float64 `json:"overhead_frac"`
 }
 
-// artifact is the -json output: a self-contained record of the sweep.
+// artifact is the -json output: a self-contained record of the sweep,
+// stamped with the host fingerprint so a 1-CPU container capture is
+// never mistaken for a multi-core bench run.
 type artifact struct {
 	Name          string         `json:"name"`
 	Kind          string         `json:"kind"`
+	Host          hostmeta.Meta  `json:"host"`
 	Params        map[string]any `json:"params"`
 	Sweep         []depthResult  `json:"sweep"`
 	TraceOverhead *traceOverhead `json:"trace_overhead,omitempty"`
@@ -515,6 +519,7 @@ func writeArtifact(path string, cfg benchConfig, depths []int, results []depthRe
 	a := artifact{
 		Name: name,
 		Kind: "kvbench",
+		Host: hostmeta.Collect(),
 		Params: map[string]any{
 			"addr":      cfg.addr,
 			"conns":     cfg.conns,

@@ -166,6 +166,10 @@ type server struct {
 	// cluster hook checks it, so standalone behavior is untouched).
 	clus *clusterState
 
+	// loop is the event-loop networking front-end (nil without
+	// -netloop; the accept path then serves goroutine-per-connection).
+	loop *loopState
+
 	// Span tracing: the sampling tracer shared with every shard engine,
 	// the flight-recorder dump sink (nil without -trace-dir), and a
 	// connection sequence so spans name the connection they came from.
@@ -212,6 +216,10 @@ func main() {
 		writeBuf = flag.Int("writebuf", defaultWriteBufCap, "reply bytes buffered per connection before an early flush")
 		idleTO   = flag.Duration("idle-timeout", 0, "disconnect clients silent for this long (0 = never)")
 		maxConns = flag.Int("maxconns", 0, "max concurrent client connections; extras are shed with an error (0 = unlimited)")
+
+		netloop   = flag.Bool("netloop", false, "event-loop front-end: reader shards multiplex connections instead of one goroutine per connection")
+		readers   = flag.Int("readers", 0, "reader shards for -netloop (0 = GOMAXPROCS/2, capped at 8)")
+		netPoller = flag.String("netloop-poller", "auto", "netloop poller: auto|epoll|portable")
 
 		dispatch = flag.String("dispatch", "worker", "worker: per-shard owning goroutines drain request rings; mutex: lock-per-op dispatch")
 		queueCap = flag.Int("queue", 0, "per-shard request ring capacity for -dispatch worker (0 = default, rounded up to a power of two)")
@@ -375,6 +383,14 @@ func main() {
 		s.startSweeper(*sweepEvery, sweepLim)
 	}
 
+	if *netloop {
+		if err := s.startNetloop(*readers, *netPoller); err != nil {
+			log.Fatalf("kvserve: %v", err)
+		}
+		log.Printf("kvserve: netloop front-end up (%d reader shard(s), %s poller)",
+			len(s.loop.shards), s.loop.poller)
+	}
+
 	if *maddr != "" {
 		msrv, bound, err := startMetricsServer(*maddr, s)
 		if err != nil {
@@ -404,14 +420,34 @@ func main() {
 		log.Printf("kvserve: %v — stopping accept, draining connections", sig)
 		s.closing.Store(true)
 		ln.Close()
-		s.nudgeConns() // wake readers blocked on idle connections
+		s.nudgeConns()  // wake readers blocked on idle connections
+		s.wakeNetloop() // wake reader shards parked in their pollers
 	}()
 
+	s.acceptLoop(ln)
+
+	s.drain()
+	s.stopNetloop()      // loops closed their conns during drain; join them
+	s.stopSweeper()      // before the logs close: sweeps append expiry records
+	s.stopWorkers()      // after drain: no connection is producing anymore
+	s.closePersistence() // after workers: nothing appends; sync + close the logs
+	s.closeCluster()     // last: peers may still be mid-call into the bus while draining
+	s.finalTraceDump()
+	if *sock != "" {
+		_ = os.Remove(*sock)
+	}
+	log.Printf("kvserve: shutdown complete")
+}
+
+// acceptLoop accepts until the listener closes, shedding past the
+// -maxconns ceiling and handing tracked connections to the event loop
+// (-netloop) or a per-connection serve goroutine.
+func (s *server) acceptLoop(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			if s.closing.Load() || errors.Is(err, net.ErrClosed) {
-				break
+				return
 			}
 			log.Printf("accept: %v", err)
 			time.Sleep(50 * time.Millisecond) // don't spin on persistent errors
@@ -424,19 +460,12 @@ func main() {
 			go s.shed(conn)
 			continue
 		}
-		go s.serve(conn)
+		if s.loop != nil {
+			s.loop.add(conn)
+		} else {
+			go s.serve(conn)
+		}
 	}
-
-	s.drain()
-	s.stopSweeper()      // before the logs close: sweeps append expiry records
-	s.stopWorkers()      // after drain: no connection is producing anymore
-	s.closePersistence() // after workers: nothing appends; sync + close the logs
-	s.closeCluster()     // last: peers may still be mid-call into the bus while draining
-	s.finalTraceDump()
-	if *sock != "" {
-		_ = os.Remove(*sock)
-	}
-	log.Printf("kvserve: shutdown complete")
 }
 
 // track registers a connection, refusing (false) when the -maxconns
@@ -559,49 +588,24 @@ func (s *server) serve(conn net.Conn) {
 	// capture shows per-connection lanes with one slice per batch.
 	ctx, task := rtrace.NewTask(context.Background(), "kvserve.conn")
 	defer task.End()
-	r := resp.NewReader(conn)
+	src := io.Reader(conn)
+	if s.net.idleTimeout > 0 {
+		// Re-arm the read deadline before every read, not once per
+		// burst: "idle" means no BYTES for the timeout, so a client
+		// trickling a large pipelined burst slower than the timeout is
+		// never reaped mid-burst (see TestIdleTimeoutMidBurst).
+		src = &idleConn{conn: conn, s: s}
+	}
+	r := resp.NewReader(src)
 	w := resp.NewWriter(conn)
-	workers := s.workers
 	for {
-		if s.net.idleTimeout > 0 && !s.closing.Load() {
-			_ = conn.SetReadDeadline(time.Now().Add(s.net.idleTimeout))
-		}
 		// The arena-reuse read path: everything cmds references is valid
 		// until the next ReadPipelineReuse call, i.e. across this whole
 		// burst (including the pending-window flush below).
 		cmds, rerr := r.ReadPipelineReuse(s.net.maxPipeline)
-		if len(cmds) > 0 {
-			s.tele.pipeBatches.Inc()
-			s.tele.pipeCmds.Add(uint64(len(cmds)))
-			s.tele.pipeDepth.Observe(uint64(len(cmds)))
-		}
-		var quit, monitor bool
-		var werr error
 		reg := rtrace.StartRegion(ctx, "pipeline.batch")
-		for _, args := range cmds {
-			if workers {
-				if kind, cmd, ok := asyncKind(args); ok {
-					s.enqueueAsync(cs, kind, cmd, args)
-					continue
-				}
-				// A command the workers cannot serve is an ordering
-				// barrier: earlier async replies must be written first.
-				if werr = s.flushPending(w, cs); werr != nil {
-					break
-				}
-			}
-			quit, monitor = s.dispatch(w, args, cs)
-			if quit || monitor {
-				break
-			}
-			if w.Buffered() >= s.net.writeBufCap {
-				s.tele.earlyFlush.Inc()
-				if werr = w.Flush(); werr != nil {
-					break
-				}
-			}
-		}
-		if workers && werr == nil {
+		quit, monitor, werr := s.runBurstCmds(w, cs, cmds)
+		if s.workers && werr == nil {
 			werr = s.flushPending(w, cs)
 		}
 		reg.End()
@@ -624,6 +628,66 @@ func (s *server) serve(conn net.Conn) {
 	}
 }
 
+// runBurstCmds dispatches one parsed pipeline burst — the dispatch
+// core shared verbatim by the goroutine path (serve) and the event
+// loop (processReady), which is what makes the two front-ends
+// bit-for-bit identical in replies and modeled stats. Worker mode
+// classifies each command: async single-key ops enqueue on their
+// shard rings; anything else is an ordering barrier that flushes the
+// pending window first. quit/monitor report the command that
+// requested them (later commands in the burst are dropped, exactly
+// like the blocking loop's break). The caller owns the trailing
+// flushPending + Flush.
+func (s *server) runBurstCmds(w *resp.Writer, cs *connState, cmds [][][]byte) (quit, monitor bool, werr error) {
+	if len(cmds) > 0 {
+		s.tele.pipeBatches.Inc()
+		s.tele.pipeCmds.Add(uint64(len(cmds)))
+		s.tele.pipeDepth.Observe(uint64(len(cmds)))
+	}
+	for _, args := range cmds {
+		if s.workers {
+			if kind, cmd, ok := asyncKind(args); ok {
+				s.enqueueAsync(cs, kind, cmd, args)
+				continue
+			}
+			// A command the workers cannot serve is an ordering
+			// barrier: earlier async replies must be written first.
+			if werr = s.flushPending(w, cs); werr != nil {
+				return
+			}
+		}
+		quit, monitor = s.dispatch(w, args, cs)
+		if quit || monitor {
+			return
+		}
+		if w.Buffered() >= s.net.writeBufCap {
+			s.tele.earlyFlush.Inc()
+			if werr = w.Flush(); werr != nil {
+				return
+			}
+		}
+	}
+	return
+}
+
+// idleConn arms the -idle-timeout read deadline before every
+// underlying read. During shutdown the immediate deadline nudgeConns
+// set must win, so the re-arm is undone when closing is observed (the
+// check runs AFTER the re-arm: either this read sees the immediate
+// deadline, or nudgeConns runs later and sets it itself).
+type idleConn struct {
+	conn net.Conn
+	s    *server
+}
+
+func (ic *idleConn) Read(p []byte) (int, error) {
+	_ = ic.conn.SetReadDeadline(time.Now().Add(ic.s.net.idleTimeout))
+	if ic.s.closing.Load() {
+		_ = ic.conn.SetReadDeadline(time.Now())
+	}
+	return ic.conn.Read(p)
+}
+
 func isTimeout(err error) bool {
 	var ne net.Error
 	return errors.As(err, &ne) && ne.Timeout()
@@ -638,6 +702,12 @@ func isTimeout(err error) bool {
 type connState struct {
 	id  int64
 	ops uint64
+
+	// netloop marks connections served by the event-loop front-end;
+	// reader is the owning reader shard (sampled spans stamp it on an
+	// EvNetRead event so traces attribute ingress).
+	netloop bool
+	reader  int
 
 	// asking is the one-shot ASKING flag (cluster mode): the next
 	// command may bypass the op gate if its slot is importing here.
@@ -680,6 +750,9 @@ func (s *server) dispatch(w *resp.Writer, args [][]byte, cs *connState) (quit, m
 			if cs.ops%every == 0 {
 				sp = s.tracer.BeginSampled(cmd, args[1])
 				sp.Conn = cs.id
+				if cs.netloop {
+					sp.EventRel(trace.EvNetRead, 0, int64(cs.reader), 0, 0)
+				}
 				sp.EventRel(trace.EvDispatch, 0, 0, 0, 0)
 				oc.Trace = sp
 			}
@@ -1163,6 +1236,9 @@ func (s *server) info() string {
 	fmt.Fprintf(&b, "early_flushes:%d\r\n", s.tele.earlyFlush.Load())
 	fmt.Fprintf(&b, "batch_commands:%d\r\n", s.tele.batchCmds.Load())
 	fmt.Fprintf(&b, "batched_keys:%d\r\n", s.tele.batchKeys.Load())
+	s.netloopInfo(func(format string, args ...any) {
+		fmt.Fprintf(&b, format, args...)
+	})
 
 	fmt.Fprintf(&b, "# expiry\r\n")
 	fmt.Fprintf(&b, "expire_cycle_budget:%d\r\n", s.sweepBudget)

@@ -1,0 +1,279 @@
+//go:build linux
+
+// Linux epoll poller for the netloop front-end, on stdlib syscall
+// only (no cgo, no external modules). Level-triggered EPOLLIN: a
+// connection whose buffer still holds bytes after the per-wakeup read
+// cap simply re-arms. The wake pipe is the cross-goroutine kick —
+// registrations and shutdown write one byte to it.
+//
+// Reads go through syscall.RawConn.Read with a callback that returns
+// true immediately (read exactly once, never park in the runtime
+// poller): the RawConn keeps the runtime's fd reference alive across
+// the read, so a concurrent force-close during shutdown cannot recycle
+// the fd under us. The callback is allocated once per connection and
+// stored, keeping the per-read path allocation-free.
+
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+// epollSupported gates the "auto" poller choice.
+const epollSupported = true
+
+// epollState is the per-shard epoll handle plus its wake pipe.
+type epollState struct {
+	fd      int
+	wakeRd  int
+	wakeWr  int
+	events  []syscall.EpollEvent
+	wakeBuf [64]byte
+}
+
+func (sh *readerShard) epollInit() error {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return fmt.Errorf("epoll_create1: %w", err)
+	}
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return fmt.Errorf("pipe2: %w", err)
+	}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(p[0])}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p[0], &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(p[0])
+		syscall.Close(p[1])
+		return fmt.Errorf("epoll_ctl wake: %w", err)
+	}
+	sh.ep = epollState{fd: epfd, wakeRd: p[0], wakeWr: p[1], events: make([]syscall.EpollEvent, 128)}
+	return nil
+}
+
+func (sh *readerShard) epollClose() {
+	if sh.ep.fd != 0 {
+		syscall.Close(sh.ep.fd)
+		syscall.Close(sh.ep.wakeRd)
+		syscall.Close(sh.ep.wakeWr)
+		sh.ep.fd = 0
+	}
+}
+
+// epollWake kicks EpollWait; EAGAIN means a kick is already pending.
+func (sh *readerShard) epollWake() {
+	var one = [1]byte{1}
+	_, _ = syscall.Write(sh.ep.wakeWr, one[:])
+}
+
+// epollAdd registers a fresh connection: resolve the raw fd, arm the
+// stored read callback, and add it level-triggered.
+func (sh *readerShard) epollAdd(lc *loopConn) error {
+	sc, ok := lc.conn.(syscall.Conn)
+	if !ok {
+		return fmt.Errorf("netloop: connection is not a syscall.Conn")
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return err
+	}
+	lc.rc = rc
+	if err := rc.Control(func(fd uintptr) { lc.fd = int32(fd) }); err != nil {
+		return err
+	}
+	lc.readFn = func(fd uintptr) bool {
+		dst := lc.st.Writable(loopReadSize)
+		n, err := syscall.Read(int(fd), dst)
+		if n > 0 {
+			lc.st.Advance(n)
+		} else {
+			n = 0
+		}
+		lc.readN, lc.readErr = n, err
+		return true
+	}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN | syscall.EPOLLRDHUP, Fd: lc.fd}
+	if err := syscall.EpollCtl(sh.ep.fd, syscall.EPOLL_CTL_ADD, int(lc.fd), &ev); err != nil {
+		return err
+	}
+	lc.lastActive = time.Now()
+	sh.epConns[lc.fd] = lc
+	sh.nconns.Add(1)
+	return nil
+}
+
+// epollDel removes a connection from the interest set (the fd is
+// still open — MONITOR detaches without closing).
+func (sh *readerShard) epollDel(lc *loopConn) {
+	_ = syscall.EpollCtl(sh.ep.fd, syscall.EPOLL_CTL_DEL, int(lc.fd), nil)
+}
+
+// loopSpinRounds bounds the non-blocking poll phase before the shard
+// falls back to a blocking EpollWait. A goroutine parked in a raw
+// blocking syscall holds its P until sysmon retakes it (20µs–10ms,
+// backing off while idle), so at low connection counts every request
+// would eat scheduler-monitor latency. Spinning EpollWait(0) with a
+// Gosched between attempts keeps the P in the fast entersyscall path
+// and lets peer goroutines (clients, shard workers) run in the gaps;
+// after the budget we block and let the wake pipe kick us.
+const loopSpinRounds = 256
+
+// runEpoll is the shard loop: wait, read every ready connection into
+// its stream, run the shared burst machine, reap idlers.
+func (sh *readerShard) runEpoll() {
+	defer sh.loop.wg.Done()
+	s := sh.s
+	waitMs := -1
+	if s.net.idleTimeout > 0 {
+		waitMs = int(s.net.idleTimeout.Milliseconds() / 2)
+		if waitMs < 10 {
+			waitMs = 10
+		}
+		if waitMs > 500 {
+			waitMs = 500
+		}
+	}
+	spin := 0
+	for {
+		var n int
+		var err error
+		if spin < loopSpinRounds {
+			n, err = syscall.EpollWait(sh.ep.fd, sh.ep.events, 0)
+			if err == nil && n == 0 {
+				spin++
+				runtime.Gosched()
+				continue
+			}
+		} else {
+			sh.blockedWaits.Add(1)
+			n, err = syscall.EpollWait(sh.ep.fd, sh.ep.events, waitMs)
+		}
+		spin = 0
+		if err != nil {
+			if errors.Is(err, syscall.EINTR) {
+				continue
+			}
+			return // epoll fd closed: shutdown
+		}
+		sh.drainRegistrations()
+		if s.closing.Load() {
+			sh.closeAllEpoll()
+			return
+		}
+		select {
+		case <-sh.stopCh:
+			sh.closeAllEpoll()
+			return
+		default:
+		}
+		sh.batch = sh.batch[:0]
+		now := time.Now()
+		for i := 0; i < n; i++ {
+			fd := sh.ep.events[i].Fd
+			if fd == int32(sh.ep.wakeRd) {
+				sh.drainWakePipe()
+				continue
+			}
+			lc := sh.epConns[fd]
+			if lc == nil {
+				continue // raced with a close this wakeup
+			}
+			sh.fill(lc, now)
+			sh.batch = append(sh.batch, lc)
+		}
+		if len(sh.batch) > 0 {
+			sh.wakeups.Add(1)
+			sh.connEvents.Add(uint64(len(sh.batch)))
+			for _, lc := range sh.batch {
+				_ = lc.conn.SetWriteDeadline(now.Add(loopWriteTimeout))
+			}
+			sh.processReady()
+		}
+		if s.net.idleTimeout > 0 {
+			sh.reapIdle(now)
+		}
+	}
+}
+
+// drainRegistrations adopts connections the accept loop handed over.
+func (sh *readerShard) drainRegistrations() {
+	for {
+		select {
+		case lc := <-sh.regCh:
+			if err := sh.epollAdd(lc); err != nil {
+				_ = lc.conn.Close()
+				sh.s.untrack(lc.conn)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (sh *readerShard) drainWakePipe() {
+	for {
+		n, err := syscall.Read(sh.ep.wakeRd, sh.ep.wakeBuf[:])
+		if n < len(sh.ep.wakeBuf) || err != nil {
+			return
+		}
+	}
+}
+
+// fill drains one readable connection into its stream, up to the
+// fairness cap (level-triggered epoll re-arms for the remainder).
+func (sh *readerShard) fill(lc *loopConn, now time.Time) {
+	total := 0
+	for lc.rerr == nil && total < loopReadCap {
+		lc.readN, lc.readErr = 0, nil
+		if err := lc.rc.Read(lc.readFn); err != nil {
+			lc.rerr = err // runtime-side: fd closed under us
+			break
+		}
+		if lc.readErr != nil {
+			if lc.readErr == syscall.EAGAIN {
+				break // socket drained
+			}
+			lc.rerr = lc.readErr
+			break
+		}
+		if lc.readN == 0 {
+			lc.rerr = io.EOF
+			break
+		}
+		total += lc.readN
+	}
+	if total > 0 {
+		lc.lastActive = now
+		sh.bytesRead.Add(uint64(total))
+	}
+}
+
+// reapIdle closes connections with no byte arrival for the idle
+// timeout — the same "silent for the timeout" rule the blocking
+// path's idleConn enforces, so a slow mid-burst client survives as
+// long as bytes keep trickling.
+func (sh *readerShard) reapIdle(now time.Time) {
+	to := sh.s.net.idleTimeout
+	if now.Sub(sh.lastReap) < to/4 {
+		return
+	}
+	sh.lastReap = now
+	for _, lc := range sh.epConns {
+		if now.Sub(lc.lastActive) > to {
+			sh.idleReaped.Add(1)
+			sh.closeConn(lc)
+		}
+	}
+}
+
+func (sh *readerShard) closeAllEpoll() {
+	for _, lc := range sh.epConns {
+		sh.closeConn(lc)
+	}
+}

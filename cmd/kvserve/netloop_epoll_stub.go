@@ -1,0 +1,19 @@
+//go:build !linux
+
+// Non-linux stub: the netloop front-end falls back to the portable
+// poller (startNetloop never selects epoll here, so these methods are
+// unreachable; they exist to keep netloop.go platform-independent).
+
+package main
+
+// epollSupported gates the "auto" poller choice.
+const epollSupported = false
+
+// epollState is empty off linux.
+type epollState struct{}
+
+func (sh *readerShard) epollInit() error      { panic("netloop: epoll unavailable") }
+func (sh *readerShard) epollClose()           {}
+func (sh *readerShard) epollWake()            {}
+func (sh *readerShard) epollDel(lc *loopConn) {}
+func (sh *readerShard) runEpoll()             { panic("netloop: epoll unavailable") }

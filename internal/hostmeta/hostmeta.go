@@ -1,0 +1,28 @@
+// Package hostmeta stamps benchmark artifacts with the facts needed
+// to interpret them later: throughput and contention-bound speedups
+// depend on the host's parallelism, so an artifact captured on a
+// 1-CPU container must be distinguishable from one captured on a
+// 32-core bench box without out-of-band notes.
+package hostmeta
+
+import "runtime"
+
+// Meta is the host fingerprint embedded in bench JSON artifacts.
+type Meta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Collect captures the current process's view of the host.
+func Collect() Meta {
+	return Meta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}

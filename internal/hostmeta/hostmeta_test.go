@@ -1,0 +1,30 @@
+package hostmeta
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCollect(t *testing.T) {
+	m := Collect()
+	if m.NumCPU < 1 || m.GOMAXPROCS < 1 {
+		t.Fatalf("bad CPU counts: %+v", m)
+	}
+	if !strings.HasPrefix(m.GoVersion, "go") {
+		t.Fatalf("GoVersion = %q", m.GoVersion)
+	}
+	if m.GOOS != runtime.GOOS || m.GOARCH != runtime.GOARCH {
+		t.Fatalf("platform mismatch: %+v", m)
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"go_version", "goos", "goarch", "num_cpu", "gomaxprocs"} {
+		if !strings.Contains(string(b), `"`+k+`"`) {
+			t.Fatalf("JSON missing %q: %s", k, b)
+		}
+	}
+}

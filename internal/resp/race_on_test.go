@@ -1,0 +1,8 @@
+//go:build race
+
+package resp
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation perturbs allocation counts, so the zero-allocation
+// budget tests skip themselves under -race.
+const raceEnabled = true

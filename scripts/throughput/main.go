@@ -1,23 +1,36 @@
-// Command throughput orchestrates the kvserve/kvbench dispatch-mode
-// matrix and merges the per-run kvbench artifacts into one
-// BENCH_throughput.json. It execs prebuilt kvserve and kvbench
-// binaries over a Unix socket, sweeping pipeline depth and shard count
-// for the worker runtime and pinning the headline comparison: worker
-// vs mutex dispatch at 8 shards, depth 16.
+// Command throughput orchestrates the kvserve/kvbench matrix and
+// merges the per-run kvbench artifacts into one BENCH_throughput.json.
+// It execs prebuilt kvserve and kvbench binaries over a Unix socket,
+// sweeping three axes:
+//
+//   - cores:  the server's GOMAXPROCS (set via env), so one artifact
+//     captures how both dispatch modes and both networking front-ends
+//     scale with available parallelism
+//   - shards: the engine shard count (worker dispatch owns one
+//     goroutine per shard)
+//   - depth:  the client pipeline depth
+//
+// plus the networking front-end (-netloop event loop vs the default
+// goroutine-per-connection) as an A/B leg, and it pins two headline
+// comparisons at the top configuration: worker vs mutex dispatch, and
+// netloop vs goroutine front-end (both interleaved round-robin so the
+// legs share the machine's noise regime).
 //
 // Usage (from the repo root):
 //
 //	go build -o /tmp/kvserve ./cmd/kvserve
 //	go build -o /tmp/kvbench ./cmd/kvbench
 //	go run ./scripts/throughput -kvserve /tmp/kvserve -kvbench /tmp/kvbench \
-//	    -json results/BENCH_throughput.json -check 1.25
+//	    -json results/BENCH_throughput.json -check 1.5
 //
 // The headline speedup is contention-bound: the worker runtime wins by
 // replacing a mutex contended by every connection goroutine with one
 // owning goroutine per shard, so the gap scales with hardware threads.
 // On a single-CPU host both modes are serialized behind the simulated
-// engine (the dominant real CPU cost) and measure ~1.0x; the artifact
-// records "cpus" so a diff between baselines is interpreted in context.
+// engine (the dominant real CPU cost) and measure ~1.0x — so -check is
+// enforced only when the host has more than one CPU, and the artifact
+// embeds the host fingerprint (internal/hostmeta) so a 1-CPU container
+// capture is never misread as a multi-core regression.
 package main
 
 import (
@@ -29,17 +42,25 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
+
+	"addrkv/internal/hostmeta"
+	"addrkv/internal/telemetry"
 )
 
 // depthPoint mirrors the fields this tool consumes from kvbench's
-// depthResult JSON; unknown fields are carried through via Raw.
+// depthResult JSON, percentiles included — the merged artifact carries
+// p50/p99/p999 for every matrix cell, not just ops/sec.
 type depthPoint struct {
-	Depth     int     `json:"depth"`
-	Conns     int     `json:"conns"`
-	Ops       uint64  `json:"ops"`
-	Errors    uint64  `json:"errors"`
-	OpsPerSec float64 `json:"ops_per_sec"`
+	Depth       int                 `json:"depth"`
+	Conns       int                 `json:"conns"`
+	Ops         uint64              `json:"ops"`
+	Errors      uint64              `json:"errors"`
+	OpsPerSec   float64             `json:"ops_per_sec"`
+	RoundtripUS telemetry.Quantiles `json:"roundtrip_us"`
+	LatencyUS   telemetry.Quantiles `json:"latency_us"`
 }
 
 type benchArtifact struct {
@@ -48,9 +69,12 @@ type benchArtifact struct {
 	Sweep  []depthPoint   `json:"sweep"`
 }
 
-// runSpec is one kvserve configuration to benchmark.
+// runSpec is one kvserve configuration to benchmark: a cell of the
+// cores x shards x front-end matrix (depth sweeps inside the cell).
 type runSpec struct {
 	Dispatch string `json:"dispatch"`
+	Frontend string `json:"frontend"` // "goroutine" or "netloop"
+	Cores    int    `json:"cores"`    // server GOMAXPROCS
 	Shards   int    `json:"shards"`
 	sweep    string
 }
@@ -60,44 +84,58 @@ type runResult struct {
 	Sweep []depthPoint `json:"sweep"`
 }
 
+// headline is an interleaved A/B at one configuration: per-leg ops/sec
+// per round plus the best of each (best-of damps scheduler jitter on
+// small hosts; alternating rounds cancel warmth drift).
 type headline struct {
 	Shards int `json:"shards"`
 	Depth  int `json:"depth"`
-	// Per-mode ops/sec per interleaved round, plus the best of each:
-	// alternating mutex/worker rounds share the machine's noise regime,
-	// and best-of damps scheduler jitter on small hosts.
-	MutexRounds     []float64 `json:"mutex_rounds"`
-	WorkerRounds    []float64 `json:"worker_rounds"`
-	MutexOpsPerSec  float64   `json:"mutex_ops_per_sec"`
-	WorkerOpsPerSec float64   `json:"worker_ops_per_sec"`
-	WorkerSpeedup   float64   `json:"worker_speedup"`
+	Cores  int `json:"cores"`
+	// A = the baseline leg, B = the candidate leg.
+	ARounds    []float64 `json:"a_rounds"`
+	BRounds    []float64 `json:"b_rounds"`
+	AOpsPerSec float64   `json:"a_ops_per_sec"`
+	BOpsPerSec float64   `json:"b_ops_per_sec"`
+	Speedup    float64   `json:"speedup"` // B / A
 }
 
 type matrixArtifact struct {
-	Name     string         `json:"name"`
-	Kind     string         `json:"kind"`
-	Params   map[string]any `json:"params"`
-	Runs     []runResult    `json:"runs"`
-	Headline headline       `json:"headline"`
+	Name   string         `json:"name"`
+	Kind   string         `json:"kind"`
+	Host   hostmeta.Meta  `json:"host"`
+	Params map[string]any `json:"params"`
+	Runs   []runResult    `json:"runs"`
+	// WorkerHeadline: A = mutex dispatch, B = worker dispatch
+	// (goroutine front-end, top core count).
+	WorkerHeadline headline `json:"worker_headline"`
+	// NetloopHeadline: A = goroutine front-end, B = netloop front-end
+	// (worker dispatch, top core count).
+	NetloopHeadline headline `json:"netloop_headline"`
 }
 
 func main() {
 	var (
-		kvserve = flag.String("kvserve", "", "path to a built kvserve binary (required)")
-		kvbench = flag.String("kvbench", "", "path to a built kvbench binary (required)")
-		out     = flag.String("json", "results/BENCH_throughput.json", "merged artifact path")
-		ops     = flag.Int("ops", 60_000, "operations per depth point")
-		conns   = flag.Int("conns", 16, "concurrent benchmark connections")
-		keys    = flag.Int("keys", 10_000, "key-space size (server preloads it)")
-		vsize   = flag.Int("vsize", 64, "value size")
-		rounds  = flag.Int("rounds", 3, "interleaved mutex/worker rounds for the headline comparison")
-		check   = flag.Float64("check", 0, "fail unless worker/mutex speedup at the headline point is >= this (0 = report only)")
+		kvserve  = flag.String("kvserve", "", "path to a built kvserve binary (required)")
+		kvbench  = flag.String("kvbench", "", "path to a built kvbench binary (required)")
+		out      = flag.String("json", "results/BENCH_throughput.json", "merged artifact path")
+		ops      = flag.Int("ops", 60_000, "operations per depth point")
+		conns    = flag.Int("conns", 16, "concurrent benchmark connections")
+		keys     = flag.Int("keys", 10_000, "key-space size (server preloads it)")
+		vsize    = flag.Int("vsize", 64, "value size")
+		rounds   = flag.Int("rounds", 3, "interleaved rounds per headline comparison")
+		coresArg = flag.String("cores", "", "comma-separated server GOMAXPROCS values (default: 1 and NumCPU, deduped)")
+		check    = flag.Float64("check", 0, "fail unless worker/mutex speedup at the headline point is >= this; only enforced on hosts with >1 CPU (0 = report only)")
 	)
 	flag.Parse()
 	if *kvserve == "" || *kvbench == "" {
 		fmt.Fprintln(os.Stderr, "throughput: -kvserve and -kvbench are required")
 		os.Exit(2)
 	}
+	cores, err := parseCores(*coresArg)
+	if err != nil {
+		fatal(err)
+	}
+	topCores := cores[len(cores)-1]
 
 	tmp, err := os.MkdirTemp("", "throughput-*")
 	if err != nil {
@@ -105,91 +143,141 @@ func main() {
 	}
 	defer os.RemoveAll(tmp)
 
-	// Depth sweeps on the worker runtime (the seeded bench trajectory).
-	var runs []runResult
-	for _, spec := range []runSpec{
-		{Dispatch: "worker", Shards: 1, sweep: "1,4,16"},
-		{Dispatch: "worker", Shards: 4, sweep: "1,4,16"},
-	} {
-		fmt.Printf("== %s dispatch, %d shard(s), depths %s ==\n", spec.Dispatch, spec.Shards, spec.sweep)
+	bench := func(spec runSpec) []depthPoint {
 		sweep, err := benchOne(tmp, *kvserve, *kvbench, spec, *ops, *conns, *keys, *vsize)
 		if err != nil {
-			fatal(fmt.Errorf("%s/shards=%d: %w", spec.Dispatch, spec.Shards, err))
+			fatal(fmt.Errorf("%s/%s/cores=%d/shards=%d: %w",
+				spec.Dispatch, spec.Frontend, spec.Cores, spec.Shards, err))
 		}
-		runs = append(runs, runResult{runSpec: spec, Sweep: sweep})
+		return sweep
 	}
 
-	// Headline: mutex vs worker at 8 shards, depth 16, interleaved so
-	// both modes sample the same noise regime.
-	hl := headline{Shards: 8, Depth: 16}
-	best := map[string][]depthPoint{}
-	for r := 0; r < *rounds; r++ {
-		for _, mode := range []string{"mutex", "worker"} {
-			spec := runSpec{Dispatch: mode, Shards: hl.Shards, sweep: fmt.Sprint(hl.Depth)}
-			fmt.Printf("== headline round %d/%d: %s dispatch, %d shards, depth %d ==\n",
-				r+1, *rounds, mode, hl.Shards, hl.Depth)
-			sweep, err := benchOne(tmp, *kvserve, *kvbench, spec, *ops, *conns, *keys, *vsize)
-			if err != nil {
-				fatal(fmt.Errorf("%s/shards=%d: %w", mode, hl.Shards, err))
-			}
-			rate := sweep[len(sweep)-1].OpsPerSec
-			switch mode {
-			case "mutex":
-				hl.MutexRounds = append(hl.MutexRounds, rate)
-				if rate > hl.MutexOpsPerSec {
-					hl.MutexOpsPerSec, best[mode] = rate, sweep
-				}
-			case "worker":
-				hl.WorkerRounds = append(hl.WorkerRounds, rate)
-				if rate > hl.WorkerOpsPerSec {
-					hl.WorkerOpsPerSec, best[mode] = rate, sweep
-				}
+	// The matrix: cores x shards x front-end, each cell a depth sweep on
+	// the worker runtime (the seeded bench trajectory).
+	var runs []runResult
+	for _, c := range cores {
+		for _, shards := range []int{1, 4} {
+			for _, fe := range []string{"goroutine", "netloop"} {
+				spec := runSpec{Dispatch: "worker", Frontend: fe, Cores: c, Shards: shards, sweep: "1,4,16"}
+				fmt.Printf("== worker dispatch, %s front-end, %d core(s), %d shard(s), depths %s ==\n",
+					fe, c, shards, spec.sweep)
+				runs = append(runs, runResult{runSpec: spec, Sweep: bench(spec)})
 			}
 		}
 	}
-	for _, mode := range []string{"mutex", "worker"} {
-		runs = append(runs, runResult{
-			runSpec: runSpec{Dispatch: mode, Shards: hl.Shards},
-			Sweep:   best[mode],
-		})
+
+	// Headlines at the top core count, interleaved so both legs of each
+	// comparison sample the same noise regime.
+	interleave := func(name string, a, b runSpec) (headline, []runResult) {
+		hl := headline{Shards: a.Shards, Depth: 16, Cores: a.Cores}
+		var bestA, bestB []depthPoint
+		for r := 0; r < *rounds; r++ {
+			legs := [2]runSpec{a, b}
+			if r%2 == 1 {
+				legs[0], legs[1] = b, a
+			}
+			for _, spec := range legs {
+				fmt.Printf("== %s headline round %d/%d: %s dispatch, %s front-end ==\n",
+					name, r+1, *rounds, spec.Dispatch, spec.Frontend)
+				sweep := bench(spec)
+				rate := sweep[len(sweep)-1].OpsPerSec
+				if spec == a {
+					hl.ARounds = append(hl.ARounds, rate)
+					if rate > hl.AOpsPerSec {
+						hl.AOpsPerSec, bestA = rate, sweep
+					}
+				} else {
+					hl.BRounds = append(hl.BRounds, rate)
+					if rate > hl.BOpsPerSec {
+						hl.BOpsPerSec, bestB = rate, sweep
+					}
+				}
+			}
+		}
+		if hl.AOpsPerSec > 0 {
+			hl.Speedup = hl.BOpsPerSec / hl.AOpsPerSec
+		}
+		return hl, []runResult{{runSpec: a, Sweep: bestA}, {runSpec: b, Sweep: bestB}}
 	}
-	if hl.MutexOpsPerSec > 0 {
-		hl.WorkerSpeedup = hl.WorkerOpsPerSec / hl.MutexOpsPerSec
-	}
+
+	depth16 := fmt.Sprint(16)
+	workerHL, workerRuns := interleave("worker-vs-mutex",
+		runSpec{Dispatch: "mutex", Frontend: "goroutine", Cores: topCores, Shards: 8, sweep: depth16},
+		runSpec{Dispatch: "worker", Frontend: "goroutine", Cores: topCores, Shards: 8, sweep: depth16})
+	netloopHL, netloopRuns := interleave("netloop-vs-goroutine",
+		runSpec{Dispatch: "worker", Frontend: "goroutine", Cores: topCores, Shards: 8, sweep: depth16},
+		runSpec{Dispatch: "worker", Frontend: "netloop", Cores: topCores, Shards: 8, sweep: depth16})
+	runs = append(runs, workerRuns...)
+	runs = append(runs, netloopRuns...)
 
 	art := matrixArtifact{
 		Name: "throughput",
 		Kind: "kvbench-matrix",
+		Host: hostmeta.Collect(),
 		Params: map[string]any{
 			"ops": *ops, "conns": *conns, "keys": *keys, "vsize": *vsize,
 			"transport": "unix", "get_ratio": 0.9, "seed": 42,
-			"rounds": *rounds, "cpus": runtime.NumCPU(),
+			"rounds": *rounds, "cores": cores, "cpus": runtime.NumCPU(),
 		},
-		Runs:     runs,
-		Headline: hl,
+		Runs:            runs,
+		WorkerHeadline:  workerHL,
+		NetloopHeadline: netloopHL,
 	}
 	if err := writeJSON(*out, art); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("headline (shards=%d depth=%d): mutex %.0f ops/sec, worker %.0f ops/sec, speedup %.2fx\n",
-		hl.Shards, hl.Depth, hl.MutexOpsPerSec, hl.WorkerOpsPerSec, hl.WorkerSpeedup)
+	fmt.Printf("worker headline  (cores=%d shards=%d depth=%d): mutex %.0f ops/sec, worker %.0f ops/sec, speedup %.2fx\n",
+		workerHL.Cores, workerHL.Shards, workerHL.Depth, workerHL.AOpsPerSec, workerHL.BOpsPerSec, workerHL.Speedup)
+	fmt.Printf("netloop headline (cores=%d shards=%d depth=%d): goroutine %.0f ops/sec, netloop %.0f ops/sec, speedup %.2fx\n",
+		netloopHL.Cores, netloopHL.Shards, netloopHL.Depth, netloopHL.AOpsPerSec, netloopHL.BOpsPerSec, netloopHL.Speedup)
 	fmt.Printf("wrote %s\n", *out)
-	if *check > 0 && hl.WorkerSpeedup < *check {
-		fmt.Fprintf(os.Stderr, "throughput: worker speedup %.2fx below the %.2fx floor\n", hl.WorkerSpeedup, *check)
-		os.Exit(1)
+	if *check > 0 {
+		if runtime.NumCPU() <= 1 {
+			fmt.Printf("single-CPU host: %.2fx worker-speedup floor not enforced (both modes serialize behind the engine; the artifact's host stamp records this)\n", *check)
+		} else if workerHL.Speedup < *check {
+			fmt.Fprintf(os.Stderr, "throughput: worker speedup %.2fx below the %.2fx floor\n", workerHL.Speedup, *check)
+			os.Exit(1)
+		}
 	}
 }
 
-// benchOne boots kvserve for one spec, drives kvbench against it, and
+// parseCores parses -cores; the default sweeps 1 and every hardware
+// thread (deduped, ascending), so the artifact shows the scaling trend
+// whenever the host can express one.
+func parseCores(s string) ([]int, error) {
+	if s == "" {
+		if n := runtime.NumCPU(); n > 1 {
+			return []int{1, n}, nil
+		}
+		return []int{1}, nil
+	}
+	var cores []int
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad -cores value %q", part)
+		}
+		cores = append(cores, c)
+	}
+	return cores, nil
+}
+
+// benchOne boots kvserve for one spec (GOMAXPROCS via env, -netloop
+// for the event-loop front-end), drives kvbench against it, and
 // returns the parsed sweep.
 func benchOne(tmp, kvserve, kvbench string, spec runSpec, ops, conns, keys, vsize int) ([]depthPoint, error) {
-	sock := filepath.Join(tmp, fmt.Sprintf("kv-%s-%d.sock", spec.Dispatch, spec.Shards))
-	srv := exec.Command(kvserve,
+	sock := filepath.Join(tmp, fmt.Sprintf("kv-%s-%s-%d-%d.sock", spec.Dispatch, spec.Frontend, spec.Cores, spec.Shards))
+	args := []string{
 		"-sock", sock,
 		"-shards", fmt.Sprint(spec.Shards),
 		"-dispatch", spec.Dispatch,
 		"-preload", "-keys", fmt.Sprint(keys), "-vsize", fmt.Sprint(vsize),
-	)
+	}
+	if spec.Frontend == "netloop" {
+		args = append(args, "-netloop")
+	}
+	srv := exec.Command(kvserve, args...)
+	srv.Env = append(os.Environ(), "GOMAXPROCS="+strconv.Itoa(spec.Cores))
 	srv.Stderr = os.Stderr
 	if err := srv.Start(); err != nil {
 		return nil, fmt.Errorf("start kvserve: %w", err)
@@ -209,7 +297,7 @@ func benchOne(tmp, kvserve, kvbench string, spec runSpec, ops, conns, keys, vsiz
 		return nil, err
 	}
 
-	art := filepath.Join(tmp, fmt.Sprintf("sweep-%s-%d.json", spec.Dispatch, spec.Shards))
+	art := filepath.Join(tmp, fmt.Sprintf("sweep-%s-%s-%d-%d.json", spec.Dispatch, spec.Frontend, spec.Cores, spec.Shards))
 	bench := exec.Command(kvbench,
 		"-sock", sock,
 		"-sweep", spec.sweep,
